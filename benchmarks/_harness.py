@@ -1,0 +1,123 @@
+"""Shared machinery for the experiment benchmarks.
+
+Every experiment module E1..E10 can run two ways:
+
+* ``pytest benchmarks/ --benchmark-only`` — each sweep point of each
+  figure becomes a pytest-benchmark entry (grouped per experiment), with
+  the machine-independent counters attached as ``extra_info``.
+* ``python benchmarks/bench_eX_*.py`` — prints the experiment's series
+  as a plain table shaped like the paper's figure, which is what
+  EXPERIMENTS.md records.
+
+``REPRO_BENCH_SCALE`` (a float, default 1.0) multiplies every dataset
+size, so the same harness reproduces the sweep at paper scale on a
+faster machine.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from functools import lru_cache
+from typing import Callable, Dict
+
+import numpy as np
+
+from repro import JoinSpec, PairCounter
+from repro.analysis import Table, format_seconds, format_si
+from repro.baselines import (
+    brute_force_self_join,
+    grid_self_join,
+    rplus_self_join,
+    rtree_self_join,
+    sort_merge_self_join,
+    zorder_self_join,
+)
+from repro.core import epsilon_kdb_self_join
+from repro.datasets import (
+    color_histograms,
+    gaussian_clusters,
+    timeseries_features,
+    uniform_points,
+)
+
+
+def scale(n: int) -> int:
+    """Apply the REPRO_BENCH_SCALE multiplier to a dataset size."""
+    factor = float(os.environ.get("REPRO_BENCH_SCALE", "1.0"))
+    return max(4, int(n * factor))
+
+
+#: The self-join algorithm roster every comparison experiment sweeps.
+SELF_JOIN_ALGORITHMS: Dict[str, Callable] = {
+    "eps-kdB": epsilon_kdb_self_join,
+    "R+-tree": rplus_self_join,
+    "R-tree": rtree_self_join,
+    "Z-order": zorder_self_join,
+    "sort-merge": sort_merge_self_join,
+    "grid": grid_self_join,
+    "brute-force": brute_force_self_join,
+}
+
+
+@lru_cache(maxsize=None)
+def clustered(n: int, dims: int, seed: int = 0) -> np.ndarray:
+    return gaussian_clusters(n, dims, clusters=10, sigma=0.05, seed=seed)
+
+
+@lru_cache(maxsize=None)
+def uniform(n: int, dims: int, seed: int = 0) -> np.ndarray:
+    return uniform_points(n, dims, seed=seed)
+
+
+@lru_cache(maxsize=None)
+def timeseries(n: int, coefficients: int = 8, seed: int = 0) -> np.ndarray:
+    return timeseries_features(n, length=128, coefficients=coefficients, seed=seed)
+
+
+@lru_cache(maxsize=None)
+def images(n: int, bins: int = 32, seed: int = 0) -> np.ndarray:
+    return color_histograms(n, bins=bins, seed=seed)
+
+
+def run_counted(algorithm: Callable, points: np.ndarray, spec: JoinSpec, **kwargs):
+    """Run a join with a counting sink; returns (result, seconds)."""
+    sink = PairCounter()
+    started = time.perf_counter()
+    result = algorithm(points, spec, sink=sink, **kwargs)
+    elapsed = time.perf_counter() - started
+    return result, elapsed
+
+
+def measure_row(algorithm: Callable, points: np.ndarray, spec: JoinSpec, **kwargs):
+    """One series point: dict with time, pairs, and work counters."""
+    result, elapsed = run_counted(algorithm, points, spec, **kwargs)
+    return {
+        "seconds": elapsed,
+        "pairs": result.stats.pairs_emitted,
+        "distance_computations": result.stats.distance_computations,
+        "node_pairs": result.stats.node_pairs_visited,
+    }
+
+
+def attach_info(benchmark, row: dict) -> None:
+    """Attach the machine-independent counters to a pytest-benchmark entry."""
+    for key in ("pairs", "distance_computations", "node_pairs"):
+        benchmark.extra_info[key] = row[key]
+
+
+def series_table(title: str, sweep_label: str, rows: dict) -> Table:
+    """Render {sweep_value: {algorithm: row}} as a figure-shaped table."""
+    algorithms = list(next(iter(rows.values())).keys())
+    table = Table(
+        title,
+        [sweep_label, *[f"{a} time" for a in algorithms], "pairs"],
+    )
+    for sweep_value, per_algorithm in rows.items():
+        pairs = next(iter(per_algorithm.values()))["pairs"]
+        table.add_row(
+            sweep_value,
+            *[format_seconds(per_algorithm[a]["seconds"]) for a in algorithms],
+            format_si(pairs),
+        )
+    return table

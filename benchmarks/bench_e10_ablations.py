@@ -1,0 +1,104 @@
+"""E10 — Ablations of the eps-kdB design choices.
+
+Three design decisions DESIGN.md calls out, each toggled in isolation
+(results are identical by construction — the tests assert so — only the
+work changes):
+
+* adjacency pruning: joining only neighbor cells vs all sibling pairs;
+* the leaf sort-merge dimension: an unsplit dimension (default) vs the
+  first (always-split) dimension;
+* split-dimension order: natural order vs *biased* order (most
+  spread-out dimensions first), on anisotropic data where it matters.
+"""
+
+import numpy as np
+import pytest
+
+from _harness import attach_info, clustered, measure_row, scale
+from repro import JoinSpec
+from repro.analysis import Table, format_seconds, format_si
+from repro.core import epsilon_kdb_self_join
+
+N = scale(8000)
+DIMS = 16
+EPSILON = 0.1
+
+
+def anisotropic(n: int, dims: int, seed: int = 0) -> np.ndarray:
+    """Clustered data whose later dimensions carry most of the spread —
+    the adversarial case for natural split order."""
+    points = clustered(n, dims, seed=seed).copy()
+    scales = np.linspace(0.05, 1.0, dims)
+    return points * scales
+
+
+def biased_order(points: np.ndarray) -> list:
+    spreads = points.max(axis=0) - points.min(axis=0)
+    return list(np.argsort(-spreads))
+
+
+VARIANTS = {
+    "default": lambda pts: JoinSpec(epsilon=EPSILON),
+    "no-adjacency-pruning": lambda pts: JoinSpec(
+        epsilon=EPSILON, adjacency_pruning=False
+    ),
+    "sort-on-split-dim": lambda pts: JoinSpec(epsilon=EPSILON, sort_dim=0),
+    "natural-order(aniso)": lambda pts: JoinSpec(epsilon=EPSILON),
+    "biased-order(aniso)": lambda pts: JoinSpec(
+        epsilon=EPSILON, split_order=biased_order(pts)
+    ),
+}
+
+
+def points_for(variant: str) -> np.ndarray:
+    if variant.endswith("(aniso)"):
+        return anisotropic(N, DIMS)
+    return clustered(N, DIMS)
+
+
+@pytest.mark.parametrize("variant", list(VARIANTS))
+def test_e10_ablation(benchmark, variant):
+    points = points_for(variant)
+    spec = VARIANTS[variant](points)
+    benchmark.group = f"E10 eps-kdB ablations (N={N}, d={DIMS})"
+
+    def run():
+        return measure_row(epsilon_kdb_self_join, points, spec)
+
+    row = benchmark.pedantic(run, rounds=1, iterations=1)
+    attach_info(benchmark, row)
+
+
+def test_e10_ablations_do_not_change_results():
+    points = clustered(scale(1500), DIMS)
+    reference = epsilon_kdb_self_join(points, JoinSpec(epsilon=EPSILON)).pairs
+    for spec in (
+        JoinSpec(epsilon=EPSILON, adjacency_pruning=False),
+        JoinSpec(epsilon=EPSILON, sort_dim=0),
+        JoinSpec(epsilon=EPSILON, split_order=biased_order(points)),
+    ):
+        pairs = epsilon_kdb_self_join(points, spec).pairs
+        assert pairs.shape == reference.shape and (pairs == reference).all()
+
+
+def run_experiment():
+    table = Table(
+        f"E10: eps-kdB ablations (N={N}, d={DIMS}, eps={EPSILON})",
+        ["variant", "time", "dist comps", "node pairs", "pairs"],
+    )
+    for variant in VARIANTS:
+        points = points_for(variant)
+        spec = VARIANTS[variant](points)
+        row = measure_row(epsilon_kdb_self_join, points, spec)
+        table.add_row(
+            variant,
+            format_seconds(row["seconds"]),
+            format_si(row["distance_computations"]),
+            format_si(row["node_pairs"]),
+            format_si(row["pairs"]),
+        )
+    return table
+
+
+if __name__ == "__main__":
+    run_experiment().print()

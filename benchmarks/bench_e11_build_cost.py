@@ -1,0 +1,84 @@
+"""E11 (supplementary) — index construction cost.
+
+The paper's engineering bet is that the ε-kdB tree is cheap enough to
+build *per join* on the fly, unlike a general-purpose index that must be
+amortized across queries.  This experiment measures construction time
+against join (traversal) time per algorithm and dataset size: the tree's
+build share should be a small, shrinking fraction, and absolute build
+cost should stay well below a single R-variant bulk load + join.
+"""
+
+import time
+
+import pytest
+
+from _harness import attach_info, clustered, scale
+from repro import JoinSpec, PairCounter
+from repro.analysis import Table, format_seconds
+from repro.baselines import rplus_self_join, rtree_self_join
+from repro.core import epsilon_kdb_self_join
+
+SIZES = [scale(4000), scale(8000), scale(16000)]
+DIMS = 16
+EPSILON = 0.1
+
+ALGORITHMS = {
+    "eps-kdB": epsilon_kdb_self_join,
+    "R+-tree": rplus_self_join,
+    "R-tree": rtree_self_join,
+}
+
+
+def measure(algorithm, n):
+    points = clustered(n, DIMS)
+    spec = JoinSpec(epsilon=EPSILON)
+    sink = PairCounter()
+    started = time.perf_counter()
+    result = algorithm(points, spec, sink=sink)
+    elapsed = time.perf_counter() - started
+    return {
+        "seconds": elapsed,
+        "build": result.build_seconds,
+        "join": result.join_seconds,
+        "pairs": sink.count,
+        "distance_computations": result.stats.distance_computations,
+        "node_pairs": result.stats.node_pairs_visited,
+    }
+
+
+@pytest.mark.parametrize("n", SIZES)
+@pytest.mark.parametrize("algorithm", list(ALGORITHMS))
+def test_e11_build_cost(benchmark, algorithm, n):
+    benchmark.group = f"E11 build vs join cost (d={DIMS}, eps={EPSILON}) N={n}"
+
+    def run():
+        return measure(ALGORITHMS[algorithm], n)
+
+    row = benchmark.pedantic(run, rounds=1, iterations=1)
+    attach_info(benchmark, row)
+    benchmark.extra_info["build_seconds"] = row["build"]
+    benchmark.extra_info["join_seconds"] = row["join"]
+
+
+def run_experiment():
+    table = Table(
+        f"E11: index build vs join traversal time (clusters, d={DIMS}, "
+        f"eps={EPSILON})",
+        ["N", "algorithm", "build", "join", "build share"],
+    )
+    for n in SIZES:
+        for name, algorithm in ALGORITHMS.items():
+            row = measure(algorithm, n)
+            total = row["build"] + row["join"]
+            table.add_row(
+                n,
+                name,
+                format_seconds(row["build"]),
+                format_seconds(row["join"]),
+                f"{row['build'] / total:.0%}" if total else "-",
+            )
+    return table
+
+
+if __name__ == "__main__":
+    run_experiment().print()

@@ -1,0 +1,98 @@
+"""E12 (supplementary) — feature-filter quality for sequence matching.
+
+The similar-time-sequences pipeline joins DFT feature vectors and
+verifies candidates against the true sequence distance.  This experiment
+sweeps the number of kept coefficients and reports the classic
+candidate-ratio curve: few coefficients give a loose filter (many false
+positives to verify) but a cheap low-dimensional join; more coefficients
+tighten the filter at higher join dimensionality.  False dismissals must
+be zero everywhere (the Parseval bound; asserted by a test below).
+"""
+
+import time
+
+import pytest
+
+from _harness import scale
+from repro.analysis import Table, format_seconds, format_si
+from repro.apps.sequences import find_similar_sequences
+from repro.datasets import random_walk_series
+
+SERIES = scale(3000)
+LENGTH = 128
+EPSILON = 5.0
+COEFFICIENTS = [2, 4, 8, 16, 32]
+
+
+def dataset():
+    return random_walk_series(
+        SERIES, LENGTH, families=15, family_mix=0.75, seed=2024
+    )
+
+
+@pytest.mark.parametrize("coefficients", COEFFICIENTS)
+def test_e12_filter_sweep(benchmark, coefficients):
+    series = dataset()
+    benchmark.group = (
+        f"E12 sequence-filter quality (N={SERIES}, len={LENGTH}, "
+        f"eps={EPSILON})"
+    )
+
+    def run():
+        result = find_similar_sequences(
+            series, epsilon=EPSILON, coefficients=coefficients
+        )
+        return result
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    benchmark.extra_info["candidates"] = result.candidates
+    benchmark.extra_info["matches"] = result.matches
+    benchmark.extra_info["candidate_ratio"] = round(result.candidate_ratio, 2)
+
+
+def test_e12_no_false_dismissals():
+    """Every coefficient count returns exactly the same verified set."""
+    series = random_walk_series(600, LENGTH, families=8, family_mix=0.75, seed=7)
+    reference = None
+    for coefficients in COEFFICIENTS:
+        result = find_similar_sequences(
+            series, epsilon=EPSILON, coefficients=coefficients
+        )
+        pairs = [tuple(p) for p in result.pairs]
+        if reference is None:
+            reference = pairs
+        assert pairs == reference
+
+
+def run_experiment():
+    series = dataset()
+    table = Table(
+        f"E12: DFT filter quality for sequence matching "
+        f"(N={SERIES}, len={LENGTH}, eps={EPSILON})",
+        ["coefficients", "join dims", "time", "candidates", "matches",
+         "candidate ratio"],
+    )
+    for coefficients in COEFFICIENTS:
+        started = time.perf_counter()
+        result = find_similar_sequences(
+            series, epsilon=EPSILON, coefficients=coefficients
+        )
+        elapsed = time.perf_counter() - started
+        ratio = (
+            f"{result.candidate_ratio:.2f}"
+            if result.matches
+            else "-"
+        )
+        table.add_row(
+            coefficients,
+            2 * coefficients,
+            format_seconds(elapsed),
+            format_si(result.candidates),
+            format_si(result.matches),
+            ratio,
+        )
+    return table
+
+
+if __name__ == "__main__":
+    run_experiment().print()

@@ -1,0 +1,100 @@
+"""E13 (supplementary) — asymmetric joins: |R| much smaller than |S|.
+
+Three strategies exist for R joined with S: build-and-traverse both
+(the synchronized eps-kdB / R-tree joins), or index S once and probe it
+per point of R (index-nested-loop).  This experiment fixes |S| and
+shrinks |R| across three orders of magnitude: the synchronized joins pay
+for both sides regardless of |R|, while the nested loop's cost tracks
+|R| — so a crossover appears as R shrinks, which is why real systems
+keep both plans.
+"""
+
+import time
+
+import pytest
+
+from _harness import clustered, scale
+from repro import JoinSpec, PairCounter
+from repro.analysis import Table, format_seconds, format_si
+from repro.baselines import index_nested_loop_join, rtree_join
+from repro.core import epsilon_kdb_join
+
+N_S = scale(10000)
+DIMS = 12
+EPSILON = 0.08
+R_SIZES = [scale(50), scale(500), scale(2500), scale(10000)]
+
+ALGORITHMS = {
+    "eps-kdB (sync)": epsilon_kdb_join,
+    "R-tree (sync)": rtree_join,
+    "index-nested-loop": index_nested_loop_join,
+}
+
+
+def make_sides(n_r: int):
+    base = clustered(N_S, DIMS, seed=4)
+    probe = clustered(max(n_r, 4), DIMS, seed=4) + 0.003
+    return probe[:n_r], base
+
+
+def measure(algorithm, probe, base, spec):
+    sink = PairCounter()
+    started = time.perf_counter()
+    result = algorithm(probe, base, spec, sink=sink)
+    elapsed = time.perf_counter() - started
+    return {
+        "seconds": elapsed,
+        "pairs": sink.count,
+        "distance_computations": result.stats.distance_computations,
+        "node_pairs": result.stats.node_pairs_visited,
+    }
+
+
+@pytest.mark.parametrize("n_r", R_SIZES)
+@pytest.mark.parametrize("algorithm", list(ALGORITHMS))
+def test_e13_asymmetry_sweep(benchmark, algorithm, n_r):
+    probe, base = make_sides(n_r)
+    spec = JoinSpec(epsilon=EPSILON)
+    benchmark.group = f"E13 asymmetric join (|S|={N_S}, d={DIMS}) |R|={n_r}"
+
+    def run():
+        return measure(ALGORITHMS[algorithm], probe, base, spec)
+
+    row = benchmark.pedantic(run, rounds=1, iterations=1)
+    benchmark.extra_info["pairs"] = row["pairs"]
+
+
+def test_e13_all_strategies_agree():
+    probe, base = make_sides(scale(300))
+    spec = JoinSpec(epsilon=EPSILON)
+    reference = None
+    for algorithm in ALGORITHMS.values():
+        pairs = algorithm(probe, base, spec).pairs
+        if reference is None:
+            reference = pairs
+        assert pairs.shape == reference.shape and (pairs == reference).all()
+
+
+def run_experiment():
+    table = Table(
+        f"E13: two-set join strategies vs |R| (|S|={N_S}, d={DIMS}, "
+        f"eps={EPSILON})",
+        ["|R|", *[f"{a} time" for a in ALGORITHMS], "pairs"],
+    )
+    spec = JoinSpec(epsilon=EPSILON)
+    for n_r in R_SIZES:
+        probe, base = make_sides(n_r)
+        rows = {
+            name: measure(fn, probe, base, spec)
+            for name, fn in ALGORITHMS.items()
+        }
+        table.add_row(
+            n_r,
+            *[format_seconds(rows[name]["seconds"]) for name in ALGORITHMS],
+            format_si(next(iter(rows.values()))["pairs"]),
+        )
+    return table
+
+
+if __name__ == "__main__":
+    run_experiment().print()

@@ -1,0 +1,58 @@
+"""E1 — Self-join time vs epsilon (the paper's headline comparison).
+
+Gaussian-cluster workload, fixed N and d, epsilon swept over an order of
+magnitude.  Published shape: the eps-kdB tree wins across the sweep
+(several-fold over the R-tree join); sort-merge is competitive only at
+the smallest epsilon and falls behind by a growing factor as epsilon
+(and output) grows; brute force is flat in epsilon and worst.
+"""
+
+import pytest
+
+from _harness import (
+    SELF_JOIN_ALGORITHMS,
+    attach_info,
+    clustered,
+    measure_row,
+    scale,
+    series_table,
+)
+from repro import JoinSpec
+
+N = scale(6000)
+DIMS = 16
+EPSILONS = [0.05, 0.1, 0.2, 0.3]
+
+
+@pytest.mark.parametrize("eps", EPSILONS)
+@pytest.mark.parametrize("algorithm", list(SELF_JOIN_ALGORITHMS))
+def test_e1_epsilon_sweep(benchmark, algorithm, eps):
+    points = clustered(N, DIMS)
+    spec = JoinSpec(epsilon=eps)
+    benchmark.group = f"E1 self-join time vs eps (N={N}, d={DIMS}) eps={eps}"
+
+    def run():
+        return measure_row(SELF_JOIN_ALGORITHMS[algorithm], points, spec)
+
+    row = benchmark.pedantic(run, rounds=1, iterations=1)
+    attach_info(benchmark, row)
+
+
+def run_experiment():
+    points = clustered(N, DIMS)
+    rows = {}
+    for eps in EPSILONS:
+        spec = JoinSpec(epsilon=eps)
+        rows[eps] = {
+            name: measure_row(fn, points, spec)
+            for name, fn in SELF_JOIN_ALGORITHMS.items()
+        }
+    return series_table(
+        f"E1: self-join time vs epsilon (clusters, N={N}, d={DIMS})",
+        "eps",
+        rows,
+    )
+
+
+if __name__ == "__main__":
+    run_experiment().print()

@@ -1,0 +1,67 @@
+"""E2 — Self-join time vs dimensionality (curse of dimensionality).
+
+Gaussian-cluster workload at every dimensionality, with epsilon scaled as
+``0.1 * sqrt(d / 16)`` so the threshold tracks how L2 distances grow with
+dimension (keeping the *geometry* of the query comparable; the output
+still thins out with d, which is the curse itself and is reported in the
+pairs column).  Published shape: the eps-kdB tree stays near-flat in d —
+the leaf threshold means only the first few dimensions are ever split —
+while the R-tree join and especially sort-merge grow steadily; the gap
+over sort-merge widens by an order of magnitude across the sweep.
+"""
+
+import pytest
+
+from _harness import attach_info, clustered, measure_row, scale, series_table
+from repro import JoinSpec
+from repro.baselines import rplus_self_join, rtree_self_join, sort_merge_self_join
+from repro.core import epsilon_kdb_self_join
+
+N = scale(6000)
+DIMENSIONS = [4, 8, 16, 24, 32]
+
+ALGORITHMS = {
+    "eps-kdB": epsilon_kdb_self_join,
+    "R+-tree": rplus_self_join,
+    "R-tree": rtree_self_join,
+    "sort-merge": sort_merge_self_join,
+}
+
+
+def epsilon_for(dims: int) -> float:
+    return 0.1 * (dims / 16.0) ** 0.5
+
+
+@pytest.mark.parametrize("dims", DIMENSIONS)
+@pytest.mark.parametrize("algorithm", list(ALGORITHMS))
+def test_e2_dimensionality_sweep(benchmark, algorithm, dims):
+    points = clustered(N, dims)
+    spec = JoinSpec(epsilon=epsilon_for(dims))
+    benchmark.group = f"E2 time vs dimensionality (N={N}) d={dims}"
+
+    def run():
+        return measure_row(ALGORITHMS[algorithm], points, spec)
+
+    row = benchmark.pedantic(run, rounds=1, iterations=1)
+    attach_info(benchmark, row)
+
+
+def run_experiment():
+    rows = {}
+    for dims in DIMENSIONS:
+        points = clustered(N, dims)
+        spec = JoinSpec(epsilon=epsilon_for(dims))
+        rows[f"d={dims} eps={spec.epsilon:.3f}"] = {
+            name: measure_row(fn, points, spec)
+            for name, fn in ALGORITHMS.items()
+        }
+    return series_table(
+        f"E2: self-join time vs dimensionality (clusters, N={N}, "
+        "eps scaled with sqrt(d))",
+        "sweep",
+        rows,
+    )
+
+
+if __name__ == "__main__":
+    run_experiment().print()

@@ -1,0 +1,69 @@
+"""E3 — Scale-up: self-join time vs number of points.
+
+Gaussian-cluster workload at fixed d and epsilon, N swept geometrically.
+Published shape: the eps-kdB tree grows near-linearly (plus the output
+term); the R-tree join and sort-merge grow visibly faster; brute force is
+quadratic and only competitive at the smallest sizes.
+"""
+
+import pytest
+
+from _harness import (
+    attach_info,
+    clustered,
+    measure_row,
+    scale,
+    series_table,
+)
+from repro import JoinSpec
+from repro.baselines import (
+    brute_force_self_join,
+    rtree_self_join,
+    sort_merge_self_join,
+)
+from repro.core import epsilon_kdb_self_join
+
+SIZES = [scale(2000), scale(4000), scale(8000), scale(16000)]
+DIMS = 16
+EPSILON = 0.1
+
+ALGORITHMS = {
+    "eps-kdB": epsilon_kdb_self_join,
+    "R-tree": rtree_self_join,
+    "sort-merge": sort_merge_self_join,
+    "brute-force": brute_force_self_join,
+}
+
+
+@pytest.mark.parametrize("n", SIZES)
+@pytest.mark.parametrize("algorithm", list(ALGORITHMS))
+def test_e3_scaleup_sweep(benchmark, algorithm, n):
+    points = clustered(n, DIMS)
+    spec = JoinSpec(epsilon=EPSILON)
+    benchmark.group = f"E3 time vs N (d={DIMS}, eps={EPSILON}) N={n}"
+
+    def run():
+        return measure_row(ALGORITHMS[algorithm], points, spec)
+
+    row = benchmark.pedantic(run, rounds=1, iterations=1)
+    attach_info(benchmark, row)
+
+
+def run_experiment():
+    rows = {}
+    for n in SIZES:
+        points = clustered(n, DIMS)
+        spec = JoinSpec(epsilon=EPSILON)
+        rows[n] = {
+            name: measure_row(fn, points, spec)
+            for name, fn in ALGORITHMS.items()
+        }
+    return series_table(
+        f"E3: self-join time vs N (clusters, d={DIMS}, eps={EPSILON})",
+        "N",
+        rows,
+    )
+
+
+if __name__ == "__main__":
+    run_experiment().print()

@@ -1,0 +1,60 @@
+"""E4 — Sensitivity of the eps-kdB tree to the leaf split threshold.
+
+Published shape: a U-shaped curve with a broad flat optimum — tiny leaves
+pay per-node traversal overhead and deep trees, huge leaves degrade the
+leaf sort-merge toward quadratic; anywhere in the wide middle works,
+which is why the paper treats the threshold as a non-critical knob.
+"""
+
+import pytest
+
+from _harness import attach_info, clustered, measure_row, scale
+from repro import JoinSpec
+from repro.analysis import Table, format_seconds, format_si
+from repro.core import epsilon_kdb_self_join
+from repro.core.epsilon_kdb import EpsilonKdbTree
+
+N = scale(8000)
+DIMS = 16
+EPSILON = 0.1
+LEAF_SIZES = [16, 64, 256, 1024, 4096]
+
+
+@pytest.mark.parametrize("leaf_size", LEAF_SIZES)
+def test_e4_leaf_size_sweep(benchmark, leaf_size):
+    points = clustered(N, DIMS)
+    spec = JoinSpec(epsilon=EPSILON, leaf_size=leaf_size)
+    benchmark.group = f"E4 eps-kdB leaf threshold (N={N}, d={DIMS})"
+
+    def run():
+        return measure_row(epsilon_kdb_self_join, points, spec)
+
+    row = benchmark.pedantic(run, rounds=1, iterations=1)
+    attach_info(benchmark, row)
+
+
+def run_experiment():
+    points = clustered(N, DIMS)
+    table = Table(
+        f"E4: eps-kdB time vs leaf threshold (clusters, N={N}, d={DIMS}, "
+        f"eps={EPSILON})",
+        ["leaf_size", "time", "dist comps", "tree depth", "leaves", "pairs"],
+    )
+    for leaf_size in LEAF_SIZES:
+        spec = JoinSpec(epsilon=EPSILON, leaf_size=leaf_size)
+        tree = EpsilonKdbTree.build(points, spec)
+        info = tree.describe()
+        row = measure_row(epsilon_kdb_self_join, points, spec)
+        table.add_row(
+            leaf_size,
+            format_seconds(row["seconds"]),
+            format_si(row["distance_computations"]),
+            info.max_depth,
+            info.leaves,
+            format_si(row["pairs"]),
+        )
+    return table
+
+
+if __name__ == "__main__":
+    run_experiment().print()

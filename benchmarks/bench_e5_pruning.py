@@ -1,0 +1,98 @@
+"""E5 — Pruning efficiency: distance computations instead of seconds.
+
+The machine-independent counterpart of E1/E2: how many full distance
+computations each algorithm performs across the epsilon and
+dimensionality sweeps.  Published shape: the eps-kdB tree evaluates
+orders of magnitude fewer candidates than brute force and materially
+fewer than the R-tree join, with the gap widening in high dimensions
+where MBR pruning stops working.
+"""
+
+import pytest
+
+from _harness import (
+    attach_info,
+    clustered,
+    measure_row,
+    scale,
+    uniform,
+)
+from repro import JoinSpec
+from repro.analysis import Table, format_si
+from repro.analysis.stats import epsilon_for_selectivity
+from repro.baselines import (
+    brute_force_self_join,
+    rtree_self_join,
+    sort_merge_self_join,
+)
+from repro.core import epsilon_kdb_self_join
+
+N = scale(6000)
+DIMS = 16
+EPSILONS = [0.02, 0.05, 0.1, 0.2]
+DIMENSIONS = [4, 8, 16, 32]
+
+ALGORITHMS = {
+    "eps-kdB": epsilon_kdb_self_join,
+    "R-tree": rtree_self_join,
+    "sort-merge": sort_merge_self_join,
+    "brute-force": brute_force_self_join,
+}
+
+
+@pytest.mark.parametrize("eps", EPSILONS)
+@pytest.mark.parametrize("algorithm", ["eps-kdB", "R-tree", "sort-merge"])
+def test_e5_candidates_vs_epsilon(benchmark, algorithm, eps):
+    points = clustered(N, DIMS)
+    spec = JoinSpec(epsilon=eps)
+    benchmark.group = f"E5 distance computations vs eps (N={N}, d={DIMS}) eps={eps}"
+
+    def run():
+        return measure_row(ALGORITHMS[algorithm], points, spec)
+
+    row = benchmark.pedantic(run, rounds=1, iterations=1)
+    attach_info(benchmark, row)
+
+
+def run_experiment():
+    points = clustered(N, DIMS)
+    eps_table = Table(
+        f"E5a: distance computations vs epsilon (clusters, N={N}, d={DIMS})",
+        ["eps", *ALGORITHMS, "pairs"],
+    )
+    for eps in EPSILONS:
+        spec = JoinSpec(epsilon=eps)
+        rows = {
+            name: measure_row(fn, points, spec)
+            for name, fn in ALGORITHMS.items()
+        }
+        eps_table.add_row(
+            eps,
+            *[format_si(rows[name]["distance_computations"]) for name in ALGORITHMS],
+            format_si(next(iter(rows.values()))["pairs"]),
+        )
+
+    dim_table = Table(
+        f"E5b: distance computations vs dimensionality (uniform, N={N}, "
+        "constant-selectivity eps)",
+        ["d", *ALGORITHMS, "pairs"],
+    )
+    for dims in DIMENSIONS:
+        eps = min(0.9, epsilon_for_selectivity(1e-6, dims, "l2"))
+        spec = JoinSpec(epsilon=eps)
+        data = uniform(N, dims)
+        rows = {
+            name: measure_row(fn, data, spec)
+            for name, fn in ALGORITHMS.items()
+        }
+        dim_table.add_row(
+            dims,
+            *[format_si(rows[name]["distance_computations"]) for name in ALGORITHMS],
+            format_si(next(iter(rows.values()))["pairs"]),
+        )
+    return eps_table, dim_table
+
+
+if __name__ == "__main__":
+    for table in run_experiment():
+        table.print()

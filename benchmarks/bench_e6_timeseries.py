@@ -1,0 +1,67 @@
+"""E6 — The "similar time sequences" workload.
+
+Random-walk price series reduced to DFT feature vectors (the substitute
+for the paper's proprietary stock data; DESIGN.md section 5), self-joined
+at thresholds spanning loose to tight similarity.  Published shape: the
+same algorithm ranking as on synthetic data carries over to the feature
+workload — the eps-kdB tree wins, the R-tree join trails, sort-merge
+falls off as the threshold loosens.
+"""
+
+import pytest
+
+from _harness import (
+    attach_info,
+    measure_row,
+    scale,
+    series_table,
+    timeseries,
+)
+from repro import JoinSpec
+from repro.baselines import rtree_self_join, sort_merge_self_join
+from repro.core import epsilon_kdb_self_join
+
+N = scale(6000)
+COEFFICIENTS = 8  # -> 16-dimensional feature vectors
+EPSILONS = [0.5, 0.7, 0.9, 1.1]
+
+ALGORITHMS = {
+    "eps-kdB": epsilon_kdb_self_join,
+    "R-tree": rtree_self_join,
+    "sort-merge": sort_merge_self_join,
+}
+
+
+@pytest.mark.parametrize("eps", EPSILONS)
+@pytest.mark.parametrize("algorithm", list(ALGORITHMS))
+def test_e6_timeseries_sweep(benchmark, algorithm, eps):
+    points = timeseries(N, COEFFICIENTS)
+    spec = JoinSpec(epsilon=eps)
+    benchmark.group = f"E6 time-sequence features (N={N}, d={2 * COEFFICIENTS}) eps={eps}"
+
+    def run():
+        return measure_row(ALGORITHMS[algorithm], points, spec)
+
+    row = benchmark.pedantic(run, rounds=1, iterations=1)
+    attach_info(benchmark, row)
+
+
+def run_experiment():
+    points = timeseries(N, COEFFICIENTS)
+    rows = {}
+    for eps in EPSILONS:
+        spec = JoinSpec(epsilon=eps)
+        rows[eps] = {
+            name: measure_row(fn, points, spec)
+            for name, fn in ALGORITHMS.items()
+        }
+    return series_table(
+        f"E6: similar time sequences via DFT features "
+        f"(N={N} series, d={2 * COEFFICIENTS})",
+        "eps",
+        rows,
+    )
+
+
+if __name__ == "__main__":
+    run_experiment().print()

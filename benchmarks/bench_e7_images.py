@@ -1,0 +1,66 @@
+"""E7 — The "similar images" workload.
+
+Synthetic color-histogram feature vectors (substitute for the paper's
+image collection; DESIGN.md section 5), self-joined under L1 — the
+conventional histogram-intersection-style metric — across histogram
+resolutions.  Published shape: the eps-kdB advantage persists, and grows
+with the number of color bins (dimensionality), exactly like E2.
+"""
+
+import pytest
+
+from _harness import attach_info, images, measure_row, scale
+from repro import JoinSpec
+from repro.analysis import Table, format_seconds, format_si
+from repro.baselines import rtree_self_join, sort_merge_self_join
+from repro.core import epsilon_kdb_self_join
+
+N = scale(6000)
+BIN_COUNTS = [16, 32, 64]
+EPSILON = 0.15  # L1 distance between unit-mass histograms
+METRIC = "l1"
+
+ALGORITHMS = {
+    "eps-kdB": epsilon_kdb_self_join,
+    "R-tree": rtree_self_join,
+    "sort-merge": sort_merge_self_join,
+}
+
+
+@pytest.mark.parametrize("bins", BIN_COUNTS)
+@pytest.mark.parametrize("algorithm", list(ALGORITHMS))
+def test_e7_images_sweep(benchmark, algorithm, bins):
+    points = images(N, bins)
+    spec = JoinSpec(epsilon=EPSILON, metric=METRIC)
+    benchmark.group = f"E7 image histograms (N={N}) bins={bins}"
+
+    def run():
+        return measure_row(ALGORITHMS[algorithm], points, spec)
+
+    row = benchmark.pedantic(run, rounds=1, iterations=1)
+    attach_info(benchmark, row)
+
+
+def run_experiment():
+    table = Table(
+        f"E7: similar images via color histograms "
+        f"(N={N}, L1, eps={EPSILON})",
+        ["bins", *[f"{a} time" for a in ALGORITHMS], "pairs"],
+    )
+    for bins in BIN_COUNTS:
+        points = images(N, bins)
+        spec = JoinSpec(epsilon=EPSILON, metric=METRIC)
+        rows = {
+            name: measure_row(fn, points, spec)
+            for name, fn in ALGORITHMS.items()
+        }
+        table.add_row(
+            bins,
+            *[format_seconds(rows[name]["seconds"]) for name in ALGORITHMS],
+            format_si(next(iter(rows.values()))["pairs"]),
+        )
+    return table
+
+
+if __name__ == "__main__":
+    run_experiment().print()

@@ -1,0 +1,92 @@
+"""E8 — Two-set (R joined with S) joins vs cluster overlap.
+
+Two clustered relations whose cluster layouts overlap by a controlled
+fraction.  Published shape: two-tree join cost tracks the overlap — with
+disjoint layouts the synchronized traversals prune almost everything;
+with identical layouts the cost approaches the self-join regime — and the
+eps-kdB join beats the R-tree join throughout.
+"""
+
+import numpy as np
+import pytest
+
+from _harness import attach_info, scale
+from repro import JoinSpec, PairCounter
+from repro.analysis import Table, format_seconds, format_si
+from repro.baselines import rtree_join
+from repro.core import epsilon_kdb_join
+from repro.datasets import gaussian_clusters
+
+N_R = scale(6000)
+N_S = scale(6000)
+DIMS = 16
+EPSILON = 0.1
+OVERLAPS = [0.0, 0.25, 0.5, 1.0]
+
+ALGORITHMS = {"eps-kdB": epsilon_kdb_join, "R-tree": rtree_join}
+
+
+def make_pair(overlap: float):
+    """R and an S whose points come from R's cluster layout with
+    probability ``overlap`` and from a disjoint layout otherwise."""
+    left = gaussian_clusters(N_R, DIMS, clusters=10, sigma=0.05, seed=100)
+    shared = gaussian_clusters(N_S, DIMS, clusters=10, sigma=0.05, seed=100)
+    disjoint = gaussian_clusters(N_S, DIMS, clusters=10, sigma=0.05, seed=200)
+    rng = np.random.default_rng(300)
+    take_shared = rng.random(N_S) < overlap
+    right = np.where(take_shared[:, None], shared, disjoint)
+    return left, right
+
+
+def measure(algorithm, left, right, spec):
+    import time
+
+    sink = PairCounter()
+    started = time.perf_counter()
+    result = algorithm(left, right, spec, sink=sink)
+    elapsed = time.perf_counter() - started
+    return {
+        "seconds": elapsed,
+        "pairs": result.stats.pairs_emitted,
+        "distance_computations": result.stats.distance_computations,
+        "node_pairs": result.stats.node_pairs_visited,
+    }
+
+
+@pytest.mark.parametrize("overlap", OVERLAPS)
+@pytest.mark.parametrize("algorithm", list(ALGORITHMS))
+def test_e8_overlap_sweep(benchmark, algorithm, overlap):
+    left, right = make_pair(overlap)
+    spec = JoinSpec(epsilon=EPSILON)
+    benchmark.group = f"E8 two-set join (N={N_R}x{N_S}, d={DIMS}) overlap={overlap}"
+
+    def run():
+        return measure(ALGORITHMS[algorithm], left, right, spec)
+
+    row = benchmark.pedantic(run, rounds=1, iterations=1)
+    attach_info(benchmark, row)
+
+
+def run_experiment():
+    table = Table(
+        f"E8: two-set join time vs cluster overlap "
+        f"(N={N_R}x{N_S}, d={DIMS}, eps={EPSILON})",
+        ["overlap", *[f"{a} time" for a in ALGORITHMS], "pairs"],
+    )
+    spec = JoinSpec(epsilon=EPSILON)
+    for overlap in OVERLAPS:
+        left, right = make_pair(overlap)
+        rows = {
+            name: measure(fn, left, right, spec)
+            for name, fn in ALGORITHMS.items()
+        }
+        table.add_row(
+            overlap,
+            *[format_seconds(rows[name]["seconds"]) for name in ALGORITHMS],
+            format_si(next(iter(rows.values()))["pairs"]),
+        )
+    return table
+
+
+if __name__ == "__main__":
+    run_experiment().print()

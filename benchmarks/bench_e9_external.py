@@ -1,0 +1,93 @@
+"""E9 — External-memory join: I/O and time vs memory budget.
+
+The striped eps-kdB join over the simulated paged disk, with the memory
+budget swept from a few percent of the relation to all of it.  Published
+shape: page I/O stays within a small constant number of sequential passes
+for moderate budgets (stripe + neighbor-band reads on top of the fixed
+histogram/partition passes) and grows gently as the budget shrinks, while
+the join output is identical throughout.
+"""
+
+import pytest
+
+from _harness import attach_info, clustered, scale
+from repro import JoinSpec, PairCounter, external_self_join
+from repro.analysis import Table, format_seconds, format_si
+from repro.storage import PageStore
+
+N = scale(20000)
+DIMS = 8
+EPSILON = 0.05
+PAGE_ROWS = 256
+BUDGET_FRACTIONS = [0.02, 0.05, 0.1, 0.25, 1.0]
+
+
+def measure(budget_fraction: float):
+    import time
+
+    points = clustered(N, DIMS)
+    budget = max(64, int(N * budget_fraction))
+    store = PageStore(page_rows=PAGE_ROWS)
+    sink = PairCounter()
+    spec = JoinSpec(epsilon=EPSILON)
+    started = time.perf_counter()
+    report = external_self_join(
+        points, spec, memory_points=budget, store=store, sink=sink
+    )
+    elapsed = time.perf_counter() - started
+    return report, elapsed, budget
+
+
+@pytest.mark.parametrize("fraction", BUDGET_FRACTIONS)
+def test_e9_budget_sweep(benchmark, fraction):
+    benchmark.group = f"E9 external join (N={N}, d={DIMS}, page={PAGE_ROWS})"
+
+    def run():
+        report, elapsed, budget = measure(fraction)
+        return {
+            "seconds": elapsed,
+            "pairs": report.stats.pairs_emitted,
+            "distance_computations": report.stats.distance_computations,
+            "node_pairs": report.stats.node_pairs_visited,
+            "pages_read": report.io.reads,
+            "pages_written": report.io.writes,
+            "stripes": report.stripes,
+        }
+
+    row = benchmark.pedantic(run, rounds=1, iterations=1)
+    attach_info(benchmark, row)
+    benchmark.extra_info["pages_read"] = row["pages_read"]
+    benchmark.extra_info["stripes"] = row["stripes"]
+
+
+def run_experiment():
+    data_pages = -(-N // PAGE_ROWS)
+    table = Table(
+        f"E9: external eps-kdB join vs memory budget "
+        f"(N={N}, d={DIMS}, eps={EPSILON}, {data_pages} data pages)",
+        [
+            "budget",
+            "stripes",
+            "pages read",
+            "read passes",
+            "pages written",
+            "time",
+            "pairs",
+        ],
+    )
+    for fraction in BUDGET_FRACTIONS:
+        report, elapsed, budget = measure(fraction)
+        table.add_row(
+            f"{fraction:.0%}",
+            report.stripes,
+            report.io.reads,
+            f"{report.io.reads / data_pages:.2f}x",
+            report.io.writes,
+            format_seconds(elapsed),
+            format_si(report.stats.pairs_emitted),
+        )
+    return table
+
+
+if __name__ == "__main__":
+    run_experiment().print()

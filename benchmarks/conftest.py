@@ -1,0 +1,10 @@
+"""Pytest wiring for the benchmark suite.
+
+Makes the shared harness importable and registers session-scoped
+workload fixtures so dataset generation is not billed to any benchmark.
+"""
+
+import os
+import sys
+
+sys.path.insert(0, os.path.dirname(__file__))

@@ -1,0 +1,53 @@
+"""Run every experiment E1..E10 in script mode and print its table.
+
+Usage::
+
+    python benchmarks/run_all.py            # fast scale
+    REPRO_BENCH_SCALE=3 python benchmarks/run_all.py
+
+This is the command whose output EXPERIMENTS.md records.
+"""
+
+from __future__ import annotations
+
+import importlib
+import os
+import sys
+import time
+
+sys.path.insert(0, os.path.dirname(__file__))
+
+EXPERIMENTS = [
+    "bench_e1_epsilon",
+    "bench_e2_dimensionality",
+    "bench_e3_scaleup",
+    "bench_e4_leafsize",
+    "bench_e5_pruning",
+    "bench_e6_timeseries",
+    "bench_e7_images",
+    "bench_e8_two_set",
+    "bench_e9_external",
+    "bench_e10_ablations",
+    "bench_e11_build_cost",
+    "bench_e12_filter_quality",
+    "bench_e13_asymmetric",
+]
+
+
+def main() -> int:
+    total_started = time.perf_counter()
+    for name in EXPERIMENTS:
+        module = importlib.import_module(name)
+        started = time.perf_counter()
+        outcome = module.run_experiment()
+        elapsed = time.perf_counter() - started
+        tables = outcome if isinstance(outcome, tuple) else (outcome,)
+        for table in tables:
+            table.print()
+        print(f"[{name} completed in {elapsed:.1f}s]")
+    print(f"\nAll experiments done in {time.perf_counter() - total_started:.1f}s")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,57 @@
+"""Joining a relation larger than memory.
+
+The paper's external variant: the relation lives on (simulated) disk,
+memory holds only a small fraction of it, and the join runs stripe by
+stripe over the first dimension.  The report shows that the price of the
+memory constraint is a handful of sequential passes — not a blow-up —
+and the result is identical to the in-memory join.
+
+Run with::
+
+    python examples/external_memory_join.py
+"""
+
+from repro import JoinSpec, epsilon_kdb_self_join, external_self_join
+from repro.datasets import gaussian_clusters
+from repro.storage import PageStore
+
+POINTS = 50_000
+DIMS = 8
+EPSILON = 0.04
+MEMORY_FRACTION = 0.25  # hold only a quarter of the relation in memory
+PAGE_ROWS = 256
+
+
+def main() -> None:
+    points = gaussian_clusters(POINTS, DIMS, clusters=15, sigma=0.05, seed=3)
+    budget = int(POINTS * MEMORY_FRACTION)
+    store = PageStore(page_rows=PAGE_ROWS)
+
+    print(
+        f"external self-join of {POINTS} points (d={DIMS}) with memory for "
+        f"only {budget} points ({MEMORY_FRACTION:.0%})..."
+    )
+    report = external_self_join(
+        points, JoinSpec(epsilon=EPSILON), memory_points=budget, store=store
+    )
+
+    data_pages = -(-POINTS // PAGE_ROWS)
+    print(f"stripes:        {report.stripes}")
+    print(f"peak memory:    {report.peak_memory_points} points "
+          f"(budget respected: {report.budget_respected})")
+    print(f"pages read:     {report.io.reads} "
+          f"({report.io.reads / data_pages:.2f}x the relation)")
+    print(f"pages written:  {report.io.writes}")
+    print(f"pairs found:    {report.stats.pairs_emitted}")
+
+    # Sanity: identical to the in-memory join.
+    in_memory = epsilon_kdb_self_join(points, JoinSpec(epsilon=EPSILON))
+    same = (
+        report.pairs.shape == in_memory.pairs.shape
+        and (report.pairs == in_memory.pairs).all()
+    )
+    print(f"matches the in-memory join exactly: {same}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,68 @@
+"""Near-duplicate image detection via color-histogram joins.
+
+The second application the paper motivates: every image is a color
+histogram over b bins; two images are near-duplicates when their
+histograms are within epsilon under L1.  This example joins a synthetic
+collection whose ground-truth scene labels are known, so the join's
+precision (fraction of reported pairs that really are the same scene) is
+measurable.
+
+Run with::
+
+    python examples/image_dedup.py
+"""
+
+import numpy as np
+
+from repro import find_duplicate_images
+from repro.datasets.images import color_histograms
+
+IMAGES = 6_000
+BINS = 32
+SCENES = 15
+EPSILON = 0.12
+
+
+def main() -> None:
+    histograms, labels = color_histograms(
+        IMAGES,
+        bins=BINS,
+        scenes=SCENES,
+        concentration=120.0,
+        seed=42,
+        return_labels=True,
+    )
+
+    print(f"joining {IMAGES} {BINS}-bin histograms at L1 eps={EPSILON}...")
+    result = find_duplicate_images(histograms, epsilon=EPSILON, metric="l1")
+    pairs = result.pairs
+    print(f"found {len(pairs)} near-duplicate pairs")
+    if len(pairs) == 0:
+        print("no pairs; loosen EPSILON")
+        return
+
+    same_scene = labels[pairs[:, 0]] == labels[pairs[:, 1]]
+    precision = float(same_scene.mean())
+    base_rate = float(np.mean(labels[:, None] == labels[None, :200]))
+    print(
+        f"precision (same ground-truth scene): {precision:.1%} "
+        f"(random-pair base rate ~{base_rate:.1%})"
+    )
+
+    # The output a curator would act on: duplicate groups, largest first.
+    print(
+        f"{len(result.groups)} duplicate groups covering "
+        f"{result.duplicate_images} images; largest:"
+    )
+    for group in result.groups[:5]:
+        scenes = sorted(set(labels[group]))
+        preview = ", ".join(str(i) for i in group[:6])
+        suffix = ", ..." if len(group) > 6 else ""
+        print(
+            f"  {len(group):4d} images (scene {scenes}): "
+            f"[{preview}{suffix}]"
+        )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,89 @@
+"""Finding similar time sequences — the paper's motivating application.
+
+Uses the end-to-end pipeline in ``repro.apps.sequences`` (the classic
+similar-sequences recipe):
+
+1. generate a universe of stock-like price series (random walks with a
+   sector structure, standing in for proprietary market data);
+2. z-normalize each series and keep its leading DFT coefficients — a
+   feature space whose distances provably lower-bound the true
+   sequence distance, so the join never misses a match;
+3. similarity-join the feature vectors with the eps-kdB tree;
+4. verify candidates against the true distance.
+
+The result is *exact*: every reported pair is within epsilon in
+z-normalized Euclidean distance over the full series. As a sanity check
+the example shows that matched pairs are strongly co-moving as raw
+return series, while random pairs are not.
+
+Run with::
+
+    python examples/timeseries_similarity.py
+"""
+
+import numpy as np
+
+from repro import find_similar_sequences
+from repro.datasets import random_walk_series
+
+SERIES = 4_000
+LENGTH = 256
+COEFFICIENTS = 8
+EPSILON = 8.0  # on z-normalized sequences of length 256
+
+
+def mean_return_correlation(series: np.ndarray, pairs: np.ndarray) -> float:
+    """Mean Pearson correlation of the paired raw return series."""
+    returns = np.diff(np.log(series), axis=1)
+    centered = returns - returns.mean(axis=1, keepdims=True)
+    norms = np.linalg.norm(centered, axis=1)
+    total = 0.0
+    for left, right in pairs:
+        total += float(
+            centered[left] @ centered[right] / (norms[left] * norms[right])
+        )
+    return total / len(pairs)
+
+
+def main() -> None:
+    print(f"generating {SERIES} price series of length {LENGTH}...")
+    series = random_walk_series(
+        SERIES, LENGTH, families=20, family_mix=0.8, drift=0.0, seed=123
+    )
+
+    result = find_similar_sequences(
+        series, epsilon=EPSILON, coefficients=COEFFICIENTS
+    )
+    print(
+        f"matched {result.matches} pairs "
+        f"(from {result.candidates} feature-join candidates; "
+        f"candidate ratio {result.candidate_ratio:.2f}, "
+        f"{result.join_stats.distance_computations} feature distance "
+        f"computations)"
+    )
+    if result.matches == 0:
+        print("no pairs at this threshold; try a larger EPSILON")
+        return
+    print(
+        f"match distances: min {result.distances.min():.2f}, "
+        f"median {np.median(result.distances):.2f}, "
+        f"max {result.distances.max():.2f} (threshold {EPSILON})"
+    )
+
+    matched = mean_return_correlation(series, result.pairs)
+    rng = np.random.default_rng(0)
+    random_pairs = np.column_stack(
+        [rng.integers(0, SERIES, 2000), rng.integers(0, SERIES, 2000)]
+    )
+    random_pairs = random_pairs[random_pairs[:, 0] != random_pairs[:, 1]]
+    baseline = mean_return_correlation(series, random_pairs)
+    print(
+        f"mean return correlation: matched pairs {matched:+.3f} "
+        f"vs random pairs {baseline:+.3f}"
+    )
+    if matched > baseline + 0.2:
+        print("similar-shape pairs are strongly co-moving series, as expected")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Setuptools shim.
+
+The project is configured in pyproject.toml; this file exists so that
+``pip install -e .`` also works on minimal environments that lack the
+``wheel`` package (legacy editable installs go through ``setup.py
+develop``, which does not build a wheel).
+"""
+
+from setuptools import setup
+
+setup()

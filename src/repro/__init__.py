@@ -1,0 +1,211 @@
+"""repro — high-dimensional similarity joins.
+
+A from-scratch reproduction of *"High Dimensional Similarity Joins:
+Algorithms and Performance Evaluation"*: the epsilon-kdB tree and its
+join algorithms, the baselines the paper evaluates against (R-tree
+spatial join, sort-merge, brute force, epsilon-grid), the synthetic and
+feature-vector workloads of its evaluation, and an external-memory
+variant over a simulated paged disk.
+
+Quickstart::
+
+    import numpy as np
+    from repro import similarity_join
+
+    points = np.random.default_rng(0).random((5000, 16))
+    pairs = similarity_join(points, epsilon=0.3)          # (n, 2) indices
+    pairs_rs = similarity_join(points, points2, epsilon=0.3)
+
+The full machinery (pre-built trees, counting sinks, statistics, the
+baselines) is available from the subpackages; see README.md.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Union
+
+import numpy as np
+
+from repro.apps import (
+    DuplicateGroups,
+    SequenceMatchResult,
+    find_duplicate_images,
+    find_similar_sequences,
+)
+from repro.baselines import (
+    RPlusTree,
+    RTree,
+    brute_force_join,
+    brute_force_self_join,
+    grid_join,
+    grid_self_join,
+    index_nested_loop_join,
+    rplus_join,
+    rplus_self_join,
+    rtree_join,
+    rtree_self_join,
+    sort_merge_join,
+    sort_merge_self_join,
+    zorder_join,
+    zorder_self_join,
+)
+from repro.core import (
+    EpsilonKdbTree,
+    ExternalJoinReport,
+    Grid,
+    JoinSpec,
+    JoinStats,
+    PairCollector,
+    PairCounter,
+    epsilon_kdb_join,
+    epsilon_kdb_self_join,
+    external_join,
+    external_self_join,
+)
+from repro.errors import (
+    DomainError,
+    InvalidParameterError,
+    ReproError,
+    StorageError,
+)
+from repro.metrics import (
+    L1,
+    L2,
+    LINF,
+    Metric,
+    WeightedLpMetric,
+    get_metric,
+    lp_metric,
+)
+
+__version__ = "1.0.0"
+
+#: Algorithm registry used by :func:`similarity_join` and the CLI.
+_SELF_JOIN_ALGORITHMS = {
+    "epsilon-kdb": epsilon_kdb_self_join,
+    "rtree": rtree_self_join,
+    "rplus": rplus_self_join,
+    "zorder": zorder_self_join,
+    "sort-merge": sort_merge_self_join,
+    "grid": grid_self_join,
+    "brute-force": brute_force_self_join,
+}
+
+_TWO_SET_ALGORITHMS = {
+    "epsilon-kdb": epsilon_kdb_join,
+    "rtree": rtree_join,
+    "rplus": rplus_join,
+    "zorder": zorder_join,
+    "index-nested-loop": index_nested_loop_join,
+    "sort-merge": sort_merge_join,
+    "grid": grid_join,
+    "brute-force": brute_force_join,
+}
+
+ALGORITHMS = tuple(_SELF_JOIN_ALGORITHMS)
+
+
+def similarity_join(
+    points: np.ndarray,
+    points2: Optional[np.ndarray] = None,
+    *,
+    epsilon: float,
+    metric: Union[str, float, Metric] = "l2",
+    algorithm: str = "epsilon-kdb",
+    leaf_size: int = 128,
+    return_result: bool = False,
+):
+    """Find all point pairs within ``epsilon`` of each other.
+
+    With one array, performs a self-join and returns an ``(m, 2)`` array
+    of index pairs ``i < j``.  With two arrays, performs an R-against-S
+    join and returns pairs ``(i, j)`` indexing the first and second array
+    respectively.
+
+    Args:
+        points: ``(n, d)`` array of points.
+        points2: optional second point set for a two-set join.
+        epsilon: join distance threshold (inclusive).
+        metric: ``"l1"``, ``"l2"``, ``"linf"``, a Minkowski order, or a
+            :class:`~repro.metrics.Metric` instance.
+        algorithm: one of ``"epsilon-kdb"`` (the paper's contribution,
+            default), ``"rplus"`` (the paper's R+-tree baseline),
+            ``"rtree"``, ``"zorder"``, ``"sort-merge"``, ``"grid"``,
+            ``"brute-force"``.
+        leaf_size: epsilon-kdB leaf split threshold (ignored by the
+            baselines).
+        return_result: when true, return the full
+            :class:`~repro.core.result.JoinResult` (pairs *and*
+            statistics) instead of just the pair array.
+
+    Returns:
+        ``(m, 2)`` int64 array of qualifying index pairs, or a
+        :class:`~repro.core.result.JoinResult` when ``return_result``.
+    """
+    spec = JoinSpec(epsilon=epsilon, metric=metric, leaf_size=leaf_size)
+    registry = _SELF_JOIN_ALGORITHMS if points2 is None else _TWO_SET_ALGORITHMS
+    try:
+        runner = registry[algorithm]
+    except KeyError:
+        raise InvalidParameterError(
+            f"unknown algorithm {algorithm!r}; expected one of "
+            f"{sorted(registry)}"
+        ) from None
+    if points2 is None:
+        result = runner(points, spec)
+    else:
+        result = runner(points, points2, spec)
+    return result if return_result else result.pairs
+
+
+__all__ = [
+    "__version__",
+    "similarity_join",
+    "ALGORITHMS",
+    # core
+    "JoinSpec",
+    "Grid",
+    "EpsilonKdbTree",
+    "epsilon_kdb_self_join",
+    "epsilon_kdb_join",
+    "external_self_join",
+    "external_join",
+    "ExternalJoinReport",
+    "PairCollector",
+    "PairCounter",
+    "JoinStats",
+    # baselines
+    "RTree",
+    "rtree_self_join",
+    "rtree_join",
+    "RPlusTree",
+    "rplus_self_join",
+    "rplus_join",
+    "zorder_self_join",
+    "zorder_join",
+    "index_nested_loop_join",
+    "sort_merge_self_join",
+    "sort_merge_join",
+    "grid_self_join",
+    "grid_join",
+    "brute_force_self_join",
+    "brute_force_join",
+    # applications
+    "find_similar_sequences",
+    "SequenceMatchResult",
+    "find_duplicate_images",
+    "DuplicateGroups",
+    # metrics
+    "Metric",
+    "WeightedLpMetric",
+    "L1",
+    "L2",
+    "LINF",
+    "lp_metric",
+    "get_metric",
+    # errors
+    "ReproError",
+    "InvalidParameterError",
+    "DomainError",
+    "StorageError",
+]

@@ -1,0 +1,37 @@
+"""Selectivity analysis, cost models and result reporting."""
+
+from repro.analysis.cost_model import (
+    predict_brute_force_candidates,
+    predict_kdb_candidates,
+    predict_sort_merge_candidates,
+    split_depth,
+)
+from repro.analysis.report import Table, format_seconds, format_si
+from repro.analysis.tuning import (
+    LeafSizeProbe,
+    probe_leaf_sizes,
+    recommend_leaf_size,
+)
+from repro.analysis.stats import (
+    ball_volume,
+    epsilon_for_selectivity,
+    estimate_selectivity,
+    expected_pairs_uniform,
+)
+
+__all__ = [
+    "ball_volume",
+    "expected_pairs_uniform",
+    "epsilon_for_selectivity",
+    "estimate_selectivity",
+    "predict_kdb_candidates",
+    "predict_sort_merge_candidates",
+    "predict_brute_force_candidates",
+    "split_depth",
+    "Table",
+    "format_si",
+    "format_seconds",
+    "LeafSizeProbe",
+    "probe_leaf_sizes",
+    "recommend_leaf_size",
+]

@@ -1,0 +1,68 @@
+"""Plain-text result tables.
+
+The benchmark harness prints the same rows/series the paper's figures
+plot; this module renders them as aligned fixed-width tables so the
+bench output is directly readable and diffable.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+
+def format_si(value: float) -> str:
+    """Human-scale a count: 12_400_000 -> '12.4M'."""
+    magnitude = abs(value)
+    for threshold, suffix in ((1e9, "G"), (1e6, "M"), (1e3, "k")):
+        if magnitude >= threshold:
+            return f"{value / threshold:.3g}{suffix}"
+    if value == int(value):
+        return str(int(value))
+    return f"{value:.3g}"
+
+
+def format_seconds(seconds: float) -> str:
+    """Render a duration with sensible units."""
+    if seconds < 1e-3:
+        return f"{seconds * 1e6:.0f}us"
+    if seconds < 1.0:
+        return f"{seconds * 1e3:.1f}ms"
+    return f"{seconds:.2f}s"
+
+
+class Table:
+    """Fixed-width table accumulating rows, rendered with a title."""
+
+    def __init__(self, title: str, columns: Sequence[str]):
+        self.title = title
+        self.columns = list(columns)
+        self.rows: List[List[str]] = []
+
+    def add_row(self, *cells) -> None:
+        if len(cells) != len(self.columns):
+            raise ValueError(
+                f"expected {len(self.columns)} cells, got {len(cells)}"
+            )
+        self.rows.append([str(cell) for cell in cells])
+
+    def render(self) -> str:
+        widths = [len(col) for col in self.columns]
+        for row in self.rows:
+            for k, cell in enumerate(row):
+                widths[k] = max(widths[k], len(cell))
+        lines = [self.title, ""]
+        header = "  ".join(
+            col.ljust(widths[k]) for k, col in enumerate(self.columns)
+        )
+        lines.append(header)
+        lines.append("  ".join("-" * w for w in widths))
+        for row in self.rows:
+            lines.append(
+                "  ".join(cell.rjust(widths[k]) for k, cell in enumerate(row))
+            )
+        return "\n".join(lines)
+
+    def print(self) -> None:
+        print()
+        print(self.render())
+        print()

@@ -1,0 +1,109 @@
+"""Join selectivity: analytic models and sampling estimators.
+
+Used by the benchmark harness for two things the paper's evaluation also
+needed: choosing per-dimension epsilon values that keep output size
+comparable across a dimensionality sweep (E2), and sanity-checking that a
+measured pair count is in the analytically expected range.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional, Union
+
+import numpy as np
+
+from repro.core.config import validate_points
+from repro.errors import InvalidParameterError
+from repro.metrics import LINF, L1, L2, Metric, get_metric
+
+
+def ball_volume(radius: float, dims: int, metric: Union[str, float, Metric] = "l2") -> float:
+    """Volume of an L_p ball of ``radius`` in ``dims`` dimensions.
+
+    Supports the three common metrics in closed form:
+
+    * L2: ``pi^(d/2) / Gamma(d/2 + 1) * r^d``
+    * L1 (cross-polytope): ``(2 r)^d / d!``
+    * L-infinity (cube): ``(2 r)^d``
+    """
+    if radius < 0:
+        raise InvalidParameterError(f"radius must be >= 0, got {radius}")
+    if dims < 1:
+        raise InvalidParameterError(f"dims must be >= 1, got {dims}")
+    metric = get_metric(metric)
+    if metric is LINF:
+        return (2.0 * radius) ** dims
+    if metric is L1:
+        return (2.0 * radius) ** dims / math.factorial(dims)
+    if metric is L2:
+        return (
+            math.pi ** (dims / 2.0)
+            / math.gamma(dims / 2.0 + 1.0)
+            * radius**dims
+        )
+    raise InvalidParameterError(
+        f"closed-form ball volume is available for l1/l2/linf, not {metric.name}"
+    )
+
+
+def expected_pairs_uniform(
+    n: int, dims: int, eps: float, metric: Union[str, float, Metric] = "l2"
+) -> float:
+    """Expected self-join output size for uniform data in the unit cube.
+
+    First-order model ignoring boundary effects: each of the
+    ``n * (n - 1) / 2`` pairs qualifies with probability equal to the
+    epsilon-ball volume.  Accurate for ``eps`` well below 1; an
+    overestimate near the boundary-dominated regime.
+    """
+    if n < 0:
+        raise InvalidParameterError(f"n must be >= 0, got {n}")
+    return n * (n - 1) / 2.0 * min(1.0, ball_volume(eps, dims, metric))
+
+
+def epsilon_for_selectivity(
+    target_fraction: float, dims: int, metric: Union[str, float, Metric] = "l2"
+) -> float:
+    """Epsilon whose ball volume equals ``target_fraction`` of the unit cube.
+
+    The E2 dimensionality sweep uses this to hold expected output roughly
+    constant while ``dims`` varies (otherwise the curse of dimensionality
+    empties the output and every algorithm looks instant).
+    """
+    if not 0.0 < target_fraction <= 1.0:
+        raise InvalidParameterError(
+            f"target_fraction must be in (0, 1], got {target_fraction}"
+        )
+    metric = get_metric(metric)
+    unit = ball_volume(1.0, dims, metric)
+    return (target_fraction / unit) ** (1.0 / dims)
+
+
+def estimate_selectivity(
+    points: np.ndarray,
+    eps: float,
+    metric: Union[str, float, Metric] = "l2",
+    sample: int = 512,
+    seed: Optional[int] = 0,
+) -> float:
+    """Monte-Carlo estimate of the self-join pair fraction.
+
+    Samples ``sample`` anchor points and measures the fraction of all
+    points within ``eps`` of each; the mean is an unbiased estimate of
+    ``P(dist <= eps)`` over random pairs (up to the negligible
+    self-match).  Cost is ``O(sample * n)``.
+    """
+    points = validate_points(points)
+    metric = get_metric(metric)
+    n = len(points)
+    if n < 2:
+        return 0.0
+    rng = np.random.default_rng(seed)
+    anchors = rng.choice(n, size=min(sample, n), replace=False)
+    total_matches = 0
+    for anchor in anchors:
+        diff = np.abs(points - points[anchor])
+        within = metric.within_gap(diff, eps)
+        total_matches += int(within.sum()) - 1  # drop the self match
+    return total_matches / (len(anchors) * (n - 1))

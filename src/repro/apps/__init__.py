@@ -1,0 +1,23 @@
+"""End-to-end applications built on the similarity join.
+
+The paper motivates the join with two concrete systems; this package
+implements both as complete pipelines:
+
+* :mod:`repro.apps.sequences` — whole-sequence similar-time-sequence
+  matching: z-normalize, reduce to DFT features whose distance provably
+  lower-bounds the true distance (no false dismissals), join the
+  features, verify the candidates.
+* :mod:`repro.apps.images` — near-duplicate image detection over color
+  histograms, with duplicate *groups* produced by a union-find over the
+  join output.
+"""
+
+from repro.apps.images import DuplicateGroups, find_duplicate_images
+from repro.apps.sequences import SequenceMatchResult, find_similar_sequences
+
+__all__ = [
+    "find_similar_sequences",
+    "SequenceMatchResult",
+    "find_duplicate_images",
+    "DuplicateGroups",
+]

@@ -1,0 +1,48 @@
+"""Baseline similarity-join algorithms the paper evaluates against.
+
+* :mod:`repro.baselines.brute_force` — blocked nested loop, the exact
+  reference every other algorithm is tested against.
+* :mod:`repro.baselines.sort_merge` — multidimensional sort-merge band
+  join (1-level and 2-level variants).
+* :mod:`repro.baselines.grid` — epsilon-grid hash join.
+* :mod:`repro.baselines.zorder` — Z-order (Morton-code) sort-based join,
+  the space-filling-curve school of the era's related work.
+* :mod:`repro.baselines.rplus_tree` — the paper's R+-tree baseline
+  (overlap-free regions; on point data the duplication machinery never
+  triggers).
+* :mod:`repro.baselines.rtree` / :mod:`repro.baselines.rtree_join` — an
+  R-tree (insert and STR bulk load) and the synchronized-traversal
+  spatial join shared by both R-variants.
+"""
+
+from repro.baselines.brute_force import brute_force_join, brute_force_self_join
+from repro.baselines.grid import grid_join, grid_self_join
+from repro.baselines.nested_loop_index import index_nested_loop_join
+from repro.baselines.rplus_tree import RPlusTree
+from repro.baselines.rtree import RTree
+from repro.baselines.rtree_join import (
+    rplus_join,
+    rplus_self_join,
+    rtree_join,
+    rtree_self_join,
+)
+from repro.baselines.sort_merge import sort_merge_join, sort_merge_self_join
+from repro.baselines.zorder import zorder_join, zorder_self_join
+
+__all__ = [
+    "brute_force_self_join",
+    "brute_force_join",
+    "sort_merge_self_join",
+    "sort_merge_join",
+    "grid_self_join",
+    "grid_join",
+    "RTree",
+    "rtree_self_join",
+    "rtree_join",
+    "RPlusTree",
+    "rplus_self_join",
+    "rplus_join",
+    "zorder_self_join",
+    "zorder_join",
+    "index_nested_loop_join",
+]

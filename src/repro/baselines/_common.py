@@ -1,0 +1,55 @@
+"""Shared helpers for the baseline join algorithms."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.result import JoinStats, PairSink
+from repro.metrics import Metric
+
+#: Tile side for dense block comparisons between index groups.
+_TILE = 1024
+
+
+def emit_block_pairs(
+    points_a: np.ndarray,
+    points_b: np.ndarray,
+    idx_a: np.ndarray,
+    idx_b: np.ndarray,
+    metric: Metric,
+    eps: float,
+    sink: PairSink,
+    stats: JoinStats,
+    self_mode: bool,
+    same_group: bool = False,
+) -> None:
+    """Check every pair between two index groups and emit the matches.
+
+    ``same_group`` means ``idx_a is idx_b`` over the same point set, in
+    which case only the strict upper triangle is checked so each
+    unordered pair is emitted once.  With ``self_mode`` (both sides index
+    the same array) emitted pairs are oriented ``left < right``.
+    """
+    for a_start in range(0, len(idx_a), _TILE):
+        a_stop = min(a_start + _TILE, len(idx_a))
+        rows = points_a[idx_a[a_start:a_stop]]
+        b_begin = a_start if same_group else 0
+        for b_start in range(b_begin, len(idx_b), _TILE):
+            b_stop = min(b_start + _TILE, len(idx_b))
+            cols = points_b[idx_b[b_start:b_stop]]
+            mask = metric.within_block(rows, cols, eps)
+            stats.distance_computations += mask.size
+            if same_group and b_start == a_start:
+                mask = np.triu(mask, k=1)
+            left_pos, right_pos = np.nonzero(mask)
+            if not len(left_pos):
+                continue
+            left = idx_a[left_pos + a_start]
+            right = idx_b[right_pos + b_start]
+            if self_mode:
+                lo = np.minimum(left, right)
+                hi = np.maximum(left, right)
+                sink.emit(lo, hi)
+            else:
+                sink.emit(left, right)
+            stats.pairs_emitted += int(len(left))

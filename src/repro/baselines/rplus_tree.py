@@ -1,0 +1,134 @@
+"""An R+-tree over points — the paper's actual index baseline.
+
+The R+-tree (Sellis, Roussopoulos & Faloutsos) is the overlap-free
+R-tree variant: sibling regions never overlap, at the price of
+duplicating objects that straddle region boundaries.  For *point* data —
+all this paper joins — no object ever straddles a boundary, so the
+duplication machinery never triggers and the structure reduces to a
+disjoint multiway space partition with MBR-tightened nodes.
+
+This implementation bulk-builds that partition directly: each node sorts
+its points along the locally widest dimension and cuts them into
+``max_entries`` contiguous slabs, recursing until a slab fits in a leaf.
+Sibling MBRs therefore have disjoint interiors (they can share a
+boundary hyperplane when points tie on the split coordinate), the
+property the test suite asserts.
+
+Nodes reuse :class:`repro.baselines.rtree.RNode`, so the synchronized
+spatial join in :mod:`repro.baselines.rtree_join` works on both trees
+unchanged.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterator, List
+
+import numpy as np
+
+from repro.baselines.rtree import RNode
+from repro.core.config import validate_points
+from repro.errors import InvalidParameterError
+
+DEFAULT_MAX_ENTRIES = 32
+
+
+class RPlusTree:
+    """Overlap-free R+-tree over an ``(n, d)`` point array."""
+
+    def __init__(self, points: np.ndarray, max_entries: int = DEFAULT_MAX_ENTRIES):
+        self.points = validate_points(points)
+        if max_entries < 2:
+            raise InvalidParameterError(
+                f"max_entries must be >= 2, got {max_entries}"
+            )
+        self.max_entries = int(max_entries)
+        self.dims = self.points.shape[1]
+        self.root = RNode(is_leaf=True, dims=self.dims)
+        self.size = 0
+
+    @classmethod
+    def bulk_load(
+        cls, points: np.ndarray, max_entries: int = DEFAULT_MAX_ENTRIES
+    ) -> "RPlusTree":
+        """Build the disjoint partition bottom-up from all points."""
+        tree = cls(points, max_entries=max_entries)
+        n = len(tree.points)
+        if n == 0:
+            return tree
+        indices = np.arange(n, dtype=np.int64)
+        tree.root = tree._partition(indices)
+        tree.size = n
+        return tree
+
+    def _widest_dim(self, indices: np.ndarray) -> int:
+        block = self.points[indices]
+        spreads = block.max(axis=0) - block.min(axis=0)
+        return int(np.argmax(spreads))
+
+    def _partition(self, indices: np.ndarray) -> RNode:
+        if len(indices) <= self.max_entries:
+            leaf = RNode(is_leaf=True, dims=self.dims)
+            leaf.entries = indices.tolist()
+            block = self.points[indices]
+            leaf.lo = block.min(axis=0)
+            leaf.hi = block.max(axis=0)
+            return leaf
+        dim = self._widest_dim(indices)
+        order = np.argsort(self.points[indices, dim], kind="stable")
+        ordered = indices[order]
+        # Cut into at most max_entries slabs, each big enough that the
+        # recursion terminates (ceil division keeps slabs non-empty).
+        slabs = min(self.max_entries, math.ceil(len(ordered) / self.max_entries))
+        slabs = max(2, slabs)
+        slab_size = math.ceil(len(ordered) / slabs)
+        node = RNode(is_leaf=False, dims=self.dims)
+        for start in range(0, len(ordered), slab_size):
+            child = self._partition(ordered[start : start + slab_size])
+            node.entries.append(child)
+        node.lo = np.min([child.lo for child in node.entries], axis=0)
+        node.hi = np.max([child.hi for child in node.entries], axis=0)
+        return node
+
+    # ------------------------------------------------------------------
+    # queries and inspection (same surface as RTree)
+    # ------------------------------------------------------------------
+    def range_query(self, point: np.ndarray, eps: float, metric) -> np.ndarray:
+        """Indices of points within ``eps`` of ``point`` under ``metric``."""
+        point = np.asarray(point, dtype=np.float64)
+        hits: List[int] = []
+        stack = [self.root]
+        while stack:
+            node = stack.pop()
+            gaps = np.maximum(0.0, np.maximum(node.lo - point, point - node.hi))
+            if not metric.within_gap(gaps, eps):
+                continue
+            if node.is_leaf:
+                if node.entries:
+                    members = np.asarray(node.entries, dtype=np.int64)
+                    diffs = np.abs(self.points[members] - point)
+                    keep = metric.within_gap(diffs, eps)
+                    hits.extend(members[keep].tolist())
+            else:
+                stack.extend(node.entries)
+        return np.array(sorted(hits), dtype=np.int64)
+
+    def iter_leaves(self) -> Iterator[RNode]:
+        stack = [self.root]
+        while stack:
+            node = stack.pop()
+            if node.is_leaf:
+                yield node
+            else:
+                stack.extend(node.entries)
+
+    def height(self) -> int:
+        height = 1
+        node = self.root
+        while not node.is_leaf:
+            node = node.entries[0]
+            height += 1
+        return height
+
+    def __len__(self) -> int:
+        return self.size

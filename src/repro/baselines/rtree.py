@@ -1,0 +1,335 @@
+"""An R-tree over points, with incremental insert and STR bulk load.
+
+The general-purpose index family behind spatial joins: a classic
+Guttman-style R-tree with quadratic-split insert for the incremental
+API, plus Sort-Tile-Recursive (STR) bulk loading — an
+overlap-minimizing packing that gives the baseline its best case.  The
+paper's own index baseline, the overlap-free R+-tree, lives in
+:mod:`repro.baselines.rplus_tree`; both share the synchronized spatial
+join in :mod:`repro.baselines.rtree_join`, so the benchmarks compare
+the packing strategies directly.
+
+One deliberate adaptation for high dimensions: node-volume heuristics
+(area enlargement, area waste) degenerate in high-d space because the
+product of many small extents underflows to zero and stops
+discriminating.  The insert and split heuristics therefore use *margin*
+(sum of side lengths) instead of volume, which is standard practice for
+high-dimensional R-tree variants.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterator, List, Optional, Sequence
+
+import numpy as np
+
+from repro.core.config import validate_points
+from repro.errors import InvalidParameterError
+
+DEFAULT_MAX_ENTRIES = 32
+
+
+class RNode:
+    """One R-tree node.
+
+    A leaf's ``entries`` is a list of point indices; an internal node's
+    ``entries`` is a list of child :class:`RNode`.  ``lo``/``hi`` bound
+    everything beneath the node.
+    """
+
+    __slots__ = ("is_leaf", "entries", "lo", "hi")
+
+    def __init__(self, is_leaf: bool, dims: int):
+        self.is_leaf = is_leaf
+        self.entries: List = []
+        self.lo = np.full(dims, np.inf)
+        self.hi = np.full(dims, -np.inf)
+
+    def margin(self) -> float:
+        """Sum of side lengths of the node's MBR."""
+        return float(np.sum(self.hi - self.lo))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        kind = "leaf" if self.is_leaf else "internal"
+        return f"<RNode {kind} entries={len(self.entries)}>"
+
+
+def _mbr_of_indices(points: np.ndarray, indices: Sequence[int]):
+    block = points[np.asarray(indices, dtype=np.int64)]
+    return block.min(axis=0), block.max(axis=0)
+
+
+class RTree:
+    """R-tree over an ``(n, d)`` point array.
+
+    Use :meth:`bulk_load` for the packed STR build (what the join
+    benchmarks use) or construct empty and :meth:`insert` point indices
+    one at a time.
+    """
+
+    def __init__(self, points: np.ndarray, max_entries: int = DEFAULT_MAX_ENTRIES):
+        self.points = validate_points(points)
+        if max_entries < 4:
+            raise InvalidParameterError(
+                f"max_entries must be >= 4, got {max_entries}"
+            )
+        self.max_entries = int(max_entries)
+        self.min_entries = max(2, self.max_entries // 3)
+        self.dims = self.points.shape[1]
+        self.root = RNode(is_leaf=True, dims=self.dims)
+        self.size = 0
+
+    # ------------------------------------------------------------------
+    # STR bulk load
+    # ------------------------------------------------------------------
+    @classmethod
+    def bulk_load(
+        cls, points: np.ndarray, max_entries: int = DEFAULT_MAX_ENTRIES
+    ) -> "RTree":
+        """Build a packed tree with Sort-Tile-Recursive loading."""
+        tree = cls(points, max_entries=max_entries)
+        n = len(tree.points)
+        if n == 0:
+            return tree
+        indices = np.arange(n, dtype=np.int64)
+        leaf_groups = _str_tile(
+            tree.points, indices, dim=0, capacity=tree.max_entries
+        )
+        level: List[RNode] = []
+        for group in leaf_groups:
+            node = RNode(is_leaf=True, dims=tree.dims)
+            node.entries = group.tolist()
+            node.lo, node.hi = _mbr_of_indices(tree.points, group)
+            level.append(node)
+        while len(level) > 1:
+            centers = np.array([(node.lo + node.hi) * 0.5 for node in level])
+            order_groups = _str_tile(
+                centers,
+                np.arange(len(level), dtype=np.int64),
+                dim=0,
+                capacity=tree.max_entries,
+            )
+            parents: List[RNode] = []
+            for group in order_groups:
+                parent = RNode(is_leaf=False, dims=tree.dims)
+                parent.entries = [level[i] for i in group]
+                parent.lo = np.min([c.lo for c in parent.entries], axis=0)
+                parent.hi = np.max([c.hi for c in parent.entries], axis=0)
+                parents.append(parent)
+            level = parents
+        tree.root = level[0]
+        tree.size = n
+        return tree
+
+    # ------------------------------------------------------------------
+    # incremental insert
+    # ------------------------------------------------------------------
+    def insert(self, index: int) -> None:
+        """Insert one point (by index) with quadratic-split overflow."""
+        point = self.points[index]
+        path = self._choose_leaf(point)
+        leaf = path[-1]
+        leaf.entries.append(int(index))
+        np.minimum(leaf.lo, point, out=leaf.lo)
+        np.maximum(leaf.hi, point, out=leaf.hi)
+        self.size += 1
+        self._handle_overflow(path)
+
+    def _choose_leaf(self, point: np.ndarray) -> List[RNode]:
+        path = [self.root]
+        node = self.root
+        while not node.is_leaf:
+            best: Optional[RNode] = None
+            best_key = (math.inf, math.inf)
+            for child in node.entries:
+                enlarged = float(
+                    np.sum(
+                        np.maximum(child.hi, point) - np.minimum(child.lo, point)
+                    )
+                )
+                key = (enlarged - child.margin(), child.margin())
+                if key < best_key:
+                    best_key = key
+                    best = child
+            node = best
+            path.append(node)
+        return path
+
+    def _handle_overflow(self, path: List[RNode]) -> None:
+        for depth in range(len(path) - 1, -1, -1):
+            node = path[depth]
+            if len(node.entries) <= self.max_entries:
+                self._tighten(path[: depth + 1])
+                return
+            sibling = self._quadratic_split(node)
+            if depth == 0:
+                new_root = RNode(is_leaf=False, dims=self.dims)
+                new_root.entries = [node, sibling]
+                new_root.lo = np.minimum(node.lo, sibling.lo)
+                new_root.hi = np.maximum(node.hi, sibling.hi)
+                self.root = new_root
+                return
+            parent = path[depth - 1]
+            parent.entries.append(sibling)
+            parent.lo = np.minimum(parent.lo, sibling.lo)
+            parent.hi = np.maximum(parent.hi, sibling.hi)
+        self._tighten(path[:1])
+
+    def _tighten(self, path: List[RNode]) -> None:
+        """Recompute MBRs bottom-up along an insertion path."""
+        for node in reversed(path):
+            if node.is_leaf:
+                if node.entries:
+                    node.lo, node.hi = _mbr_of_indices(self.points, node.entries)
+            else:
+                node.lo = np.min([c.lo for c in node.entries], axis=0)
+                node.hi = np.max([c.hi for c in node.entries], axis=0)
+
+    def _entry_bounds(self, node: RNode, position: int):
+        if node.is_leaf:
+            point = self.points[node.entries[position]]
+            return point, point
+        child = node.entries[position]
+        return child.lo, child.hi
+
+    def _quadratic_split(self, node: RNode) -> RNode:
+        """Split an overflowing node; returns the new sibling."""
+        entries = node.entries
+        count = len(entries)
+        bounds = [self._entry_bounds(node, k) for k in range(count)]
+        # Pick the seed pair wasting the most margin when combined.
+        worst = -math.inf
+        seeds = (0, 1)
+        for a in range(count):
+            for b in range(a + 1, count):
+                combined = float(
+                    np.sum(
+                        np.maximum(bounds[a][1], bounds[b][1])
+                        - np.minimum(bounds[a][0], bounds[b][0])
+                    )
+                )
+                waste = combined - float(
+                    np.sum(bounds[a][1] - bounds[a][0])
+                ) - float(np.sum(bounds[b][1] - bounds[b][0]))
+                if waste > worst:
+                    worst = waste
+                    seeds = (a, b)
+        group_a = [seeds[0]]
+        group_b = [seeds[1]]
+        lo_a, hi_a = (bounds[seeds[0]][0].copy(), bounds[seeds[0]][1].copy())
+        lo_b, hi_b = (bounds[seeds[1]][0].copy(), bounds[seeds[1]][1].copy())
+        remaining = [k for k in range(count) if k not in seeds]
+        for k in remaining:
+            # Force-assign when one group must absorb all leftovers to
+            # reach the minimum fill.
+            needed_a = self.min_entries - len(group_a)
+            needed_b = self.min_entries - len(group_b)
+            lo, hi = bounds[k]
+            grow_a = float(
+                np.sum(np.maximum(hi_a, hi) - np.minimum(lo_a, lo))
+            ) - float(np.sum(hi_a - lo_a))
+            grow_b = float(
+                np.sum(np.maximum(hi_b, hi) - np.minimum(lo_b, lo))
+            ) - float(np.sum(hi_b - lo_b))
+            pending = count - (len(group_a) + len(group_b))
+            if needed_a >= pending:
+                choose_a = True
+            elif needed_b >= pending:
+                choose_a = False
+            else:
+                choose_a = grow_a < grow_b or (
+                    grow_a == grow_b and len(group_a) <= len(group_b)
+                )
+            if choose_a:
+                group_a.append(k)
+                np.minimum(lo_a, lo, out=lo_a)
+                np.maximum(hi_a, hi, out=hi_a)
+            else:
+                group_b.append(k)
+                np.minimum(lo_b, lo, out=lo_b)
+                np.maximum(hi_b, hi, out=hi_b)
+        sibling = RNode(is_leaf=node.is_leaf, dims=self.dims)
+        sibling.entries = [entries[k] for k in group_b]
+        sibling.lo, sibling.hi = lo_b, hi_b
+        node.entries = [entries[k] for k in group_a]
+        node.lo, node.hi = lo_a, hi_a
+        return sibling
+
+    # ------------------------------------------------------------------
+    # queries and inspection
+    # ------------------------------------------------------------------
+    def range_query(self, point: np.ndarray, eps: float, metric) -> np.ndarray:
+        """Indices of points within ``eps`` of ``point`` under ``metric``."""
+        point = np.asarray(point, dtype=np.float64)
+        hits: List[int] = []
+        stack = [self.root]
+        while stack:
+            node = stack.pop()
+            gaps = np.maximum(
+                0.0, np.maximum(node.lo - point, point - node.hi)
+            )
+            if not metric.within_gap(gaps, eps):
+                continue
+            if node.is_leaf:
+                if node.entries:
+                    members = np.asarray(node.entries, dtype=np.int64)
+                    diffs = np.abs(self.points[members] - point)
+                    keep = metric.within_gap(diffs, eps)
+                    hits.extend(members[keep].tolist())
+            else:
+                stack.extend(node.entries)
+        return np.array(sorted(hits), dtype=np.int64)
+
+    def iter_leaves(self) -> Iterator[RNode]:
+        stack = [self.root]
+        while stack:
+            node = stack.pop()
+            if node.is_leaf:
+                yield node
+            else:
+                stack.extend(node.entries)
+
+    def height(self) -> int:
+        """Number of levels (a lone leaf root has height 1)."""
+        height = 1
+        node = self.root
+        while not node.is_leaf:
+            node = node.entries[0]
+            height += 1
+        return height
+
+    def __len__(self) -> int:
+        return self.size if self.size else sum(
+            len(leaf.entries) for leaf in self.iter_leaves()
+        )
+
+
+def _str_tile(
+    coords: np.ndarray, indices: np.ndarray, dim: int, capacity: int
+) -> List[np.ndarray]:
+    """Sort-Tile-Recursive grouping of ``indices`` into runs of ``capacity``.
+
+    Sorts along ``dim``, slices into ``ceil(pages ** (1/remaining_dims))``
+    slabs and recurses on the next dimension inside each slab; the last
+    dimension chunks each slab into page-sized runs.
+    """
+    n = len(indices)
+    if n == 0:
+        return []
+    if n <= capacity:
+        return [indices]
+    dims = coords.shape[1]
+    order = np.argsort(coords[indices, dim], kind="stable")
+    ordered = indices[order]
+    pages = math.ceil(n / capacity)
+    remaining = dims - dim
+    if remaining <= 1:
+        return [ordered[k : k + capacity] for k in range(0, n, capacity)]
+    slabs = math.ceil(pages ** (1.0 / remaining))
+    slab_size = math.ceil(n / slabs)
+    groups: List[np.ndarray] = []
+    for start in range(0, n, slab_size):
+        slab = ordered[start : start + slab_size]
+        groups.extend(_str_tile(coords, slab, dim + 1, capacity))
+    return groups

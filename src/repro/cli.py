@@ -1,0 +1,249 @@
+"""Command-line interface: ``python -m repro`` / ``repro-join``.
+
+Three subcommands:
+
+* ``join`` (the default when flags are given directly) — run one
+  similarity join on a generated workload or a ``.npy``/``.csv`` file
+  and print the result statistics.
+* ``compare`` — run *every* implemented algorithm on the same workload
+  and print the comparison table, a one-command version of the paper's
+  head-to-head experiments.
+* ``search`` — build an epsilon-kdB tree once and answer range queries
+  against it (similarity search).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro import ALGORITHMS, EpsilonKdbTree, JoinSpec, PairCounter, similarity_join
+from repro import _SELF_JOIN_ALGORITHMS as SELF_JOIN_REGISTRY
+from repro.analysis import Table, format_seconds, format_si
+from repro.datasets import (
+    color_histograms,
+    gaussian_clusters,
+    load_points,
+    save_pairs,
+    timeseries_features,
+    uniform_points,
+)
+
+_GENERATORS = {
+    "uniform": lambda n, dims, seed: uniform_points(n, dims, seed=seed),
+    "clusters": lambda n, dims, seed: gaussian_clusters(n, dims, seed=seed),
+    "timeseries": lambda n, dims, seed: timeseries_features(
+        n, coefficients=max(1, dims // 2), seed=seed
+    ),
+    "images": lambda n, dims, seed: color_histograms(n, bins=dims, seed=seed),
+}
+
+
+def _add_common_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--epsilon", type=float, required=True, help="join threshold"
+    )
+    parser.add_argument(
+        "--metric", default="l2", help="l1, l2, linf or a Minkowski order"
+    )
+    parser.add_argument(
+        "--dataset",
+        choices=sorted(_GENERATORS),
+        default="clusters",
+        help="generated workload family (default: clusters)",
+    )
+    parser.add_argument(
+        "--input",
+        help="instead of generating, load points from a .npy or .csv file",
+    )
+    parser.add_argument("--points", type=int, default=10_000, help="point count")
+    parser.add_argument("--dims", type=int, default=16, help="dimensionality")
+    parser.add_argument("--seed", type=int, default=0, help="generator seed")
+    parser.add_argument(
+        "--leaf-size", type=int, default=128, help="epsilon-kdB leaf threshold"
+    )
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-join",
+        description="High-dimensional similarity joins (epsilon-kdB tree "
+        "reproduction).",
+    )
+    subparsers = parser.add_subparsers(dest="command")
+
+    join = subparsers.add_parser(
+        "join", help="run one similarity join and print its statistics"
+    )
+    _add_common_arguments(join)
+    join.add_argument(
+        "--algorithm",
+        choices=sorted(ALGORITHMS),
+        default="epsilon-kdb",
+        help="join algorithm (default: epsilon-kdb)",
+    )
+    join.add_argument(
+        "--output",
+        help="write the resulting (m, 2) pair array to this .npy file",
+    )
+
+    compare = subparsers.add_parser(
+        "compare", help="run every algorithm on the same workload"
+    )
+    _add_common_arguments(compare)
+    compare.add_argument(
+        "--skip",
+        action="append",
+        default=[],
+        choices=sorted(ALGORITHMS),
+        help="algorithms to leave out (repeatable); e.g. --skip brute-force",
+    )
+
+    search = subparsers.add_parser(
+        "search", help="build an epsilon-kdB tree and run range queries"
+    )
+    _add_common_arguments(search)
+    search.add_argument(
+        "--queries",
+        type=int,
+        default=10,
+        help="number of random query points drawn from the data "
+        "(default: 10)",
+    )
+    search.add_argument(
+        "--query",
+        action="append",
+        default=[],
+        help="explicit query point as comma-separated coordinates "
+        "(repeatable; overrides --queries)",
+    )
+    return parser
+
+
+def _load_points(args: argparse.Namespace) -> np.ndarray:
+    if args.input:
+        return load_points(args.input)
+    generator = _GENERATORS[args.dataset]
+    return generator(args.points, args.dims, args.seed)
+
+
+def _run_join(args: argparse.Namespace) -> int:
+    points = _load_points(args)
+    spec = JoinSpec(
+        epsilon=args.epsilon, metric=args.metric, leaf_size=args.leaf_size
+    )
+    print(
+        f"joining {len(points)} points, d={points.shape[1]}, "
+        f"eps={spec.epsilon}, metric={spec.metric.name}, "
+        f"algorithm={args.algorithm}"
+    )
+    started = time.perf_counter()
+    result = similarity_join(
+        points,
+        epsilon=args.epsilon,
+        metric=args.metric,
+        algorithm=args.algorithm,
+        leaf_size=args.leaf_size,
+        return_result=True,
+    )
+    elapsed = time.perf_counter() - started
+    stats = result.stats
+    print(f"pairs:                 {format_si(stats.pairs_emitted)}")
+    print(f"distance computations: {format_si(stats.distance_computations)}")
+    print(f"node pairs visited:    {format_si(stats.node_pairs_visited)}")
+    print(f"wall clock:            {format_seconds(elapsed)}")
+    if args.output:
+        save_pairs(args.output, result.pairs)
+        print(f"wrote pairs to {args.output}")
+    return 0
+
+
+def _run_search(args: argparse.Namespace) -> int:
+    points = _load_points(args)
+    spec = JoinSpec(
+        epsilon=args.epsilon, metric=args.metric, leaf_size=args.leaf_size
+    )
+    started = time.perf_counter()
+    tree = EpsilonKdbTree.build(points, spec)
+    build_seconds = time.perf_counter() - started
+    print(
+        f"built epsilon-kdB tree over {len(points)} points "
+        f"(d={points.shape[1]}) in {format_seconds(build_seconds)}"
+    )
+    if args.query:
+        queries = np.array(
+            [[float(v) for v in q.split(",")] for q in args.query]
+        )
+    else:
+        rng = np.random.default_rng(args.seed)
+        queries = points[rng.choice(len(points), size=min(args.queries, len(points)), replace=False)]
+    started = time.perf_counter()
+    for query in queries:
+        hits = tree.range_query(query)
+        preview = ", ".join(str(h) for h in hits[:8])
+        suffix = ", ..." if len(hits) > 8 else ""
+        print(f"query {np.round(query[:4], 3).tolist()}...: "
+              f"{len(hits)} hits [{preview}{suffix}]")
+    elapsed = time.perf_counter() - started
+    print(
+        f"{len(queries)} queries in {format_seconds(elapsed)} "
+        f"({format_seconds(elapsed / max(1, len(queries)))} each)"
+    )
+    return 0
+
+
+def _run_compare(args: argparse.Namespace) -> int:
+    points = _load_points(args)
+    spec = JoinSpec(
+        epsilon=args.epsilon, metric=args.metric, leaf_size=args.leaf_size
+    )
+    table = Table(
+        f"all algorithms on {len(points)} points, d={points.shape[1]}, "
+        f"eps={spec.epsilon}, metric={spec.metric.name}",
+        ["algorithm", "time", "pairs", "dist comps", "node pairs"],
+    )
+    counts = set()
+    for name in ALGORITHMS:
+        if name in args.skip:
+            continue
+        sink = PairCounter()
+        started = time.perf_counter()
+        result = SELF_JOIN_REGISTRY[name](points, spec, sink=sink)
+        elapsed = time.perf_counter() - started
+        counts.add(sink.count)
+        table.add_row(
+            name,
+            format_seconds(elapsed),
+            format_si(sink.count),
+            format_si(result.stats.distance_computations),
+            format_si(result.stats.node_pairs_visited),
+        )
+    table.print()
+    if len(counts) > 1:
+        print("WARNING: algorithms disagree on the pair count!", file=sys.stderr)
+        return 1
+    return 0
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    argv = list(sys.argv[1:] if argv is None else argv)
+    # Bare flags mean the (historical) join subcommand.
+    if argv and argv[0].startswith("-"):
+        argv = ["join", *argv]
+    args = build_parser().parse_args(argv)
+    if args.command == "compare":
+        return _run_compare(args)
+    if args.command == "search":
+        return _run_search(args)
+    if args.command == "join":
+        return _run_join(args)
+    build_parser().print_help()
+    return 2
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via subprocess
+    sys.exit(main())

@@ -1,0 +1,27 @@
+"""Core of the reproduction: the epsilon-kdB tree and its join algorithms.
+
+The public entry points are :func:`repro.core.join.epsilon_kdb_self_join`
+and :func:`repro.core.join.epsilon_kdb_join`, plus the tree itself in
+:mod:`repro.core.epsilon_kdb` for callers that want to build once and
+inspect the structure.
+"""
+
+from repro.core.config import JoinSpec
+from repro.core.epsilon_kdb import EpsilonKdbTree, Grid
+from repro.core.external import ExternalJoinReport, external_join, external_self_join
+from repro.core.join import epsilon_kdb_join, epsilon_kdb_self_join
+from repro.core.result import JoinStats, PairCollector, PairCounter
+
+__all__ = [
+    "JoinSpec",
+    "Grid",
+    "EpsilonKdbTree",
+    "epsilon_kdb_self_join",
+    "epsilon_kdb_join",
+    "external_self_join",
+    "external_join",
+    "ExternalJoinReport",
+    "PairCollector",
+    "PairCounter",
+    "JoinStats",
+]

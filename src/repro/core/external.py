@@ -1,0 +1,358 @@
+"""External-memory epsilon-kdB self-join.
+
+The paper's extension for data larger than main memory: stripe the first
+dimension into runs of epsilon-wide cells such that each stripe fits the
+memory budget, partition the file into stripe files (plus, per stripe, a
+*band file* holding its points that lie within epsilon of the stripe's
+lower boundary), then join each stripe in memory against itself and
+against the next stripe's band.  Because every stripe is at least epsilon
+wide, a qualifying pair either falls inside one stripe or spans two
+adjacent stripes with the upper point inside the lower band — so each
+pair is found exactly once.
+
+I/O pattern: two read scans (domain pass + histogram pass is folded into
+one scan each), one partition write pass, and one join read pass over the
+stripes and bands.  All of it is counted by the simulated
+:class:`~repro.storage.pages.PageStore`.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+import numpy as np
+
+from repro.core.config import JoinSpec, validate_points
+from repro.core.join import epsilon_kdb_join, epsilon_kdb_self_join
+from repro.core.result import JoinStats, PairCollector, PairSink
+from repro.errors import InvalidParameterError
+from repro.storage.pages import IoCounters, PageStore, PointFile
+
+
+@dataclass
+class ExternalJoinReport:
+    """Outcome of one external-memory join run."""
+
+    stats: JoinStats = field(default_factory=JoinStats)
+    io: IoCounters = field(default_factory=IoCounters)
+    stripes: int = 0
+    peak_memory_points: int = 0
+    memory_budget_points: int = 0
+    pairs: np.ndarray = field(
+        default_factory=lambda: np.empty((0, 2), dtype=np.int64)
+    )
+
+    @property
+    def budget_respected(self) -> bool:
+        """Whether every stripe (plus its band) fit the declared budget."""
+        return self.peak_memory_points <= self.memory_budget_points
+
+
+class _MappedSink(PairSink):
+    """Translate stripe-local pair indices to global ones before emitting."""
+
+    def __init__(self, target: PairSink, map_left: np.ndarray, map_right: np.ndarray):
+        self._target = target
+        self._map_left = map_left
+        self._map_right = map_right
+
+    def emit(self, left: np.ndarray, right: np.ndarray) -> None:
+        global_left = self._map_left[left]
+        global_right = self._map_right[right]
+        lo = np.minimum(global_left, global_right)
+        hi = np.maximum(global_left, global_right)
+        self._target.emit(lo, hi)
+
+    @property
+    def count(self) -> int:
+        return self._target.count
+
+
+def plan_stripes(histogram: np.ndarray, capacity: int) -> List[slice]:
+    """Greedily group consecutive cells into stripes that fit ``capacity``.
+
+    The join pass holds one stripe *plus* the next stripe's boundary band
+    in memory at once, and that band is contained in the next stripe's
+    first cell — so the plan reserves the cell following the stripe when
+    sizing it.  A single cell larger than the capacity becomes a stripe
+    of its own (the budget violation is surfaced in the report, not
+    hidden).
+    """
+    cells = len(histogram)
+    stripes: List[slice] = []
+    start = 0
+    running = 0
+    for cell in range(cells):
+        count = int(histogram[cell])
+        reserve = int(histogram[cell + 1]) if cell + 1 < cells else 0
+        if running and running + count + reserve > capacity:
+            stripes.append(slice(start, cell))
+            start = cell
+            running = 0
+        running += count
+    stripes.append(slice(start, cells))
+    return stripes
+
+
+def external_self_join(
+    points: np.ndarray,
+    spec: JoinSpec,
+    memory_points: int,
+    store: Optional[PageStore] = None,
+    sink: Optional[PairSink] = None,
+    page_rows: int = 256,
+) -> ExternalJoinReport:
+    """Self-join ``points`` through the simulated disk.
+
+    ``memory_points`` is the budget: the maximum number of points the
+    algorithm is allowed to hold in memory at once.  ``points`` are first
+    written to the store (that load is *not* counted; the paper's setting
+    starts with the relation already on disk).
+    """
+    points = validate_points(points)
+    if memory_points < 2:
+        raise InvalidParameterError(
+            f"memory_points must be >= 2, got {memory_points}"
+        )
+    report = ExternalJoinReport(memory_budget_points=int(memory_points))
+    collect = sink is None
+    if collect:
+        sink = PairCollector()
+    n, dims = points.shape
+    if n < 2:
+        return report
+    if store is None:
+        store = PageStore(page_rows=page_rows)
+
+    # Load the relation onto "disk" with the original index as an extra
+    # column, then reset the counters: the algorithm's I/O starts here.
+    augmented = np.column_stack([points, np.arange(n, dtype=np.float64)])
+    relation = PointFile.from_points(store, augmented)
+    baseline_io = store.counters.snapshot()
+
+    # Pass 1: domain of the striping dimension.
+    lo = math.inf
+    hi = -math.inf
+    for page in relation.scan():
+        lo = min(lo, float(page[:, 0].min()))
+        hi = max(hi, float(page[:, 0].max()))
+
+    eps = spec.band_width
+    n_cells = max(1, int((hi - lo) // eps))
+
+    # Pass 2: histogram of dimension-0 cells.
+    histogram = np.zeros(n_cells, dtype=np.int64)
+    for page in relation.scan():
+        cells = _cells(page[:, 0], lo, eps, n_cells)
+        histogram += np.bincount(cells, minlength=n_cells)
+
+    stripes = plan_stripes(histogram, int(memory_points))
+    report.stripes = len(stripes)
+    cell_to_stripe = np.empty(n_cells, dtype=np.int64)
+    stripe_lower = np.empty(len(stripes))
+    for sid, span in enumerate(stripes):
+        cell_to_stripe[span] = sid
+        stripe_lower[sid] = lo + span.start * eps
+
+    # Pass 3: partition into stripe files and lower-boundary band files.
+    stripe_files = [PointFile(store, dims + 1) for _ in stripes]
+    band_files = [PointFile(store, dims + 1) for _ in stripes]
+    for page in relation.scan():
+        cells = _cells(page[:, 0], lo, eps, n_cells)
+        owners = cell_to_stripe[cells]
+        for sid in np.unique(owners):
+            rows = page[owners == sid]
+            stripe_files[sid].append_rows(rows)
+            in_band = rows[:, 0] <= stripe_lower[sid] + eps
+            if in_band.any():
+                band_files[sid].append_rows(rows[in_band])
+    for pfile in stripe_files + band_files:
+        pfile.close_append()
+
+    # Pass 4: join each stripe with itself and with the next stripe's band.
+    for sid in range(len(stripes)):
+        stripe_rows = stripe_files[sid].read_all()
+        stripe_points = stripe_rows[:, :dims]
+        stripe_map = stripe_rows[:, dims].astype(np.int64)
+        in_memory = len(stripe_rows)
+        if len(stripe_points) >= 2:
+            mapped = _MappedSink(sink, stripe_map, stripe_map)
+            local = epsilon_kdb_self_join(stripe_points, spec, sink=mapped)
+            report.stats.merge(local.stats)
+        if sid + 1 < len(stripes) and band_files[sid + 1].num_rows:
+            band_rows = band_files[sid + 1].read_all()
+            in_memory += len(band_rows)
+            band_points = band_rows[:, :dims]
+            band_map = band_rows[:, dims].astype(np.int64)
+            if len(stripe_points) and len(band_points):
+                mapped = _MappedSink(sink, stripe_map, band_map)
+                local = epsilon_kdb_join(
+                    stripe_points, band_points, spec, sink=mapped
+                )
+                report.stats.merge(local.stats)
+        report.peak_memory_points = max(report.peak_memory_points, in_memory)
+
+    report.io = store.counters.delta(baseline_io)
+    report.stats.pages_read = report.io.reads
+    report.stats.pages_written = report.io.writes
+    report.stats.pairs_emitted = sink.count
+    if collect:
+        pairs = sink.pairs()
+        if len(pairs):
+            order = np.lexsort((pairs[:, 1], pairs[:, 0]))
+            pairs = pairs[order]
+        report.pairs = pairs
+    return report
+
+
+class _SidedSink(PairSink):
+    """Translate local pair indices to global ones, preserving sides."""
+
+    def __init__(self, target: PairSink, map_left: np.ndarray, map_right: np.ndarray):
+        self._target = target
+        self._map_left = map_left
+        self._map_right = map_right
+
+    def emit(self, left: np.ndarray, right: np.ndarray) -> None:
+        self._target.emit(self._map_left[left], self._map_right[right])
+
+    @property
+    def count(self) -> int:
+        return self._target.count
+
+
+def external_join(
+    points_r: np.ndarray,
+    points_s: np.ndarray,
+    spec: JoinSpec,
+    memory_points: int,
+    store: Optional[PageStore] = None,
+    sink: Optional[PairSink] = None,
+    page_rows: int = 256,
+) -> ExternalJoinReport:
+    """Two-set join R against S through the simulated disk.
+
+    Both relations are striped on dimension 0 with *shared* stripe
+    boundaries planned from their combined histogram, so stripe ``k`` of
+    R only needs stripe ``k`` of S plus the epsilon band at each side's
+    next stripe: ``(R_k x S_k)``, ``(R_k x Sband_{k+1})`` and
+    ``(Rband_{k+1} x S_k)`` together cover every qualifying pair exactly
+    once.  Reported pairs are ``(r_index, s_index)`` with sides
+    preserved, like :func:`repro.core.join.epsilon_kdb_join`.
+    """
+    points_r = validate_points(points_r, "points_r")
+    points_s = validate_points(points_s, "points_s")
+    if points_r.shape[1] != points_s.shape[1]:
+        raise InvalidParameterError(
+            "both sides of a join must have the same dimensionality"
+        )
+    if memory_points < 2:
+        raise InvalidParameterError(
+            f"memory_points must be >= 2, got {memory_points}"
+        )
+    report = ExternalJoinReport(memory_budget_points=int(memory_points))
+    collect = sink is None
+    if collect:
+        sink = PairCollector()
+    if len(points_r) == 0 or len(points_s) == 0:
+        return report
+    if store is None:
+        store = PageStore(page_rows=page_rows)
+    dims = points_r.shape[1]
+
+    relations = []
+    for label, points in (("r", points_r), ("s", points_s)):
+        augmented = np.column_stack(
+            [points, np.arange(len(points), dtype=np.float64)]
+        )
+        relations.append(PointFile.from_points(store, augmented))
+    baseline_io = store.counters.snapshot()
+
+    # Pass 1: shared striping domain over both relations.
+    lo = math.inf
+    hi = -math.inf
+    for relation in relations:
+        for page in relation.scan():
+            lo = min(lo, float(page[:, 0].min()))
+            hi = max(hi, float(page[:, 0].max()))
+    eps = spec.band_width
+    n_cells = max(1, int((hi - lo) // eps))
+
+    # Pass 2: combined histogram (memory at join time holds both sides).
+    histogram = np.zeros(n_cells, dtype=np.int64)
+    for relation in relations:
+        for page in relation.scan():
+            cells = _cells(page[:, 0], lo, eps, n_cells)
+            histogram += np.bincount(cells, minlength=n_cells)
+
+    stripes = plan_stripes(histogram, int(memory_points))
+    report.stripes = len(stripes)
+    cell_to_stripe = np.empty(n_cells, dtype=np.int64)
+    stripe_lower = np.empty(len(stripes))
+    for sid, span in enumerate(stripes):
+        cell_to_stripe[span] = sid
+        stripe_lower[sid] = lo + span.start * eps
+
+    # Pass 3: partition each relation into stripe and band files.
+    stripe_files = [[], []]
+    band_files = [[], []]
+    for side, relation in enumerate(relations):
+        stripe_files[side] = [PointFile(store, dims + 1) for _ in stripes]
+        band_files[side] = [PointFile(store, dims + 1) for _ in stripes]
+        for page in relation.scan():
+            cells = _cells(page[:, 0], lo, eps, n_cells)
+            owners = cell_to_stripe[cells]
+            for sid in np.unique(owners):
+                rows = page[owners == sid]
+                stripe_files[side][sid].append_rows(rows)
+                in_band = rows[:, 0] <= stripe_lower[sid] + eps
+                if in_band.any():
+                    band_files[side][sid].append_rows(rows[in_band])
+        for pfile in stripe_files[side] + band_files[side]:
+            pfile.close_append()
+
+    # Pass 4: per stripe, R_k x S_k, R_k x Sband_{k+1}, Rband_{k+1} x S_k.
+    def load(pfile):
+        rows = pfile.read_all()
+        return rows[:, :dims], rows[:, dims].astype(np.int64)
+
+    def join_sides(left, left_map, right, right_map):
+        if len(left) and len(right):
+            mapped = _SidedSink(sink, left_map, right_map)
+            local = epsilon_kdb_join(left, right, spec, sink=mapped)
+            report.stats.merge(local.stats)
+
+    for sid in range(len(stripes)):
+        r_points, r_map = load(stripe_files[0][sid])
+        s_points, s_map = load(stripe_files[1][sid])
+        in_memory = len(r_points) + len(s_points)
+        join_sides(r_points, r_map, s_points, s_map)
+        if sid + 1 < len(stripes):
+            if band_files[1][sid + 1].num_rows:
+                sband_points, sband_map = load(band_files[1][sid + 1])
+                in_memory += len(sband_points)
+                join_sides(r_points, r_map, sband_points, sband_map)
+            if band_files[0][sid + 1].num_rows:
+                rband_points, rband_map = load(band_files[0][sid + 1])
+                in_memory += len(rband_points)
+                join_sides(rband_points, rband_map, s_points, s_map)
+        report.peak_memory_points = max(report.peak_memory_points, in_memory)
+
+    report.io = store.counters.delta(baseline_io)
+    report.stats.pages_read = report.io.reads
+    report.stats.pages_written = report.io.writes
+    report.stats.pairs_emitted = sink.count
+    if collect:
+        pairs = sink.pairs()
+        if len(pairs):
+            order = np.lexsort((pairs[:, 1], pairs[:, 0]))
+            pairs = pairs[order]
+        report.pairs = pairs
+    return report
+
+
+def _cells(values: np.ndarray, lo: float, eps: float, n_cells: int) -> np.ndarray:
+    cells = np.floor((values - lo) / eps).astype(np.int64)
+    return np.clip(cells, 0, n_cells - 1)

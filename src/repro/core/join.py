@@ -1,0 +1,301 @@
+"""Similarity-join traversals over epsilon-kdB trees.
+
+The traversal applies the paper's adjacent-cell rule: inside a split
+dimension, a qualifying pair (distance <= epsilon under any L_p) must
+fall into the same or adjacent cells, so a node's child ``i`` only ever
+joins children ``i-1``, ``i`` and ``i+1`` of the other node.  Leaf-level
+joins are vectorized sort-merge sweeps along one unsplit dimension with a
+full-distance filter.
+
+Self-joins emit each unordered pair once with ``left < right``; two-set
+joins emit ``(r_index, s_index)`` with sides preserved.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Optional, Tuple, Union
+
+import numpy as np
+
+from repro.core.config import JoinSpec, validate_points
+from repro.core.epsilon_kdb import EpsilonKdbTree, Grid, InternalNode, LeafNode
+from repro.core.result import JoinResult, JoinStats, PairCollector, PairCounter, PairSink
+from repro.core.sweep import band_pairs_cross, band_pairs_self
+from repro.errors import InvalidParameterError
+
+# A "flat" node during traversal: (indices, sort-dim values), both sorted
+# by the sort dimension.  Real leaves are converted to this form and
+# leaf-vs-internal recursion produces filtered fragments of it.
+_Flat = Tuple[np.ndarray, np.ndarray]
+_TraversalNode = Union[InternalNode, _Flat]
+
+
+class _JoinContext:
+    """State threaded through one traversal."""
+
+    __slots__ = (
+        "points_a",
+        "points_b",
+        "grid",
+        "eps",
+        "band",
+        "metric",
+        "sink",
+        "stats",
+        "self_mode",
+        "adjacency_pruning",
+    )
+
+    def __init__(
+        self,
+        points_a: np.ndarray,
+        points_b: np.ndarray,
+        grid: Grid,
+        spec: JoinSpec,
+        sink: PairSink,
+        self_mode: bool,
+    ):
+        self.points_a = points_a
+        self.points_b = points_b
+        self.grid = grid
+        self.eps = spec.epsilon
+        self.band = spec.band_width
+        self.metric = spec.metric
+        self.sink = sink
+        self.stats = JoinStats()
+        self.self_mode = self_mode
+        self.adjacency_pruning = spec.adjacency_pruning
+
+    # ------------------------------------------------------------------
+    # leaf-level joins
+    # ------------------------------------------------------------------
+    def leaf_self(self, flat: _Flat) -> None:
+        indices, values = flat
+        self.stats.leaf_joins += 1
+        pos_a, pos_b = band_pairs_self(values, self.band)
+        self.stats.distance_computations += len(pos_a)
+        if not len(pos_a):
+            return
+        left = indices[pos_a]
+        right = indices[pos_b]
+        mask = self.metric.within_rows(
+            self.points_a, self.points_a, left, right, self.eps
+        )
+        self._emit(left[mask], right[mask])
+
+    def leaf_cross(self, flat_a: _Flat, flat_b: _Flat) -> None:
+        indices_a, values_a = flat_a
+        indices_b, values_b = flat_b
+        self.stats.leaf_joins += 1
+        pos_a, pos_b = band_pairs_cross(values_a, values_b, self.band)
+        self.stats.distance_computations += len(pos_a)
+        if not len(pos_a):
+            return
+        left = indices_a[pos_a]
+        right = indices_b[pos_b]
+        mask = self.metric.within_rows(
+            self.points_a, self.points_b, left, right, self.eps
+        )
+        self._emit(left[mask], right[mask])
+
+    def _emit(self, left: np.ndarray, right: np.ndarray) -> None:
+        if not len(left):
+            return
+        if self.self_mode:
+            lo = np.minimum(left, right)
+            hi = np.maximum(left, right)
+            self.sink.emit(lo, hi)
+        else:
+            self.sink.emit(left, right)
+        self.stats.pairs_emitted += int(len(left))
+
+
+def _flatten(node: _TraversalNode) -> _TraversalNode:
+    """Convert real leaves to the flat (indices, values) form."""
+    if isinstance(node, LeafNode):
+        if node.sort_values is None:
+            raise InvalidParameterError(
+                "tree must be finalized before joining; call tree.finalize()"
+            )
+        return (node.indices, node.sort_values)
+    return node
+
+
+def _self_join_node(ctx: _JoinContext, node: _TraversalNode) -> None:
+    node = _flatten(node)
+    ctx.stats.node_pairs_visited += 1
+    if isinstance(node, tuple):
+        ctx.leaf_self(node)
+        return
+    cells = sorted(node.children)
+    for cell in cells:
+        _self_join_node(ctx, node.children[cell])
+        if ctx.adjacency_pruning:
+            neighbor = node.children.get(cell + 1)
+            if neighbor is not None:
+                _cross_join(ctx, node.children[cell], neighbor)
+        else:
+            for other in cells:
+                if other > cell:
+                    _cross_join(ctx, node.children[cell], node.children[other])
+
+
+def _cross_join(
+    ctx: _JoinContext, a: _TraversalNode, b: _TraversalNode
+) -> None:
+    """Join every pair (x in a-side subtree, y in b-side subtree)."""
+    a = _flatten(a)
+    b = _flatten(b)
+    ctx.stats.node_pairs_visited += 1
+    a_leaf = isinstance(a, tuple)
+    b_leaf = isinstance(b, tuple)
+    if a_leaf and (not a[0].size):
+        return
+    if b_leaf and (not b[0].size):
+        return
+    if a_leaf and b_leaf:
+        ctx.leaf_cross(a, b)
+    elif not a_leaf and not b_leaf:
+        if a.split_dim != b.split_dim:
+            raise InvalidParameterError(
+                "cross-joined internal nodes disagree on split dimension; "
+                "the two trees were not built with a shared grid and order"
+            )
+        for cell_a, child_a in a.children.items():
+            if ctx.adjacency_pruning:
+                neighbors = (cell_a - 1, cell_a, cell_a + 1)
+            else:
+                neighbors = tuple(b.children)
+            for cell_b in neighbors:
+                child_b = b.children.get(cell_b)
+                if child_b is not None:
+                    _cross_join(ctx, child_a, child_b)
+    elif a_leaf:
+        _leaf_vs_internal(ctx, a, b, leaf_on_left=True)
+    else:
+        _leaf_vs_internal(ctx, b, a, leaf_on_left=False)
+
+
+def _leaf_vs_internal(
+    ctx: _JoinContext, flat: _Flat, internal: InternalNode, leaf_on_left: bool
+) -> None:
+    """Join a flat leaf fragment against an internal subtree.
+
+    The fragment's points are filtered by cell in the internal node's
+    split dimension: only points in cells ``j-1..j+1`` can pair with the
+    child at cell ``j``.  Filtering preserves the fragment's sort order,
+    so no re-sort is needed.
+    """
+    indices, values = flat
+    points = ctx.points_a if leaf_on_left else ctx.points_b
+    dim = internal.split_dim
+    cells = ctx.grid.cell_of(points[indices, dim], dim)
+    for cell_b, child in internal.children.items():
+        if ctx.adjacency_pruning:
+            mask = np.abs(cells - cell_b) <= 1
+            if not mask.any():
+                continue
+            fragment: _Flat = (indices[mask], values[mask])
+        else:
+            fragment = flat
+        if leaf_on_left:
+            _cross_join(ctx, fragment, child)
+        else:
+            _cross_join(ctx, child, fragment)
+
+
+# ----------------------------------------------------------------------
+# public entry points
+# ----------------------------------------------------------------------
+def epsilon_kdb_self_join(
+    points: np.ndarray,
+    spec: JoinSpec,
+    sink: Optional[PairSink] = None,
+    tree: Optional[EpsilonKdbTree] = None,
+) -> JoinResult:
+    """Self-join: all pairs ``i < j`` with ``dist(points[i], points[j]) <= eps``.
+
+    Builds an epsilon-kdB tree (unless a pre-built ``tree`` over the same
+    points and spec is supplied), traverses it with the adjacent-cell
+    rule, and returns a :class:`JoinResult`.  Pass a
+    :class:`~repro.core.result.PairCounter` as ``sink`` to count without
+    materializing pairs.
+    """
+    points = validate_points(points)
+    collect = sink is None
+    if collect:
+        sink = PairCollector()
+    result = JoinResult()
+    if len(points) < 2:
+        return result
+    started = time.perf_counter()
+    if tree is None:
+        tree = EpsilonKdbTree.build(points, spec)
+    else:
+        # A tree built for a larger epsilon remains valid for any
+        # smaller threshold: its cells are at least tree-epsilon wide,
+        # so the adjacent-cell rule still over-approximates the
+        # spec-epsilon predicate.  The reverse would silently drop
+        # pairs, so it is rejected.
+        if spec.epsilon > tree.spec.epsilon or spec.band_width > tree.grid.eps:
+            raise InvalidParameterError(
+                f"join epsilon {spec.epsilon} (band {spec.band_width}) "
+                f"exceeds the tree's build epsilon {tree.spec.epsilon} "
+                f"(cell width {tree.grid.eps}); rebuild the tree"
+            )
+        tree.finalize()
+    built = time.perf_counter()
+    ctx = _JoinContext(
+        points, points, tree.grid, spec, sink, self_mode=True
+    )
+    _self_join_node(ctx, tree.root)
+    finished = time.perf_counter()
+    result.stats = ctx.stats
+    result.stats.pairs_emitted = sink.count
+    result.build_seconds = built - started
+    result.join_seconds = finished - built
+    if collect:
+        result.pairs = sink.sorted_pairs()
+    return result
+
+
+def epsilon_kdb_join(
+    points_r: np.ndarray,
+    points_s: np.ndarray,
+    spec: JoinSpec,
+    sink: Optional[PairSink] = None,
+) -> JoinResult:
+    """Two-set join: all ``(i, j)`` with ``dist(points_r[i], points_s[j]) <= eps``.
+
+    Builds one epsilon-kdB tree per side over a shared grid covering the
+    union of both bounding boxes, then runs the synchronized traversal.
+    """
+    points_r = validate_points(points_r, "points_r")
+    points_s = validate_points(points_s, "points_s")
+    if points_r.shape[1] != points_s.shape[1]:
+        raise InvalidParameterError(
+            "both sides of a join must have the same dimensionality: "
+            f"{points_r.shape[1]} != {points_s.shape[1]}"
+        )
+    collect = sink is None
+    if collect:
+        sink = PairCollector()
+    result = JoinResult()
+    if len(points_r) == 0 or len(points_s) == 0:
+        return result
+    started = time.perf_counter()
+    grid = Grid.fit_union(points_r, points_s, spec.band_width)
+    tree_r = EpsilonKdbTree.build(points_r, spec, grid=grid)
+    tree_s = EpsilonKdbTree.build(points_s, spec, grid=grid)
+    built = time.perf_counter()
+    ctx = _JoinContext(points_r, points_s, grid, spec, sink, self_mode=False)
+    _cross_join(ctx, tree_r.root, tree_s.root)
+    finished = time.perf_counter()
+    result.stats = ctx.stats
+    result.stats.pairs_emitted = sink.count
+    result.build_seconds = built - started
+    result.join_seconds = finished - built
+    if collect:
+        result.pairs = sink.sorted_pairs()
+    return result

@@ -1,0 +1,181 @@
+"""Result sinks and machine-independent join statistics.
+
+Join algorithms emit candidate verdicts through a sink object instead of
+returning Python lists, so the same traversal code can either materialize
+the joined pairs (:class:`PairCollector`) or merely count them
+(:class:`PairCounter`) — the latter is what the benchmark harness uses to
+measure algorithmic work without the memory cost of huge outputs.
+
+:class:`JoinStats` carries the hardware-independent counters that the
+paper's evaluation reasons about: how many full distance computations an
+algorithm performed, how many node pairs its traversal visited, and how
+many leaf joins it executed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Tuple
+
+import numpy as np
+
+
+@dataclass
+class JoinStats:
+    """Counters describing the work one join execution performed.
+
+    Attributes:
+        distance_computations: candidate pairs whose full distance was
+            evaluated (after all per-coordinate pruning).
+        node_pairs_visited: pairs of index nodes (or grid cells, or
+            tree nodes, depending on the algorithm) the traversal
+            touched.
+        leaf_joins: leaf-level join invocations.
+        pairs_emitted: qualifying pairs reported.
+        pages_read / pages_written: simulated I/O, filled in only by the
+            external-memory variants.
+    """
+
+    distance_computations: int = 0
+    node_pairs_visited: int = 0
+    leaf_joins: int = 0
+    pairs_emitted: int = 0
+    pages_read: int = 0
+    pages_written: int = 0
+
+    def merge(self, other: "JoinStats") -> None:
+        """Accumulate another stats object into this one."""
+        self.distance_computations += other.distance_computations
+        self.node_pairs_visited += other.node_pairs_visited
+        self.leaf_joins += other.leaf_joins
+        self.pairs_emitted += other.pairs_emitted
+        self.pages_read += other.pages_read
+        self.pages_written += other.pages_written
+
+
+_EMPTY_I64 = np.empty(0, dtype=np.int64)
+
+
+class PairSink:
+    """Interface accepted by every join algorithm.
+
+    ``emit(left, right)`` receives two equal-length int arrays of point
+    indices; each position is one qualifying pair.  For self-joins the
+    convention is ``left < right`` element-wise and each unordered pair
+    appears exactly once.
+    """
+
+    def emit(self, left: np.ndarray, right: np.ndarray) -> None:
+        raise NotImplementedError
+
+    @property
+    def count(self) -> int:
+        raise NotImplementedError
+
+
+class PairCounter(PairSink):
+    """Sink that only counts qualifying pairs."""
+
+    def __init__(self) -> None:
+        self._count = 0
+
+    def emit(self, left: np.ndarray, right: np.ndarray) -> None:
+        self._count += int(len(left))
+
+    @property
+    def count(self) -> int:
+        return self._count
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<PairCounter count={self._count}>"
+
+
+class PairCollector(PairSink):
+    """Sink that materializes every qualifying pair.
+
+    Pairs are buffered as the chunks the algorithms emit and concatenated
+    once at the end, so collection is O(pairs) with no per-pair Python
+    object overhead.
+    """
+
+    def __init__(self) -> None:
+        self._left: List[np.ndarray] = []
+        self._right: List[np.ndarray] = []
+        self._count = 0
+
+    def emit(self, left: np.ndarray, right: np.ndarray) -> None:
+        if len(left):
+            self._left.append(np.asarray(left, dtype=np.int64))
+            self._right.append(np.asarray(right, dtype=np.int64))
+            self._count += int(len(left))
+
+    @property
+    def count(self) -> int:
+        return self._count
+
+    def arrays(self) -> Tuple[np.ndarray, np.ndarray]:
+        """Return the collected pairs as two aligned index arrays."""
+        if not self._left:
+            return _EMPTY_I64.copy(), _EMPTY_I64.copy()
+        return np.concatenate(self._left), np.concatenate(self._right)
+
+    def pairs(self) -> np.ndarray:
+        """Return the collected pairs as an ``(n, 2)`` array."""
+        left, right = self.arrays()
+        return np.column_stack([left, right])
+
+    def sorted_pairs(self) -> np.ndarray:
+        """Pairs as a canonical ``(n, 2)`` array, lexicographically sorted.
+
+        Useful for comparing the output of two algorithms; does not
+        reorder within a pair (self-join pairs are already ``i < j``).
+        """
+        out = self.pairs()
+        if len(out) == 0:
+            return out
+        order = np.lexsort((out[:, 1], out[:, 0]))
+        return out[order]
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<PairCollector count={self._count}>"
+
+
+@dataclass
+class JoinResult:
+    """Bundle of a join's output pairs (optional) and its statistics.
+
+    ``build_seconds`` and ``join_seconds`` split the wall-clock cost into
+    structure construction and traversal, mirroring the paper's
+    discussion of the epsilon-kdB tree being cheap to build per join.
+    """
+
+    stats: JoinStats = field(default_factory=JoinStats)
+    pairs: np.ndarray = field(default_factory=lambda: np.empty((0, 2), dtype=np.int64))
+    build_seconds: float = 0.0
+    join_seconds: float = 0.0
+
+    @property
+    def count(self) -> int:
+        return self.stats.pairs_emitted
+
+    @property
+    def total_seconds(self) -> float:
+        return self.build_seconds + self.join_seconds
+
+
+def canonicalize_self_pairs(left: np.ndarray, right: np.ndarray) -> np.ndarray:
+    """Normalize self-join pairs: orient ``i < j``, dedupe, sort.
+
+    Baselines that generate pairs in arbitrary orientation use this to
+    produce the canonical form for comparison.
+    """
+    left = np.asarray(left, dtype=np.int64)
+    right = np.asarray(right, dtype=np.int64)
+    lo = np.minimum(left, right)
+    hi = np.maximum(left, right)
+    keep = lo != hi
+    pairs = np.column_stack([lo[keep], hi[keep]])
+    if len(pairs) == 0:
+        return pairs
+    pairs = np.unique(pairs, axis=0)
+    return pairs

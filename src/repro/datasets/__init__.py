@@ -1,0 +1,37 @@
+"""Workload generators for the evaluation.
+
+* :mod:`repro.datasets.synthetic` — the paper's synthetic families:
+  uniform, Gaussian clusters, and correlated data.
+* :mod:`repro.datasets.timeseries` — the "similar time sequences"
+  workload: random-walk price series reduced to DFT feature vectors
+  (substitute for the paper's proprietary stock data; see DESIGN.md §5).
+* :mod:`repro.datasets.images` — the "similar images" workload:
+  synthetic color-histogram feature vectors (substitute for the paper's
+  image dataset; see DESIGN.md §5).
+"""
+
+from repro.datasets.images import color_histograms
+from repro.datasets.loaders import load_points, save_pairs, save_points
+from repro.datasets.synthetic import (
+    correlated_points,
+    gaussian_clusters,
+    uniform_points,
+)
+from repro.datasets.timeseries import (
+    dft_features,
+    random_walk_series,
+    timeseries_features,
+)
+
+__all__ = [
+    "uniform_points",
+    "gaussian_clusters",
+    "correlated_points",
+    "random_walk_series",
+    "dft_features",
+    "timeseries_features",
+    "color_histograms",
+    "load_points",
+    "save_points",
+    "save_pairs",
+]

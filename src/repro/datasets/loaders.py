@@ -1,0 +1,71 @@
+"""Loading and saving point relations.
+
+The CLI and examples accept external datasets; this module owns the
+format handling so it is tested once: ``.npy`` (NumPy binary) and
+``.csv`` (one point per line, comma-separated coordinates), both
+validated through the same rules as every other entry point.
+"""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+
+from repro.core.config import validate_points
+from repro.errors import InvalidParameterError
+
+
+def load_points(path: str) -> np.ndarray:
+    """Load an ``(n, d)`` float relation from ``.npy`` or ``.csv``.
+
+    The result passes :func:`repro.core.config.validate_points`, so the
+    caller gets the same guarantees as with generated data (2-D, float64,
+    finite).
+    """
+    if not os.path.exists(path):
+        raise InvalidParameterError(f"dataset file not found: {path}")
+    extension = os.path.splitext(path)[1].lower()
+    if extension == ".npy":
+        points = np.load(path)
+    elif extension == ".csv":
+        points = np.loadtxt(path, delimiter=",", ndmin=2)
+    else:
+        raise InvalidParameterError(
+            f"unsupported dataset extension {extension!r}; "
+            "expected .npy or .csv"
+        )
+    return validate_points(points, name=path)
+
+
+def save_points(path: str, points: np.ndarray) -> None:
+    """Save a relation to ``.npy`` or ``.csv`` (validated first)."""
+    points = validate_points(points)
+    extension = os.path.splitext(path)[1].lower()
+    if extension == ".npy":
+        np.save(path, points)
+    elif extension == ".csv":
+        np.savetxt(path, points, delimiter=",")
+    else:
+        raise InvalidParameterError(
+            f"unsupported dataset extension {extension!r}; "
+            "expected .npy or .csv"
+        )
+
+
+def save_pairs(path: str, pairs: np.ndarray) -> None:
+    """Save an ``(m, 2)`` pair array to ``.npy`` or ``.csv``."""
+    pairs = np.asarray(pairs, dtype=np.int64)
+    if pairs.ndim != 2 or pairs.shape[1] != 2:
+        raise InvalidParameterError(
+            f"pairs must be an (m, 2) array, got shape {pairs.shape}"
+        )
+    extension = os.path.splitext(path)[1].lower()
+    if extension == ".npy":
+        np.save(path, pairs)
+    elif extension == ".csv":
+        np.savetxt(path, pairs, delimiter=",", fmt="%d")
+    else:
+        raise InvalidParameterError(
+            f"unsupported pairs extension {extension!r}; expected .npy or .csv"
+        )

@@ -1,0 +1,83 @@
+"""Synthetic point workloads.
+
+The paper's synthetic evaluation draws points either uniformly in the
+unit cube or from a mixture of Gaussian clusters (the realistic case for
+feature vectors, which arrive clustered).  All generators are seeded and
+return ``(n, d)`` float64 arrays in the unit cube.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.errors import InvalidParameterError
+
+
+def _rng(seed: Optional[int]) -> np.random.Generator:
+    return np.random.default_rng(seed)
+
+
+def _check(n: int, dims: int) -> None:
+    if n < 0:
+        raise InvalidParameterError(f"n must be >= 0, got {n}")
+    if dims < 1:
+        raise InvalidParameterError(f"dims must be >= 1, got {dims}")
+
+
+def uniform_points(n: int, dims: int, seed: Optional[int] = 0) -> np.ndarray:
+    """``n`` points uniform in the unit cube ``[0, 1)^dims``."""
+    _check(n, dims)
+    return _rng(seed).random((n, dims))
+
+
+def gaussian_clusters(
+    n: int,
+    dims: int,
+    clusters: int = 10,
+    sigma: float = 0.05,
+    seed: Optional[int] = 0,
+) -> np.ndarray:
+    """A mixture of ``clusters`` spherical Gaussians inside the unit cube.
+
+    Cluster centers are uniform in ``[0.1, 0.9]^dims`` so that the
+    clipped tails do not pile up on the cube boundary; points are clipped
+    to ``[0, 1]`` (a negligible fraction for the default ``sigma``).
+    This is the workload most of the paper's synthetic experiments use.
+    """
+    _check(n, dims)
+    if clusters < 1:
+        raise InvalidParameterError(f"clusters must be >= 1, got {clusters}")
+    if sigma < 0:
+        raise InvalidParameterError(f"sigma must be >= 0, got {sigma}")
+    rng = _rng(seed)
+    centers = rng.uniform(0.1, 0.9, size=(clusters, dims))
+    assignment = rng.integers(0, clusters, size=n)
+    points = centers[assignment] + rng.normal(0.0, sigma, size=(n, dims))
+    return np.clip(points, 0.0, 1.0)
+
+
+def correlated_points(
+    n: int,
+    dims: int,
+    correlation: float = 0.9,
+    seed: Optional[int] = 0,
+) -> np.ndarray:
+    """Points whose dimensions are pairwise correlated.
+
+    Generated as a convex mix of one shared uniform driver and per-
+    dimension independent noise: ``x_k = c * shared + (1 - c) * noise_k``.
+    Models feature vectors with strongly dependent coordinates (e.g. DFT
+    coefficients of smooth series), where one split dimension already
+    prunes most of the space.
+    """
+    _check(n, dims)
+    if not 0.0 <= correlation <= 1.0:
+        raise InvalidParameterError(
+            f"correlation must be in [0, 1], got {correlation}"
+        )
+    rng = _rng(seed)
+    shared = rng.random((n, 1))
+    noise = rng.random((n, dims))
+    return correlation * shared + (1.0 - correlation) * noise

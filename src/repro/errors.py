@@ -1,0 +1,37 @@
+"""Exception hierarchy for the repro package.
+
+Every error raised deliberately by this library derives from
+:class:`ReproError`, so callers can catch one type at an API boundary.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro package."""
+
+
+class InvalidParameterError(ReproError, ValueError):
+    """A caller supplied a parameter outside its valid domain.
+
+    Raised for things like a non-positive ``epsilon``, an unknown metric
+    name, a malformed points array, or mismatched dimensionalities between
+    the two sides of a join.
+    """
+
+
+class DomainError(ReproError, ValueError):
+    """Points fall outside the declared grid domain.
+
+    The epsilon-kdB grid is defined over a bounding box.  Points outside
+    that box would be assigned to clamped cells, which silently breaks the
+    adjacent-cell pruning rule, so the library refuses them instead.
+    """
+
+
+class StorageError(ReproError, RuntimeError):
+    """Misuse of the simulated paged-storage layer.
+
+    Examples: unpinning a page that is not pinned, requesting a page past
+    the end of a file, or evicting with every buffer frame pinned.
+    """

@@ -1,0 +1,32 @@
+"""Distance metrics used by every join algorithm in the package.
+
+The similarity-join algorithms prune candidates per coordinate, which is
+valid for any L_p metric because ``|x_k - y_k|`` is a lower bound on every
+L_p distance.  The kernels here provide scalar, row-gather and blocked
+evaluation so both the tree traversals and the vectorized leaf joins can
+share one implementation.
+"""
+
+from repro.metrics.lp import (
+    L1,
+    L2,
+    LINF,
+    ChebyshevMetric,
+    LpMetric,
+    Metric,
+    WeightedLpMetric,
+    get_metric,
+    lp_metric,
+)
+
+__all__ = [
+    "Metric",
+    "LpMetric",
+    "ChebyshevMetric",
+    "WeightedLpMetric",
+    "L1",
+    "L2",
+    "LINF",
+    "lp_metric",
+    "get_metric",
+]

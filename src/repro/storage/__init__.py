@@ -1,0 +1,12 @@
+"""Simulated paged storage with I/O accounting.
+
+The paper's external-memory join variant processes data larger than main
+memory by striping the first dimension.  This package provides the
+substrate that experiment E9 runs on: a page store standing in for a
+disk, a point file that lays rows across pages, and an LRU buffer manager
+that counts physical reads and writes.
+"""
+
+from repro.storage.pages import BufferManager, PageStore, PointFile
+
+__all__ = ["PageStore", "PointFile", "BufferManager"]

@@ -1,0 +1,231 @@
+"""Paged storage simulation.
+
+:class:`PageStore` models a disk as an append-only collection of
+fixed-size pages and counts every physical page read and write.
+:class:`PointFile` lays an ``(n, d)`` point relation across pages of a
+store.  :class:`BufferManager` caches pages with LRU replacement and
+pin/unpin discipline, so algorithms above it incur physical I/O only on
+cache misses — exactly the accounting the external-join experiment needs.
+
+Pages hold real NumPy arrays (the data has to live somewhere in a pure
+in-process simulation); the point is the *counting*, which reproduces the
+I/O behaviour of the paper's disk-resident setting.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional
+
+import numpy as np
+
+from repro.errors import InvalidParameterError, StorageError
+
+DEFAULT_PAGE_ROWS = 256
+
+
+@dataclass
+class IoCounters:
+    """Physical I/O tally for one store."""
+
+    reads: int = 0
+    writes: int = 0
+
+    def snapshot(self) -> "IoCounters":
+        return IoCounters(reads=self.reads, writes=self.writes)
+
+    def delta(self, earlier: "IoCounters") -> "IoCounters":
+        return IoCounters(
+            reads=self.reads - earlier.reads,
+            writes=self.writes - earlier.writes,
+        )
+
+
+class PageStore:
+    """A simulated disk of fixed-size pages.
+
+    ``page_rows`` is the page size expressed in relation rows; every
+    :meth:`read_page` / :meth:`write_page` bumps the physical counters.
+    """
+
+    def __init__(self, page_rows: int = DEFAULT_PAGE_ROWS):
+        if page_rows < 1:
+            raise InvalidParameterError(
+                f"page_rows must be >= 1, got {page_rows}"
+            )
+        self.page_rows = int(page_rows)
+        self._pages: List[np.ndarray] = []
+        self.counters = IoCounters()
+
+    @property
+    def num_pages(self) -> int:
+        return len(self._pages)
+
+    def allocate(self, rows: np.ndarray) -> int:
+        """Write a new page containing ``rows``; returns its page id."""
+        if len(rows) > self.page_rows:
+            raise StorageError(
+                f"page overflow: {len(rows)} rows > page size {self.page_rows}"
+            )
+        self._pages.append(np.array(rows, copy=True))
+        self.counters.writes += 1
+        return len(self._pages) - 1
+
+    def write_page(self, page_id: int, rows: np.ndarray) -> None:
+        """Overwrite an existing page."""
+        self._check(page_id)
+        if len(rows) > self.page_rows:
+            raise StorageError(
+                f"page overflow: {len(rows)} rows > page size {self.page_rows}"
+            )
+        self._pages[page_id] = np.array(rows, copy=True)
+        self.counters.writes += 1
+
+    def read_page(self, page_id: int) -> np.ndarray:
+        """Physically read one page (counted)."""
+        self._check(page_id)
+        self.counters.reads += 1
+        return self._pages[page_id]
+
+    def _check(self, page_id: int) -> None:
+        if not 0 <= page_id < len(self._pages):
+            raise StorageError(
+                f"page {page_id} out of range [0, {len(self._pages)})"
+            )
+
+
+class BufferManager:
+    """LRU page cache with pin counts over a :class:`PageStore`.
+
+    ``capacity`` is the number of page frames.  :meth:`get` returns the
+    page contents, faulting it in on a miss; pages fetched with
+    ``pin=True`` must be released with :meth:`unpin` before they become
+    evictable.  Eviction with every frame pinned raises
+    :class:`~repro.errors.StorageError` — a budget violation, not a
+    silent overcommit.
+    """
+
+    def __init__(self, store: PageStore, capacity: int):
+        if capacity < 1:
+            raise InvalidParameterError(
+                f"buffer capacity must be >= 1, got {capacity}"
+            )
+        self.store = store
+        self.capacity = int(capacity)
+        self._frames: "OrderedDict[int, np.ndarray]" = OrderedDict()
+        self._pins: Dict[int, int] = {}
+        self.hits = 0
+        self.misses = 0
+
+    def get(self, page_id: int, pin: bool = False) -> np.ndarray:
+        if page_id in self._frames:
+            self._frames.move_to_end(page_id)
+            self.hits += 1
+        else:
+            self.misses += 1
+            self._make_room()
+            self._frames[page_id] = self.store.read_page(page_id)
+        if pin:
+            self._pins[page_id] = self._pins.get(page_id, 0) + 1
+        return self._frames[page_id]
+
+    def unpin(self, page_id: int) -> None:
+        count = self._pins.get(page_id, 0)
+        if count <= 0:
+            raise StorageError(f"page {page_id} is not pinned")
+        if count == 1:
+            del self._pins[page_id]
+        else:
+            self._pins[page_id] = count - 1
+
+    def _make_room(self) -> None:
+        while len(self._frames) >= self.capacity:
+            victim = next(
+                (pid for pid in self._frames if self._pins.get(pid, 0) == 0),
+                None,
+            )
+            if victim is None:
+                raise StorageError(
+                    "buffer pool exhausted: every frame is pinned"
+                )
+            del self._frames[victim]
+
+    @property
+    def pinned_pages(self) -> int:
+        return len(self._pins)
+
+    def flush(self) -> None:
+        """Drop every unpinned frame (pinned frames stay resident)."""
+        for pid in [p for p in self._frames if self._pins.get(p, 0) == 0]:
+            del self._frames[pid]
+
+
+class PointFile:
+    """An ``(n, d)`` point relation laid across pages of a store."""
+
+    def __init__(self, store: PageStore, dims: int):
+        if dims < 1:
+            raise InvalidParameterError(f"dims must be >= 1, got {dims}")
+        self.store = store
+        self.dims = int(dims)
+        self.page_ids: List[int] = []
+        self.num_rows = 0
+        self._tail: Optional[np.ndarray] = None
+        self._closed = False
+
+    @classmethod
+    def from_points(cls, store: PageStore, points: np.ndarray) -> "PointFile":
+        """Write a whole point array to a new file (counts the writes)."""
+        points = np.asarray(points, dtype=np.float64)
+        pfile = cls(store, dims=points.shape[1])
+        for start in range(0, len(points), store.page_rows):
+            pfile.append_rows(points[start : start + store.page_rows])
+        pfile.close_append()
+        return pfile
+
+    def append_rows(self, rows: np.ndarray) -> None:
+        """Append rows; full pages are written out, a partial tail is
+        buffered in memory until :meth:`close_append`."""
+        if self._closed:
+            raise StorageError("cannot append to a closed PointFile")
+        rows = np.asarray(rows, dtype=np.float64).reshape(-1, self.dims)
+        if self._tail is not None and len(self._tail):
+            buffered = np.vstack([self._tail, rows])
+        else:
+            buffered = rows
+        offset = 0
+        while len(buffered) - offset >= self.store.page_rows:
+            chunk = buffered[offset : offset + self.store.page_rows]
+            self.page_ids.append(self.store.allocate(chunk))
+            offset += self.store.page_rows
+        remainder = buffered[offset:]
+        self._tail = np.array(remainder, copy=True) if len(remainder) else None
+        self.num_rows += len(rows)
+
+    def close_append(self) -> None:
+        """Flush the buffered tail page; the file becomes read-only."""
+        if self._tail is not None and len(self._tail):
+            self.page_ids.append(self.store.allocate(self._tail))
+        self._tail = None
+        self._closed = True
+
+    @property
+    def num_pages(self) -> int:
+        return len(self.page_ids)
+
+    def read_page_rows(self, position: int) -> np.ndarray:
+        """Physically read the ``position``-th page of this file."""
+        return self.store.read_page(self.page_ids[position])
+
+    def scan(self) -> Iterator[np.ndarray]:
+        """Yield every page's rows in order (each yield = one read)."""
+        for position in range(self.num_pages):
+            yield self.read_page_rows(position)
+
+    def read_all(self) -> np.ndarray:
+        """Materialize the whole file (counted as a full scan)."""
+        pages = list(self.scan())
+        if not pages:
+            return np.empty((0, self.dims))
+        return np.vstack(pages)

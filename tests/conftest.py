@@ -1,0 +1,48 @@
+"""Shared fixtures and oracles for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import JoinSpec
+from repro.baselines import brute_force_join, brute_force_self_join
+
+
+def oracle_self_pairs(points: np.ndarray, spec: JoinSpec) -> np.ndarray:
+    """Canonical self-join answer via the blocked nested loop."""
+    return brute_force_self_join(points, spec).pairs
+
+
+def oracle_two_set_pairs(
+    points_r: np.ndarray, points_s: np.ndarray, spec: JoinSpec
+) -> np.ndarray:
+    """Canonical two-set join answer via the blocked nested loop."""
+    return brute_force_join(points_r, points_s, spec).pairs
+
+
+def assert_same_pairs(actual: np.ndarray, expected: np.ndarray, label: str = ""):
+    """Assert two canonical (sorted) pair arrays are identical."""
+    assert actual.shape == expected.shape, (
+        f"{label}: expected {len(expected)} pairs, got {len(actual)}"
+    )
+    if len(expected):
+        assert (actual == expected).all(), f"{label}: pair sets differ"
+
+
+@pytest.fixture(scope="session")
+def rng():
+    return np.random.default_rng(20260706)
+
+
+@pytest.fixture(scope="session")
+def small_uniform():
+    """1000 uniform points in 8 dimensions."""
+    return np.random.default_rng(11).random((1000, 8))
+
+
+@pytest.fixture(scope="session")
+def small_clusters():
+    from repro.datasets import gaussian_clusters
+
+    return gaussian_clusters(1200, 10, clusters=6, sigma=0.04, seed=5)

@@ -1,0 +1,124 @@
+"""Tests for selectivity analysis and reporting helpers."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro import JoinSpec
+from repro.analysis import (
+    Table,
+    ball_volume,
+    estimate_selectivity,
+    expected_pairs_uniform,
+    format_seconds,
+    format_si,
+)
+from repro.analysis.stats import epsilon_for_selectivity
+from repro.baselines import brute_force_self_join
+from repro.datasets import uniform_points
+from repro.errors import InvalidParameterError
+
+
+class TestBallVolume:
+    def test_l2_known_values(self):
+        assert ball_volume(1.0, 2, "l2") == pytest.approx(math.pi)
+        assert ball_volume(1.0, 3, "l2") == pytest.approx(4.0 / 3.0 * math.pi)
+
+    def test_linf_is_cube(self):
+        assert ball_volume(0.5, 4, "linf") == pytest.approx(1.0)
+        assert ball_volume(0.25, 2, "linf") == pytest.approx(0.25)
+
+    def test_l1_cross_polytope(self):
+        assert ball_volume(1.0, 2, "l1") == pytest.approx(2.0)
+        assert ball_volume(1.0, 3, "l1") == pytest.approx(8.0 / 6.0)
+
+    def test_scaling_law(self):
+        for dims in (2, 5, 9):
+            assert ball_volume(0.3, dims, "l2") == pytest.approx(
+                ball_volume(1.0, dims, "l2") * 0.3**dims
+            )
+
+    def test_validation(self):
+        with pytest.raises(InvalidParameterError):
+            ball_volume(-1.0, 3)
+        with pytest.raises(InvalidParameterError):
+            ball_volume(1.0, 0)
+        with pytest.raises(InvalidParameterError):
+            ball_volume(1.0, 3, metric=2.5)
+
+
+class TestExpectedPairs:
+    def test_matches_measured_on_uniform_linf(self):
+        """L-infinity avoids boundary underestimation headaches the least;
+        check the model is within a factor ~2 of truth in 2-d."""
+        points = uniform_points(2000, 2, seed=0)
+        eps = 0.05
+        expected = expected_pairs_uniform(2000, 2, eps, "linf")
+        measured = brute_force_self_join(points, JoinSpec(epsilon=eps, metric="linf")).count
+        assert 0.4 * expected < measured < 1.5 * expected
+
+    def test_probability_capped_at_one(self):
+        assert expected_pairs_uniform(10, 2, 100.0) == 45.0
+
+
+class TestEpsilonForSelectivity:
+    def test_roundtrip(self):
+        for dims in (2, 8, 16):
+            eps = epsilon_for_selectivity(1e-4, dims, "l2")
+            assert ball_volume(eps, dims, "l2") == pytest.approx(1e-4)
+
+    def test_grows_with_dimensionality(self):
+        values = [epsilon_for_selectivity(1e-4, d, "l2") for d in (2, 8, 16, 32)]
+        assert values == sorted(values)
+
+    def test_validation(self):
+        with pytest.raises(InvalidParameterError):
+            epsilon_for_selectivity(0.0, 4)
+
+
+class TestEstimateSelectivity:
+    def test_close_to_exact_on_small_data(self):
+        points = uniform_points(400, 3, seed=1)
+        spec = JoinSpec(epsilon=0.3)
+        exact = brute_force_self_join(points, spec).count / (400 * 399 / 2)
+        estimated = estimate_selectivity(points, 0.3, sample=400)
+        assert estimated == pytest.approx(exact, rel=1e-9)
+
+    def test_sampled_estimate_in_range(self):
+        points = uniform_points(3000, 4, seed=2)
+        spec = JoinSpec(epsilon=0.4)
+        exact = brute_force_self_join(points, spec).count / (3000 * 2999 / 2)
+        estimated = estimate_selectivity(points, 0.4, sample=256, seed=3)
+        assert 0.5 * exact < estimated < 2.0 * exact
+
+    def test_empty_input(self):
+        assert estimate_selectivity(np.empty((0, 2)), 0.1) == 0.0
+
+
+class TestFormatting:
+    def test_format_si(self):
+        assert format_si(950) == "950"
+        assert format_si(12_400) == "12.4k"
+        assert format_si(3_000_000) == "3M"
+        assert format_si(2.5e9) == "2.5G"
+
+    def test_format_seconds(self):
+        assert format_seconds(0.0000005).endswith("us")
+        assert format_seconds(0.25).endswith("ms")
+        assert format_seconds(3.0) == "3.00s"
+
+    def test_table_renders_aligned(self):
+        table = Table("demo", ["a", "long-header"])
+        table.add_row(1, 2)
+        table.add_row("xx", "yyyy")
+        text = table.render()
+        lines = text.splitlines()
+        assert lines[0] == "demo"
+        assert "long-header" in lines[2]
+        assert len({len(line) for line in lines[3:]}) <= 2
+
+    def test_table_rejects_wrong_arity(self):
+        table = Table("demo", ["a", "b"])
+        with pytest.raises(ValueError):
+            table.add_row(1)

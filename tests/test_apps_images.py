@@ -1,0 +1,110 @@
+"""Tests for the image-deduplication application and its union-find."""
+
+import numpy as np
+import pytest
+
+from repro.apps.images import UnionFind, find_duplicate_images
+from repro.datasets.images import color_histograms
+from repro.errors import InvalidParameterError
+
+
+class TestUnionFind:
+    def test_initially_all_singletons(self):
+        forest = UnionFind(5)
+        assert len(forest.components()) == 5
+
+    def test_union_merges(self):
+        forest = UnionFind(4)
+        assert forest.union(0, 1)
+        assert forest.union(2, 3)
+        assert forest.union(1, 2)
+        assert not forest.union(0, 3)  # already connected
+        assert forest.find(0) == forest.find(3)
+        assert len(forest.components()) == 1
+
+    def test_components_partition_everything(self):
+        rng = np.random.default_rng(0)
+        forest = UnionFind(50)
+        for _ in range(40):
+            forest.union(int(rng.integers(0, 50)), int(rng.integers(0, 50)))
+        members = sorted(
+            item for group in forest.components().values() for item in group
+        )
+        assert members == list(range(50))
+
+    def test_transitivity_matches_graph_reachability(self):
+        import networkx as nx
+
+        rng = np.random.default_rng(1)
+        edges = [
+            (int(rng.integers(0, 30)), int(rng.integers(0, 30)))
+            for _ in range(25)
+        ]
+        forest = UnionFind(30)
+        graph = nx.Graph()
+        graph.add_nodes_from(range(30))
+        for a, b in edges:
+            forest.union(a, b)
+            graph.add_edge(a, b)
+        expected = {
+            tuple(sorted(component))
+            for component in nx.connected_components(graph)
+        }
+        actual = {
+            tuple(sorted(group)) for group in forest.components().values()
+        }
+        assert actual == expected
+
+    def test_negative_size_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            UnionFind(-1)
+
+
+class TestFindDuplicateImages:
+    @pytest.fixture(scope="class")
+    def collection(self):
+        return color_histograms(
+            800, bins=24, scenes=5, concentration=200.0, seed=77,
+            return_labels=True,
+        )
+
+    def test_groups_are_join_components(self, collection):
+        histograms, _ = collection
+        result = find_duplicate_images(histograms, epsilon=0.1)
+        # Every pair's endpoints are in the same group.
+        group_of = {}
+        for gid, group in enumerate(result.groups):
+            for member in group:
+                group_of[member] = gid
+        for left, right in result.pairs:
+            assert group_of[int(left)] == group_of[int(right)]
+
+    def test_groups_sorted_largest_first(self, collection):
+        histograms, _ = collection
+        result = find_duplicate_images(histograms, epsilon=0.1)
+        sizes = [len(group) for group in result.groups]
+        assert sizes == sorted(sizes, reverse=True)
+
+    def test_no_singleton_groups(self, collection):
+        histograms, _ = collection
+        result = find_duplicate_images(histograms, epsilon=0.1)
+        assert all(len(group) >= 2 for group in result.groups)
+        assert result.duplicate_images == sum(len(g) for g in result.groups)
+
+    def test_groups_respect_scene_labels_when_tight(self, collection):
+        histograms, labels = collection
+        result = find_duplicate_images(histograms, epsilon=0.05)
+        for group in result.groups:
+            assert len(set(labels[group])) == 1
+
+    def test_no_duplicates_at_tiny_epsilon(self, collection):
+        histograms, _ = collection
+        result = find_duplicate_images(histograms, epsilon=1e-9)
+        assert result.groups == []
+        assert len(result.pairs) == 0
+
+    def test_all_one_group_at_huge_epsilon(self, collection):
+        histograms, _ = collection
+        result = find_duplicate_images(histograms, epsilon=2.0)
+        assert len(result.groups) == 1
+        assert len(result.groups[0]) == len(histograms)

@@ -1,0 +1,125 @@
+"""Tests for the whole-sequence matching application."""
+
+import numpy as np
+import pytest
+
+from repro.apps.sequences import (
+    find_similar_sequences,
+    normalized_sequences,
+    true_distances,
+)
+from repro.datasets import random_walk_series
+from repro.errors import InvalidParameterError
+
+
+def brute_force_sequence_pairs(series, epsilon):
+    normalized = normalized_sequences(series)
+    pairs = []
+    for a in range(len(series)):
+        for b in range(a + 1, len(series)):
+            dist = float(np.linalg.norm(normalized[a] - normalized[b]))
+            if dist <= epsilon:
+                pairs.append((a, b))
+    return pairs
+
+
+@pytest.fixture(scope="module")
+def market():
+    return random_walk_series(300, 128, families=6, family_mix=0.8, seed=55)
+
+
+class TestNormalization:
+    def test_zero_mean_unit_variance(self, market):
+        normalized = normalized_sequences(market)
+        assert np.allclose(normalized.mean(axis=1), 0.0, atol=1e-12)
+        assert np.allclose(normalized.std(axis=1), 1.0, atol=1e-9)
+
+    def test_constant_rows_become_zero(self):
+        normalized = normalized_sequences(np.full((2, 16), 7.0))
+        assert np.allclose(normalized, 0.0)
+
+
+class TestExactness:
+    @pytest.mark.parametrize("epsilon", [2.0, 5.0, 9.0])
+    def test_matches_equal_brute_force(self, market, epsilon):
+        result = find_similar_sequences(market, epsilon=epsilon)
+        expected = brute_force_sequence_pairs(market, epsilon)
+        assert [tuple(p) for p in result.pairs] == expected
+
+    @pytest.mark.parametrize("coefficients", [2, 4, 8, 16])
+    def test_no_false_dismissals_at_any_feature_count(self, market, coefficients):
+        """The Parseval bound must hold regardless of how few
+        coefficients the filter keeps."""
+        epsilon = 6.0
+        expected = brute_force_sequence_pairs(market, epsilon)
+        result = find_similar_sequences(
+            market, epsilon=epsilon, coefficients=coefficients
+        )
+        assert [tuple(p) for p in result.pairs] == expected
+
+    def test_reported_distances_verified(self, market):
+        result = find_similar_sequences(market, epsilon=6.0)
+        assert (result.distances <= 6.0).all()
+        normalized = normalized_sequences(market)
+        recomputed = true_distances(normalized, result.pairs)
+        assert np.allclose(result.distances, recomputed)
+
+
+class TestFilterQuality:
+    def test_features_lower_bound_true_distance(self, market):
+        """dist(features) <= dist(sequences) — the no-dismissal lemma,
+        checked directly on random pairs."""
+        import math
+
+        from repro.datasets.timeseries import dft_features
+
+        features = math.sqrt(2.0) * dft_features(market, coefficients=8)
+        normalized = normalized_sequences(market)
+        rng = np.random.default_rng(0)
+        lefts = rng.integers(0, len(market), 300)
+        rights = rng.integers(0, len(market), 300)
+        feature_dist = np.linalg.norm(
+            features[lefts] - features[rights], axis=1
+        )
+        true_dist = np.linalg.norm(
+            normalized[lefts] - normalized[rights], axis=1
+        )
+        assert (feature_dist <= true_dist + 1e-9).all()
+
+    def test_more_coefficients_tighter_filter(self, market):
+        coarse = find_similar_sequences(market, epsilon=6.0, coefficients=2)
+        fine = find_similar_sequences(market, epsilon=6.0, coefficients=16)
+        assert fine.candidates <= coarse.candidates
+        assert fine.matches == coarse.matches  # exactness is unaffected
+
+    def test_candidate_ratio_reported(self, market):
+        result = find_similar_sequences(market, epsilon=6.0, coefficients=8)
+        assert result.candidates >= result.matches
+        if result.matches:
+            assert result.candidate_ratio >= 1.0
+
+    def test_keep_candidates_flag(self, market):
+        result = find_similar_sequences(
+            market, epsilon=6.0, keep_candidates=True
+        )
+        assert len(result.candidate_pairs) == result.candidates
+
+
+class TestEdgeCases:
+    def test_tiny_inputs(self):
+        empty = np.empty((0, 32))
+        assert find_similar_sequences(empty, epsilon=1.0).matches == 0
+        one = random_walk_series(1, 32, seed=1)
+        assert find_similar_sequences(one, epsilon=1.0).matches == 0
+
+    def test_identical_sequences_always_match(self):
+        series = np.tile(random_walk_series(1, 64, seed=2), (5, 1))
+        result = find_similar_sequences(series, epsilon=0.001)
+        assert result.matches == 10  # C(5, 2)
+        assert np.allclose(result.distances, 0.0)
+
+    def test_validation(self, market):
+        with pytest.raises(InvalidParameterError):
+            find_similar_sequences(market[0], epsilon=1.0)
+        with pytest.raises(InvalidParameterError):
+            find_similar_sequences(market, epsilon=-1.0)

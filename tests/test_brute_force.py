@@ -1,0 +1,88 @@
+"""Tests for the brute-force reference join itself."""
+
+import numpy as np
+import pytest
+
+import repro.baselines.brute_force as bf_module
+from repro import JoinSpec
+from repro.baselines import brute_force_join, brute_force_self_join
+
+
+def naive_self(points, spec):
+    pairs = []
+    for a in range(len(points)):
+        for b in range(a + 1, len(points)):
+            if spec.metric.within_pair(points[a], points[b], spec.epsilon):
+                pairs.append((a, b))
+    return pairs
+
+
+def naive_two(left, right, spec):
+    pairs = []
+    for a in range(len(left)):
+        for b in range(len(right)):
+            if spec.metric.within_pair(left[a], right[b], spec.epsilon):
+                pairs.append((a, b))
+    return pairs
+
+
+class TestSelfJoin:
+    def test_matches_naive_loop(self):
+        rng = np.random.default_rng(0)
+        points = rng.random((60, 4))
+        spec = JoinSpec(epsilon=0.4)
+        result = brute_force_self_join(points, spec)
+        assert [tuple(p) for p in result.pairs] == naive_self(points, spec)
+
+    def test_handcrafted_case(self):
+        points = np.array([[0.0, 0.0], [0.1, 0.0], [1.0, 1.0]])
+        result = brute_force_self_join(points, JoinSpec(epsilon=0.15))
+        assert result.pairs.tolist() == [[0, 1]]
+
+    def test_no_diagonal_pairs(self):
+        points = np.tile([[0.3, 0.3]], (10, 1))
+        result = brute_force_self_join(points, JoinSpec(epsilon=0.5))
+        assert result.count == 45
+        assert (result.pairs[:, 0] < result.pairs[:, 1]).all()
+
+    def test_block_boundary_crossing(self, monkeypatch):
+        """Force multiple tiles to check the boundary arithmetic."""
+        monkeypatch.setattr(bf_module, "BLOCK", 7)
+        rng = np.random.default_rng(1)
+        points = rng.random((40, 3))
+        spec = JoinSpec(epsilon=0.5)
+        tiled = brute_force_self_join(points, spec)
+        assert [tuple(p) for p in tiled.pairs] == naive_self(points, spec)
+
+    def test_counts_every_pair_checked(self):
+        points = np.random.default_rng(2).random((100, 2))
+        result = brute_force_self_join(points, JoinSpec(epsilon=0.1))
+        # The diagonal tile checks the full square, so the count is
+        # between C(n,2) and n^2.
+        assert 100 * 99 // 2 <= result.stats.distance_computations <= 100 * 100
+
+
+class TestTwoSetJoin:
+    def test_matches_naive_loop(self):
+        rng = np.random.default_rng(3)
+        left = rng.random((30, 3))
+        right = rng.random((45, 3))
+        spec = JoinSpec(epsilon=0.35)
+        result = brute_force_join(left, right, spec)
+        assert [tuple(p) for p in result.pairs] == naive_two(left, right, spec)
+
+    def test_block_boundary_crossing(self, monkeypatch):
+        monkeypatch.setattr(bf_module, "BLOCK", 5)
+        rng = np.random.default_rng(4)
+        left = rng.random((23, 2))
+        right = rng.random((17, 2))
+        spec = JoinSpec(epsilon=0.4)
+        result = brute_force_join(left, right, spec)
+        assert [tuple(p) for p in result.pairs] == naive_two(left, right, spec)
+
+    def test_empty_sides(self):
+        spec = JoinSpec(epsilon=0.1)
+        empty = np.empty((0, 2))
+        other = np.zeros((3, 2))
+        assert brute_force_join(empty, other, spec).count == 0
+        assert brute_force_join(other, empty, spec).count == 0

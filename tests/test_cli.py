@@ -1,0 +1,213 @@
+"""Tests for the command-line interface."""
+
+import numpy as np
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def test_parser_defaults():
+    args = build_parser().parse_args(["join", "--epsilon", "0.1"])
+    assert args.algorithm == "epsilon-kdb"
+    assert args.dataset == "clusters"
+    assert args.points == 10_000
+
+
+def test_bare_flags_imply_join(capsys):
+    code = main(["--epsilon", "0.3", "--dataset", "uniform", "--points", "100",
+                 "--dims", "3"])
+    assert code == 0
+    assert "pairs:" in capsys.readouterr().out
+
+
+def test_epsilon_required():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args(["join"])
+
+
+def test_no_command_prints_help(capsys):
+    assert main([]) == 2
+    assert "join" in capsys.readouterr().out
+
+
+def test_compare_runs_all_algorithms(capsys):
+    code = main(
+        [
+            "compare",
+            "--epsilon",
+            "0.3",
+            "--dataset",
+            "uniform",
+            "--points",
+            "250",
+            "--dims",
+            "4",
+        ]
+    )
+    assert code == 0
+    out = capsys.readouterr().out
+    for name in ("epsilon-kdb", "rtree", "rplus", "zorder", "sort-merge",
+                 "grid", "brute-force"):
+        assert name in out
+
+
+def test_compare_skip(capsys):
+    code = main(
+        [
+            "compare",
+            "--epsilon",
+            "0.3",
+            "--dataset",
+            "uniform",
+            "--points",
+            "200",
+            "--dims",
+            "3",
+            "--skip",
+            "brute-force",
+            "--skip",
+            "grid",
+        ]
+    )
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "brute-force" not in out
+    assert "epsilon-kdb" in out
+
+
+def test_run_small_join(capsys):
+    code = main(
+        [
+            "--epsilon",
+            "0.2",
+            "--dataset",
+            "uniform",
+            "--points",
+            "300",
+            "--dims",
+            "4",
+        ]
+    )
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "pairs:" in out
+    assert "distance computations:" in out
+
+
+@pytest.mark.parametrize("algorithm", ["rtree", "sort-merge", "grid", "brute-force"])
+def test_run_every_algorithm(algorithm, capsys):
+    code = main(
+        [
+            "--epsilon",
+            "0.3",
+            "--algorithm",
+            algorithm,
+            "--dataset",
+            "uniform",
+            "--points",
+            "200",
+            "--dims",
+            "3",
+        ]
+    )
+    assert code == 0
+    assert algorithm in capsys.readouterr().out
+
+
+def test_dataset_generators(capsys):
+    for dataset in ("clusters", "timeseries", "images"):
+        code = main(
+            [
+                "--epsilon",
+                "0.5",
+                "--dataset",
+                dataset,
+                "--points",
+                "150",
+                "--dims",
+                "8",
+            ]
+        )
+        assert code == 0
+
+
+def test_output_file(tmp_path, capsys):
+    target = tmp_path / "pairs.npy"
+    code = main(
+        [
+            "--epsilon",
+            "0.4",
+            "--dataset",
+            "uniform",
+            "--points",
+            "200",
+            "--dims",
+            "3",
+            "--output",
+            str(target),
+        ]
+    )
+    assert code == 0
+    pairs = np.load(target)
+    assert pairs.ndim == 2 and pairs.shape[1] == 2
+
+
+def test_input_npy_file(tmp_path, capsys):
+    points = np.random.default_rng(0).random((120, 5))
+    source = tmp_path / "points.npy"
+    np.save(source, points)
+    code = main(["--epsilon", "0.3", "--input", str(source)])
+    assert code == 0
+    assert "120 points" in capsys.readouterr().out
+
+
+def test_search_random_queries(capsys):
+    code = main(
+        [
+            "search",
+            "--epsilon",
+            "0.2",
+            "--dataset",
+            "clusters",
+            "--points",
+            "400",
+            "--dims",
+            "6",
+            "--queries",
+            "4",
+        ]
+    )
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "built epsilon-kdB tree" in out
+    assert out.count("query ") == 4
+
+
+def test_search_explicit_query(capsys):
+    code = main(
+        [
+            "search",
+            "--epsilon",
+            "0.3",
+            "--dataset",
+            "uniform",
+            "--points",
+            "300",
+            "--dims",
+            "3",
+            "--query",
+            "0.5,0.5,0.5",
+        ]
+    )
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "hits" in out
+
+
+def test_input_csv_file(tmp_path, capsys):
+    points = np.random.default_rng(1).random((50, 3))
+    source = tmp_path / "points.csv"
+    np.savetxt(source, points, delimiter=",")
+    code = main(["--epsilon", "0.3", "--input", str(source)])
+    assert code == 0
+    assert "50 points" in capsys.readouterr().out

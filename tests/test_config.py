@@ -1,0 +1,83 @@
+"""Unit tests for JoinSpec and input validation."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import JoinSpec, validate_points
+from repro.errors import InvalidParameterError
+from repro.metrics import L2, Metric
+
+
+class TestJoinSpec:
+    def test_defaults(self):
+        spec = JoinSpec(epsilon=0.1)
+        assert spec.epsilon == 0.1
+        assert spec.metric is L2
+        assert spec.leaf_size == 128
+        assert spec.adjacency_pruning
+
+    def test_metric_resolution(self):
+        assert isinstance(JoinSpec(epsilon=0.1, metric="linf").metric, Metric)
+        assert JoinSpec(epsilon=0.1, metric=1).metric.name == "l1"
+
+    @pytest.mark.parametrize("bad", [0.0, -0.5, float("nan"), float("inf")])
+    def test_rejects_bad_epsilon(self, bad):
+        with pytest.raises(InvalidParameterError):
+            JoinSpec(epsilon=bad)
+
+    def test_rejects_bad_leaf_size(self):
+        with pytest.raises(InvalidParameterError):
+            JoinSpec(epsilon=0.1, leaf_size=0)
+
+    def test_split_order_default_is_natural(self):
+        spec = JoinSpec(epsilon=0.1)
+        assert spec.resolved_split_order(4).tolist() == [0, 1, 2, 3]
+
+    def test_split_order_custom_permutation(self):
+        spec = JoinSpec(epsilon=0.1, split_order=[2, 0, 1])
+        assert spec.resolved_split_order(3).tolist() == [2, 0, 1]
+
+    def test_split_order_rejects_non_permutation(self):
+        spec = JoinSpec(epsilon=0.1, split_order=[0, 0, 1])
+        with pytest.raises(InvalidParameterError):
+            spec.resolved_split_order(3)
+        spec = JoinSpec(epsilon=0.1, split_order=[0, 1])
+        with pytest.raises(InvalidParameterError):
+            spec.resolved_split_order(3)
+
+    def test_sort_dim_defaults_to_last_split_dim(self):
+        assert JoinSpec(epsilon=0.1).resolved_sort_dim(5) == 4
+        spec = JoinSpec(epsilon=0.1, split_order=[3, 1, 0, 2])
+        assert spec.resolved_sort_dim(4) == 2
+
+    def test_sort_dim_explicit_and_bounds(self):
+        assert JoinSpec(epsilon=0.1, sort_dim=1).resolved_sort_dim(3) == 1
+        with pytest.raises(InvalidParameterError):
+            JoinSpec(epsilon=0.1, sort_dim=7).resolved_sort_dim(3)
+
+
+class TestValidatePoints:
+    def test_accepts_lists(self):
+        arr = validate_points([[0.0, 1.0], [2.0, 3.0]])
+        assert arr.dtype == np.float64
+        assert arr.shape == (2, 2)
+
+    def test_rejects_wrong_ndim(self):
+        with pytest.raises(InvalidParameterError):
+            validate_points(np.zeros(5))
+        with pytest.raises(InvalidParameterError):
+            validate_points(np.zeros((2, 2, 2)))
+
+    def test_rejects_zero_dims(self):
+        with pytest.raises(InvalidParameterError):
+            validate_points(np.zeros((3, 0)))
+
+    def test_rejects_non_finite(self):
+        with pytest.raises(InvalidParameterError):
+            validate_points(np.array([[0.0, np.nan]]))
+        with pytest.raises(InvalidParameterError):
+            validate_points(np.array([[np.inf, 0.0]]))
+
+    def test_accepts_empty_relation(self):
+        arr = validate_points(np.empty((0, 3)))
+        assert arr.shape == (0, 3)

@@ -1,0 +1,97 @@
+"""Validation of the analytic cost model against measured counters."""
+
+import numpy as np
+import pytest
+
+from repro import JoinSpec, PairCounter
+from repro.analysis.cost_model import (
+    predict_brute_force_candidates,
+    predict_kdb_candidates,
+    predict_sort_merge_candidates,
+    split_depth,
+)
+from repro.baselines import brute_force_self_join, sort_merge_self_join
+from repro.core import epsilon_kdb_self_join
+from repro.datasets import uniform_points
+from repro.errors import InvalidParameterError
+
+
+class TestSplitDepth:
+    def test_zero_depth_when_leaf_fits_everything(self):
+        assert split_depth(100, 0.1, leaf_size=1000, dims=8) == 0
+
+    def test_depth_grows_with_n(self):
+        depths = [split_depth(n, 0.1, 64, 16) for n in (100, 10_000, 1_000_000)]
+        assert depths == sorted(depths)
+        assert depths[-1] > depths[0]
+
+    def test_depth_capped_by_dims(self):
+        assert split_depth(10**9, 0.5, 1, 4) == 4
+
+    def test_no_split_for_huge_epsilon(self):
+        assert split_depth(10_000, 1.5, 64, 8) == 0
+
+    def test_validation(self):
+        with pytest.raises(InvalidParameterError):
+            split_depth(0, 0.1, 64, 8)
+
+
+class TestPredictionsTrackMeasurements:
+    """The model should predict the measured candidate counts within a
+    small constant factor on uniform data (boundary effects and grid
+    clipping account for the slack)."""
+
+    N = 4000
+    DIMS = 10
+
+    def measured(self, algorithm, spec, **kwargs):
+        points = uniform_points(self.N, self.DIMS, seed=77)
+        sink = PairCounter()
+        result = algorithm(points, spec, sink=sink, **kwargs)
+        return result.stats.distance_computations
+
+    @pytest.mark.parametrize("eps", [0.05, 0.1, 0.2])
+    def test_kdb_model(self, eps):
+        spec = JoinSpec(epsilon=eps, leaf_size=128)
+        measured = self.measured(epsilon_kdb_self_join, spec)
+        predicted = predict_kdb_candidates(self.N, self.DIMS, eps, 128)
+        assert predicted / 5 < measured < predicted * 5
+
+    @pytest.mark.parametrize("eps", [0.05, 0.1, 0.2])
+    def test_sort_merge_model(self, eps):
+        spec = JoinSpec(epsilon=eps)
+        measured = self.measured(sort_merge_self_join, spec)
+        predicted = predict_sort_merge_candidates(self.N, eps)
+        assert predicted / 5 < measured < predicted * 5
+
+    def test_brute_force_model(self):
+        spec = JoinSpec(epsilon=0.1)
+        measured = self.measured(brute_force_self_join, spec)
+        predicted = predict_brute_force_candidates(self.N)
+        # The blocked loop checks full diagonal tiles, so measured is
+        # between C(n,2) and n^2.
+        assert predicted <= measured <= 2 * predicted + self.N
+
+    def test_kdb_beats_sort_merge_in_model_and_practice(self):
+        eps = 0.1
+        predicted_kdb = predict_kdb_candidates(self.N, self.DIMS, eps, 128)
+        predicted_sm = predict_sort_merge_candidates(self.N, eps)
+        assert predicted_kdb < predicted_sm
+        spec = JoinSpec(epsilon=eps, leaf_size=128)
+        measured_kdb = self.measured(epsilon_kdb_self_join, spec)
+        measured_sm = self.measured(sort_merge_self_join, spec)
+        assert measured_kdb < measured_sm
+
+
+class TestModelShape:
+    def test_kdb_candidates_decrease_with_smaller_eps(self):
+        values = [
+            predict_kdb_candidates(100_000, 16, eps, 128)
+            for eps in (0.4, 0.2, 0.1, 0.05)
+        ]
+        assert values == sorted(values, reverse=True)
+
+    def test_probability_never_exceeds_all_pairs(self):
+        for eps in (0.01, 0.3, 0.9, 2.0):
+            assert predict_kdb_candidates(1000, 8, eps) <= 1000 * 999 / 2
+            assert predict_sort_merge_candidates(1000, eps) <= 1000 * 999 / 2

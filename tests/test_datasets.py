@@ -1,0 +1,194 @@
+"""Tests for the workload generators."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import (
+    color_histograms,
+    correlated_points,
+    dft_features,
+    gaussian_clusters,
+    random_walk_series,
+    timeseries_features,
+    uniform_points,
+)
+from repro.errors import InvalidParameterError
+
+
+class TestUniform:
+    def test_shape_and_range(self):
+        points = uniform_points(500, 7, seed=0)
+        assert points.shape == (500, 7)
+        assert (points >= 0).all() and (points < 1).all()
+
+    def test_deterministic_by_seed(self):
+        assert (uniform_points(50, 3, seed=9) == uniform_points(50, 3, seed=9)).all()
+        assert not (
+            uniform_points(50, 3, seed=9) == uniform_points(50, 3, seed=10)
+        ).all()
+
+    def test_validation(self):
+        with pytest.raises(InvalidParameterError):
+            uniform_points(-1, 3)
+        with pytest.raises(InvalidParameterError):
+            uniform_points(10, 0)
+
+
+class TestGaussianClusters:
+    def test_shape_and_range(self):
+        points = gaussian_clusters(400, 6, seed=1)
+        assert points.shape == (400, 6)
+        assert (points >= 0).all() and (points <= 1).all()
+
+    def test_clusters_are_tighter_than_uniform(self):
+        clustered = gaussian_clusters(800, 8, clusters=5, sigma=0.03, seed=2)
+        uniform = uniform_points(800, 8, seed=2)
+        # Nearest-neighbor distances should be much smaller for clusters.
+        def mean_nn(points):
+            total = 0.0
+            for anchor in points[:100]:
+                dists = np.linalg.norm(points - anchor, axis=1)
+                total += np.partition(dists, 1)[1]
+            return total / 100
+
+        assert mean_nn(clustered) < 0.5 * mean_nn(uniform)
+
+    def test_single_cluster(self):
+        points = gaussian_clusters(200, 4, clusters=1, sigma=0.01, seed=3)
+        assert np.linalg.norm(points.std(axis=0)) < 0.1
+
+    def test_validation(self):
+        with pytest.raises(InvalidParameterError):
+            gaussian_clusters(10, 3, clusters=0)
+        with pytest.raises(InvalidParameterError):
+            gaussian_clusters(10, 3, sigma=-1.0)
+
+
+class TestCorrelated:
+    def test_shape(self):
+        assert correlated_points(300, 5, seed=4).shape == (300, 5)
+
+    def test_high_correlation_is_correlated(self):
+        points = correlated_points(3000, 4, correlation=0.95, seed=5)
+        corr = np.corrcoef(points, rowvar=False)
+        off_diagonal = corr[np.triu_indices(4, k=1)]
+        assert (off_diagonal > 0.8).all()
+
+    def test_zero_correlation_is_independent(self):
+        points = correlated_points(3000, 4, correlation=0.0, seed=6)
+        corr = np.corrcoef(points, rowvar=False)
+        off_diagonal = corr[np.triu_indices(4, k=1)]
+        assert (np.abs(off_diagonal) < 0.1).all()
+
+    def test_validation(self):
+        with pytest.raises(InvalidParameterError):
+            correlated_points(10, 3, correlation=1.5)
+
+
+class TestRandomWalkSeries:
+    def test_shape_and_positivity(self):
+        series = random_walk_series(40, 100, seed=7)
+        assert series.shape == (40, 100)
+        assert (series > 0).all()
+
+    def test_family_structure_creates_correlation(self):
+        tight = random_walk_series(60, 200, families=3, family_mix=0.95, seed=8)
+        loose = random_walk_series(60, 200, families=3, family_mix=0.0, seed=8)
+
+        def max_abs_corr(series):
+            returns = np.diff(np.log(series), axis=1)
+            corr = np.corrcoef(returns)
+            np.fill_diagonal(corr, 0.0)
+            return np.abs(corr).max()
+
+        assert max_abs_corr(tight) > max_abs_corr(loose)
+
+    def test_validation(self):
+        with pytest.raises(InvalidParameterError):
+            random_walk_series(5, 1)
+        with pytest.raises(InvalidParameterError):
+            random_walk_series(5, 50, families=0)
+        with pytest.raises(InvalidParameterError):
+            random_walk_series(5, 50, family_mix=2.0)
+
+
+class TestDftFeatures:
+    def test_shape(self):
+        series = random_walk_series(30, 64, seed=9)
+        features = dft_features(series, coefficients=6)
+        assert features.shape == (30, 12)
+
+    def test_shifted_and_scaled_series_have_same_features(self):
+        """z-normalization makes features invariant to offset and scale."""
+        series = random_walk_series(10, 64, seed=10)
+        features = dft_features(series)
+        transformed = dft_features(series * 3.0 + 100.0)
+        assert np.allclose(features, transformed, atol=1e-9)
+
+    def test_identical_series_zero_distance(self):
+        series = random_walk_series(5, 64, seed=11)
+        doubled = np.vstack([series, series])
+        features = dft_features(doubled)
+        assert np.allclose(features[:5], features[5:])
+
+    def test_energy_skew_toward_low_frequencies(self):
+        """Random-walk spectra concentrate energy in low coefficients —
+        the skew the paper's feature workloads exhibit."""
+        series = random_walk_series(200, 128, seed=12)
+        features = dft_features(series, coefficients=8)
+        energy = (features**2).mean(axis=0)
+        low = energy[0] + energy[8]  # real+imag of coefficient 1
+        high = energy[7] + energy[15]  # real+imag of coefficient 8
+        assert low > 5 * high
+
+    def test_constant_series_handled(self):
+        series = np.ones((3, 32))
+        features = dft_features(series)
+        assert np.allclose(features, 0.0)
+
+    def test_validation(self):
+        with pytest.raises(InvalidParameterError):
+            dft_features(np.zeros(10))
+        with pytest.raises(InvalidParameterError):
+            dft_features(np.zeros((3, 16)), coefficients=100)
+
+    def test_end_to_end_wrapper(self):
+        features = timeseries_features(25, length=64, coefficients=5, seed=13)
+        assert features.shape == (25, 10)
+
+
+class TestColorHistograms:
+    def test_rows_on_simplex(self):
+        histograms = color_histograms(200, bins=24, seed=14)
+        assert histograms.shape == (200, 24)
+        assert (histograms >= 0).all()
+        assert np.allclose(histograms.sum(axis=1), 1.0)
+
+    def test_scene_structure_clusters(self):
+        tight = color_histograms(300, bins=32, scenes=4, concentration=500.0, seed=15)
+        # With huge concentration, images of the same scene are nearly
+        # identical: many pairs at tiny L1 distance.
+        from repro import similarity_join
+
+        pairs = similarity_join(tight, epsilon=0.2, metric="l1")
+        assert len(pairs) > 1000
+
+    def test_mass_is_sparse(self):
+        histograms = color_histograms(100, bins=40, sparsity=0.1, seed=16)
+        # Most mass must sit in few bins.
+        sorted_rows = np.sort(histograms, axis=1)[:, ::-1]
+        top_share = sorted_rows[:, :8].sum(axis=1)
+        assert (top_share > 0.8).mean() > 0.9
+
+    def test_deterministic_by_seed(self):
+        a = color_histograms(20, seed=17)
+        b = color_histograms(20, seed=17)
+        assert (a == b).all()
+
+    def test_validation(self):
+        with pytest.raises(InvalidParameterError):
+            color_histograms(10, bins=1)
+        with pytest.raises(InvalidParameterError):
+            color_histograms(10, concentration=0.0)
+        with pytest.raises(InvalidParameterError):
+            color_histograms(10, sparsity=0.0)

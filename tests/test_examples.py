@@ -1,0 +1,68 @@
+"""Smoke tests for the example scripts.
+
+Each example is imported as a module, its workload constants are shrunk,
+and its ``main()`` is executed — so the examples in the repository are
+guaranteed to actually run against the current API.
+"""
+
+import importlib.util
+import os
+import sys
+
+import pytest
+
+EXAMPLES_DIR = os.path.join(os.path.dirname(__file__), "..", "examples")
+
+
+def load_example(name):
+    path = os.path.join(EXAMPLES_DIR, f"{name}.py")
+    spec = importlib.util.spec_from_file_location(f"example_{name}", path)
+    module = importlib.util.module_from_spec(spec)
+    sys.modules[spec.name] = module
+    spec.loader.exec_module(module)
+    return module
+
+
+def test_quickstart(capsys, monkeypatch):
+    module = load_example("quickstart")
+    module.main()
+    out = capsys.readouterr().out
+    assert "self-join found" in out
+    assert "eps-kdB tree:" in out
+
+
+def test_timeseries_similarity(capsys):
+    module = load_example("timeseries_similarity")
+    module.SERIES = 400
+    module.LENGTH = 64
+    module.EPSILON = 6.0
+    module.main()
+    out = capsys.readouterr().out
+    assert "matched" in out
+    assert "mean return correlation" in out
+
+
+def test_image_dedup(capsys):
+    module = load_example("image_dedup")
+    module.IMAGES = 600
+    module.main()
+    out = capsys.readouterr().out
+    assert "near-duplicate pairs" in out
+    assert "duplicate groups" in out
+
+
+def test_external_memory_join(capsys):
+    module = load_example("external_memory_join")
+    module.POINTS = 3000
+    module.main()
+    out = capsys.readouterr().out
+    assert "matches the in-memory join exactly: True" in out
+
+
+def test_similarity_search(capsys):
+    module = load_example("similarity_search")
+    module.IMAGES = 2000
+    module.QUERIES = 20
+    module.main()
+    out = capsys.readouterr().out
+    assert "all three agree on every query result" in out

@@ -1,0 +1,88 @@
+"""Failure-injection tests: wrong usage must fail loudly, never silently."""
+
+import numpy as np
+import pytest
+
+from repro import EpsilonKdbTree, Grid, JoinSpec
+from repro.core.join import _cross_join, _flatten
+from repro.errors import DomainError, InvalidParameterError, StorageError
+from repro.storage import BufferManager, PageStore
+
+
+class TestGridDomainViolations:
+    def test_build_with_too_small_grid_rejected(self):
+        points = np.random.default_rng(0).random((50, 3))
+        grid = Grid.fit(points[:10], eps=0.1)  # covers only a subset
+        outside = points[np.any(points > points[:10].max(axis=0), axis=1)]
+        if len(outside) == 0:
+            pytest.skip("sample happened to cover the full box")
+        with pytest.raises(DomainError):
+            EpsilonKdbTree.build(points, JoinSpec(epsilon=0.1), grid=grid)
+
+    def test_empty_tree_with_shared_grid_ok(self):
+        points = np.random.default_rng(1).random((20, 2))
+        grid = Grid.fit(points, eps=0.2)
+        tree = EpsilonKdbTree.empty(points, JoinSpec(epsilon=0.2), grid=grid)
+        assert len(tree) == 0
+
+
+class TestTraversalMisuse:
+    def test_unfinalized_leaf_rejected_by_traversal(self):
+        points = np.random.default_rng(2).random((30, 2))
+        spec = JoinSpec(epsilon=0.2)
+        tree = EpsilonKdbTree.empty(points, spec)
+        for index in range(30):
+            tree.insert(index)
+        # Bypassing finalize() must be caught, not silently mis-joined.
+        leaf = next(tree.iter_leaves())
+        with pytest.raises(InvalidParameterError):
+            _flatten(leaf)
+
+    def test_mismatched_split_orders_rejected(self):
+        points = np.random.default_rng(3).random((600, 4))
+        grid = Grid.fit(points, eps=0.05)
+        spec_a = JoinSpec(epsilon=0.05, leaf_size=8)
+        spec_b = JoinSpec(epsilon=0.05, leaf_size=8, split_order=[3, 2, 1, 0])
+        tree_a = EpsilonKdbTree.build(points, spec_a, grid=grid)
+        tree_b = EpsilonKdbTree.build(points, spec_b, grid=grid)
+
+        from repro.core.join import _JoinContext
+        from repro.core.result import PairCounter
+
+        ctx = _JoinContext(points, points, grid, spec_a, PairCounter(), False)
+        with pytest.raises(InvalidParameterError):
+            _cross_join(ctx, tree_a.root, tree_b.root)
+
+
+class TestStorageMisuse:
+    def test_read_past_end(self):
+        store = PageStore(page_rows=2)
+        store.allocate(np.zeros((1, 1)))
+        with pytest.raises(StorageError):
+            store.read_page(5)
+
+    def test_buffer_over_pinning_is_loud(self):
+        store = PageStore(page_rows=2)
+        pids = [store.allocate(np.zeros((1, 1))) for _ in range(2)]
+        buffer = BufferManager(store, capacity=1)
+        buffer.get(pids[0], pin=True)
+        with pytest.raises(StorageError):
+            buffer.get(pids[1])
+
+
+class TestNonFiniteInputs:
+    @pytest.mark.parametrize("bad_value", [np.nan, np.inf, -np.inf])
+    def test_all_entry_points_reject_non_finite(self, bad_value):
+        from repro import similarity_join
+
+        points = np.random.default_rng(4).random((10, 3))
+        points[3, 1] = bad_value
+        with pytest.raises(InvalidParameterError):
+            similarity_join(points, epsilon=0.1)
+
+    def test_external_join_rejects_non_finite(self):
+        from repro import external_self_join
+
+        points = np.full((5, 2), np.nan)
+        with pytest.raises(InvalidParameterError):
+            external_self_join(points, JoinSpec(epsilon=0.1), 100)

@@ -1,0 +1,76 @@
+"""Correctness tests for the epsilon-grid hash join."""
+
+import numpy as np
+import pytest
+
+from conftest import assert_same_pairs, oracle_self_pairs, oracle_two_set_pairs
+from repro import JoinSpec
+from repro.baselines import grid_join, grid_self_join
+from repro.baselines.grid import _bucket
+from repro.datasets import gaussian_clusters
+from repro.errors import InvalidParameterError
+
+
+@pytest.mark.parametrize("metric", ["l1", "l2", "linf"])
+@pytest.mark.parametrize("eps", [0.05, 0.3])
+def test_self_join_matches_oracle(metric, eps, small_uniform):
+    spec = JoinSpec(epsilon=eps, metric=metric)
+    expected = oracle_self_pairs(small_uniform, spec)
+    result = grid_self_join(small_uniform, spec)
+    assert_same_pairs(result.pairs, expected, f"grid {metric}/{eps}")
+
+
+@pytest.mark.parametrize("grid_dims", [1, 2, 3, 5])
+def test_grid_dims_never_changes_result(grid_dims, small_uniform):
+    spec = JoinSpec(epsilon=0.2)
+    expected = oracle_self_pairs(small_uniform, spec)
+    result = grid_self_join(small_uniform, spec, grid_dims=grid_dims)
+    assert_same_pairs(result.pairs, expected, f"grid_dims={grid_dims}")
+
+
+def test_grid_dims_bounds():
+    points = np.zeros((4, 3))
+    with pytest.raises(InvalidParameterError):
+        grid_self_join(points, JoinSpec(epsilon=0.1), grid_dims=0)
+    with pytest.raises(InvalidParameterError):
+        grid_self_join(points, JoinSpec(epsilon=0.1), grid_dims=4)
+
+
+def test_negative_coordinates():
+    rng = np.random.default_rng(14)
+    points = rng.normal(0.0, 1.0, size=(500, 4))
+    spec = JoinSpec(epsilon=0.3)
+    expected = oracle_self_pairs(points, spec)
+    result = grid_self_join(points, spec)
+    assert_same_pairs(result.pairs, expected, "negative coords")
+
+
+def test_two_set_join_matches_oracle():
+    left = gaussian_clusters(500, 5, clusters=4, sigma=0.05, seed=31)
+    right = gaussian_clusters(600, 5, clusters=4, sigma=0.05, seed=31) + 0.01
+    spec = JoinSpec(epsilon=0.15)
+    expected = oracle_two_set_pairs(left, right, spec)
+    assert len(expected) > 0
+    result = grid_join(left, right, spec)
+    assert_same_pairs(result.pairs, expected, "grid two-set")
+
+
+def test_bucket_partitions_all_points(small_uniform):
+    groups = _bucket(small_uniform, eps=0.2, grid_dims=2)
+    members = np.sort(np.concatenate(list(groups.values())))
+    assert members.tolist() == list(range(len(small_uniform)))
+
+
+def test_bucket_keys_match_cells(small_uniform):
+    eps = 0.15
+    groups = _bucket(small_uniform, eps=eps, grid_dims=3)
+    for key, members in groups.items():
+        cells = np.floor(small_uniform[members, :3] / eps).astype(np.int64)
+        assert (cells == np.array(key)).all()
+
+
+def test_empty_and_tiny():
+    spec = JoinSpec(epsilon=0.1)
+    assert grid_self_join(np.empty((0, 2)), spec).count == 0
+    assert grid_self_join(np.array([[0.5, 0.5]]), spec).count == 0
+    assert grid_join(np.empty((0, 2)), np.zeros((2, 2)), spec).count == 0

@@ -1,0 +1,66 @@
+"""Tests for dataset loading and saving."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import load_points, save_pairs, save_points
+from repro.errors import InvalidParameterError
+
+
+class TestRoundTrips:
+    def test_npy_roundtrip(self, tmp_path):
+        points = np.random.default_rng(0).random((40, 5))
+        path = str(tmp_path / "points.npy")
+        save_points(path, points)
+        loaded = load_points(path)
+        assert np.allclose(loaded, points)
+
+    def test_csv_roundtrip(self, tmp_path):
+        points = np.random.default_rng(1).random((25, 3))
+        path = str(tmp_path / "points.csv")
+        save_points(path, points)
+        loaded = load_points(path)
+        assert np.allclose(loaded, points)
+
+    def test_single_row_csv_keeps_2d(self, tmp_path):
+        path = str(tmp_path / "one.csv")
+        save_points(path, np.array([[0.1, 0.2, 0.3]]))
+        loaded = load_points(path)
+        assert loaded.shape == (1, 3)
+
+    def test_pairs_npy_and_csv(self, tmp_path):
+        pairs = np.array([[0, 1], [2, 5]], dtype=np.int64)
+        for name in ("pairs.npy", "pairs.csv"):
+            path = str(tmp_path / name)
+            save_pairs(path, pairs)
+            if name.endswith(".npy"):
+                assert (np.load(path) == pairs).all()
+            else:
+                assert (
+                    np.loadtxt(path, delimiter=",", ndmin=2).astype(int)
+                    == pairs
+                ).all()
+
+
+class TestValidation:
+    def test_missing_file(self):
+        with pytest.raises(InvalidParameterError):
+            load_points("/nonexistent/file.npy")
+
+    def test_unsupported_extension(self, tmp_path):
+        path = tmp_path / "points.parquet"
+        path.write_text("not a dataset")
+        with pytest.raises(InvalidParameterError):
+            load_points(str(path))
+        with pytest.raises(InvalidParameterError):
+            save_points(str(path), np.zeros((2, 2)))
+
+    def test_loaded_data_is_validated(self, tmp_path):
+        path = str(tmp_path / "bad.npy")
+        np.save(path, np.array([[0.0, np.nan]]))
+        with pytest.raises(InvalidParameterError):
+            load_points(path)
+
+    def test_save_pairs_validates_shape(self, tmp_path):
+        with pytest.raises(InvalidParameterError):
+            save_pairs(str(tmp_path / "p.npy"), np.zeros((3, 3)))

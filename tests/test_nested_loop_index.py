@@ -1,0 +1,83 @@
+"""Tests for the index-nested-loop join."""
+
+import numpy as np
+import pytest
+
+from conftest import assert_same_pairs, oracle_two_set_pairs
+from repro import JoinSpec, PairCounter, similarity_join
+from repro.baselines import index_nested_loop_join
+from repro.datasets import gaussian_clusters
+from repro.errors import InvalidParameterError
+
+
+@pytest.fixture(scope="module")
+def sides():
+    probe = gaussian_clusters(250, 8, clusters=5, sigma=0.05, seed=91)
+    base = gaussian_clusters(2500, 8, clusters=5, sigma=0.05, seed=91) + 0.005
+    return probe, base
+
+
+@pytest.mark.parametrize("index", ["epsilon-kdb", "rplus"])
+@pytest.mark.parametrize("metric", ["l1", "l2", "linf"])
+def test_matches_oracle(index, metric, sides):
+    probe, base = sides
+    spec = JoinSpec(epsilon=0.15, metric=metric)
+    expected = oracle_two_set_pairs(probe, base, spec)
+    result = index_nested_loop_join(probe, base, spec, index=index)
+    assert_same_pairs(result.pairs, expected, f"inl {index}/{metric}")
+
+
+def test_facade_registration(sides):
+    probe, base = sides
+    spec = JoinSpec(epsilon=0.15)
+    expected = oracle_two_set_pairs(probe, base, spec)
+    pairs = similarity_join(probe, base, epsilon=0.15,
+                            algorithm="index-nested-loop")
+    assert_same_pairs(pairs, expected, "inl facade")
+
+
+def test_not_available_for_self_joins(sides):
+    probe, _ = sides
+    with pytest.raises(InvalidParameterError):
+        similarity_join(probe, epsilon=0.15, algorithm="index-nested-loop")
+
+
+def test_probe_points_outside_base_domain():
+    base = np.random.default_rng(0).random((800, 4))
+    probe = np.random.default_rng(1).random((50, 4)) + 0.95  # mostly outside
+    spec = JoinSpec(epsilon=0.2)
+    expected = oracle_two_set_pairs(probe, base, spec)
+    result = index_nested_loop_join(probe, base, spec)
+    assert_same_pairs(result.pairs, expected, "outside probes")
+
+
+def test_counts_one_probe_per_r_point(sides):
+    probe, base = sides
+    sink = PairCounter()
+    result = index_nested_loop_join(
+        probe, base, JoinSpec(epsilon=0.15), sink=sink
+    )
+    assert result.stats.node_pairs_visited == len(probe)
+    assert sink.count == result.stats.pairs_emitted
+
+
+def test_empty_sides():
+    spec = JoinSpec(epsilon=0.1)
+    empty = np.empty((0, 3))
+    other = np.zeros((5, 3))
+    assert index_nested_loop_join(empty, other, spec).count == 0
+    assert index_nested_loop_join(other, empty, spec).count == 0
+
+
+def test_invalid_index_name(sides):
+    probe, base = sides
+    with pytest.raises(InvalidParameterError):
+        index_nested_loop_join(probe, base, JoinSpec(epsilon=0.1),
+                               index="btree")
+
+
+def test_dim_mismatch():
+    with pytest.raises(InvalidParameterError):
+        index_nested_loop_join(
+            np.zeros((2, 2)), np.zeros((2, 3)), JoinSpec(epsilon=0.1)
+        )

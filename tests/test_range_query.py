@@ -1,0 +1,78 @@
+"""Tests for epsilon-kdB tree range queries (similarity search)."""
+
+import numpy as np
+import pytest
+
+from repro import EpsilonKdbTree, JoinSpec
+from repro.errors import InvalidParameterError
+
+
+def linear_scan(points, query, eps, metric):
+    diffs = np.abs(points - query)
+    return np.flatnonzero(metric.within_gap(diffs, eps))
+
+
+@pytest.mark.parametrize("metric", ["l1", "l2", "linf"])
+def test_matches_linear_scan(metric, small_clusters):
+    spec = JoinSpec(epsilon=0.15, metric=metric, leaf_size=32)
+    tree = EpsilonKdbTree.build(small_clusters, spec)
+    rng = np.random.default_rng(23)
+    for _ in range(25):
+        query = rng.random(small_clusters.shape[1])
+        hits = tree.range_query(query)
+        expected = linear_scan(small_clusters, query, 0.15, spec.metric)
+        assert hits.tolist() == expected.tolist()
+
+
+def test_smaller_radius_than_build_epsilon(small_clusters):
+    spec = JoinSpec(epsilon=0.2, leaf_size=32)
+    tree = EpsilonKdbTree.build(small_clusters, spec)
+    rng = np.random.default_rng(24)
+    for _ in range(10):
+        query = rng.random(small_clusters.shape[1])
+        hits = tree.range_query(query, eps=0.07)
+        expected = linear_scan(small_clusters, query, 0.07, spec.metric)
+        assert hits.tolist() == expected.tolist()
+
+
+def test_larger_radius_rejected(small_uniform):
+    tree = EpsilonKdbTree.build(small_uniform, JoinSpec(epsilon=0.1))
+    with pytest.raises(InvalidParameterError):
+        tree.range_query(np.zeros(small_uniform.shape[1]), eps=0.5)
+
+
+def test_query_point_outside_domain(small_uniform):
+    """Queries just outside the data bounding box must still be exact."""
+    spec = JoinSpec(epsilon=0.3, leaf_size=32)
+    tree = EpsilonKdbTree.build(small_uniform, spec)
+    dims = small_uniform.shape[1]
+    for query in (np.full(dims, -0.2), np.full(dims, 1.2)):
+        hits = tree.range_query(query)
+        expected = linear_scan(small_uniform, query, 0.3, spec.metric)
+        assert hits.tolist() == expected.tolist()
+
+
+def test_wrong_query_shape_rejected(small_uniform):
+    tree = EpsilonKdbTree.build(small_uniform, JoinSpec(epsilon=0.1))
+    with pytest.raises(InvalidParameterError):
+        tree.range_query(np.zeros(3))
+
+
+def test_query_on_incrementally_built_tree():
+    rng = np.random.default_rng(25)
+    points = rng.random((400, 5))
+    spec = JoinSpec(epsilon=0.2, leaf_size=16)
+    tree = EpsilonKdbTree.empty(points, spec)
+    for index in range(len(points)):
+        tree.insert(index)
+    query = np.full(5, 0.5)
+    hits = tree.range_query(query)
+    expected = linear_scan(points, query, 0.2, spec.metric)
+    assert hits.tolist() == expected.tolist()
+
+
+def test_empty_tree_returns_nothing():
+    # A backing array exists but nothing was inserted.
+    tree = EpsilonKdbTree.empty(np.zeros((1, 4)), JoinSpec(epsilon=0.1))
+    hits = tree.range_query(np.zeros(4))
+    assert hits.tolist() == []

@@ -1,0 +1,100 @@
+"""Unit tests for pair sinks and join statistics."""
+
+import numpy as np
+import pytest
+
+from repro.core.result import (
+    JoinStats,
+    PairCollector,
+    PairCounter,
+    canonicalize_self_pairs,
+)
+
+
+class TestPairCounter:
+    def test_counts_emitted_pairs(self):
+        sink = PairCounter()
+        sink.emit(np.array([1, 2]), np.array([3, 4]))
+        sink.emit(np.array([5]), np.array([6]))
+        assert sink.count == 3
+
+    def test_empty_emit_is_noop(self):
+        sink = PairCounter()
+        sink.emit(np.array([], dtype=np.int64), np.array([], dtype=np.int64))
+        assert sink.count == 0
+
+
+class TestPairCollector:
+    def test_collects_and_concatenates(self):
+        sink = PairCollector()
+        sink.emit(np.array([1, 2]), np.array([3, 4]))
+        sink.emit(np.array([5]), np.array([6]))
+        left, right = sink.arrays()
+        assert left.tolist() == [1, 2, 5]
+        assert right.tolist() == [3, 4, 6]
+        assert sink.count == 3
+
+    def test_pairs_shape(self):
+        sink = PairCollector()
+        sink.emit(np.array([0]), np.array([1]))
+        assert sink.pairs().shape == (1, 2)
+
+    def test_empty_collector(self):
+        sink = PairCollector()
+        assert sink.pairs().shape == (0, 2)
+        left, right = sink.arrays()
+        assert len(left) == 0 and len(right) == 0
+        assert sink.sorted_pairs().shape == (0, 2)
+
+    def test_sorted_pairs_lexicographic(self):
+        sink = PairCollector()
+        sink.emit(np.array([3, 1, 1]), np.array([4, 9, 2]))
+        assert sink.sorted_pairs().tolist() == [[1, 2], [1, 9], [3, 4]]
+
+    def test_emit_copies_into_int64(self):
+        sink = PairCollector()
+        sink.emit(np.array([1], dtype=np.int32), np.array([2], dtype=np.int32))
+        left, right = sink.arrays()
+        assert left.dtype == np.int64 and right.dtype == np.int64
+
+
+class TestJoinStats:
+    def test_merge_accumulates_every_counter(self):
+        a = JoinStats(
+            distance_computations=1,
+            node_pairs_visited=2,
+            leaf_joins=3,
+            pairs_emitted=4,
+            pages_read=5,
+            pages_written=6,
+        )
+        b = JoinStats(
+            distance_computations=10,
+            node_pairs_visited=20,
+            leaf_joins=30,
+            pairs_emitted=40,
+            pages_read=50,
+            pages_written=60,
+        )
+        a.merge(b)
+        assert (
+            a.distance_computations,
+            a.node_pairs_visited,
+            a.leaf_joins,
+            a.pairs_emitted,
+            a.pages_read,
+            a.pages_written,
+        ) == (11, 22, 33, 44, 55, 66)
+
+
+class TestCanonicalize:
+    def test_orients_dedupes_and_sorts(self):
+        left = np.array([5, 2, 5, 7])
+        right = np.array([2, 5, 2, 7])
+        pairs = canonicalize_self_pairs(left, right)
+        # (5,2) and (2,5) collapse to one (2,5); (7,7) is dropped.
+        assert pairs.tolist() == [[2, 5]]
+
+    def test_empty_input(self):
+        pairs = canonicalize_self_pairs(np.array([]), np.array([]))
+        assert pairs.shape == (0, 2)

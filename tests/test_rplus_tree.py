@@ -1,0 +1,145 @@
+"""Tests for the R+-tree and its spatial join."""
+
+import itertools
+
+import numpy as np
+import pytest
+
+from conftest import assert_same_pairs, oracle_self_pairs, oracle_two_set_pairs
+from repro import JoinSpec
+from repro.baselines import RPlusTree, rplus_join, rplus_self_join
+from repro.datasets import gaussian_clusters
+from repro.errors import InvalidParameterError
+from repro.metrics import L2, LINF
+
+
+def collect_point_entries(tree):
+    out = []
+    for leaf in tree.iter_leaves():
+        out.extend(leaf.entries)
+    return sorted(out)
+
+
+def interiors_overlap(lo_a, hi_a, lo_b, hi_b):
+    """Whether two boxes overlap with positive volume in every dimension."""
+    return bool(np.all(np.minimum(hi_a, hi_b) - np.maximum(lo_a, lo_b) > 0))
+
+
+class TestStructure:
+    def test_contains_every_point_once(self, small_uniform):
+        tree = RPlusTree.bulk_load(small_uniform, max_entries=16)
+        assert collect_point_entries(tree) == list(range(len(small_uniform)))
+
+    def test_no_duplication_for_points(self, small_clusters):
+        """The defining R+ property on point data: zero duplication."""
+        tree = RPlusTree.bulk_load(small_clusters, max_entries=8)
+        entries = collect_point_entries(tree)
+        assert len(entries) == len(set(entries)) == len(small_clusters)
+
+    def test_sibling_interiors_disjoint(self, small_uniform):
+        """Sibling MBR interiors never overlap — the R+ invariant."""
+        tree = RPlusTree.bulk_load(small_uniform, max_entries=16)
+        stack = [tree.root]
+        while stack:
+            node = stack.pop()
+            if node.is_leaf:
+                continue
+            for a, b in itertools.combinations(node.entries, 2):
+                assert not interiors_overlap(a.lo, a.hi, b.lo, b.hi)
+            stack.extend(node.entries)
+
+    def test_mbr_containment(self, small_uniform):
+        tree = RPlusTree.bulk_load(small_uniform, max_entries=16)
+
+        def visit(node):
+            if node.is_leaf:
+                block = tree.points[np.asarray(node.entries)]
+            else:
+                bounds = [visit(child) for child in node.entries]
+                block = np.vstack(
+                    [np.array([b[0], b[1]]) for b in bounds]
+                )
+            lo, hi = block.min(axis=0), block.max(axis=0)
+            assert np.allclose(node.lo, lo) and np.allclose(node.hi, hi)
+            return node.lo, node.hi
+
+        visit(tree.root)
+
+    def test_fanout_respected(self, small_uniform):
+        tree = RPlusTree.bulk_load(small_uniform, max_entries=8)
+        stack = [tree.root]
+        while stack:
+            node = stack.pop()
+            assert len(node.entries) <= 8
+            if not node.is_leaf:
+                stack.extend(node.entries)
+
+    def test_empty_and_single(self):
+        assert len(RPlusTree.bulk_load(np.empty((0, 2)))) == 0
+        tree = RPlusTree.bulk_load(np.array([[0.4, 0.2]]))
+        assert collect_point_entries(tree) == [0]
+
+    def test_rejects_tiny_fanout(self):
+        with pytest.raises(InvalidParameterError):
+            RPlusTree(np.zeros((1, 2)), max_entries=1)
+
+    def test_duplicate_points_terminate(self):
+        points = np.tile([[0.5, 0.5]], (200, 1))
+        tree = RPlusTree.bulk_load(points, max_entries=8)
+        assert len(collect_point_entries(tree)) == 200
+
+
+class TestRangeQuery:
+    @pytest.mark.parametrize("metric", [L2, LINF])
+    def test_matches_linear_scan(self, metric, small_clusters):
+        tree = RPlusTree.bulk_load(small_clusters, max_entries=16)
+        rng = np.random.default_rng(17)
+        for _ in range(15):
+            query = rng.random(small_clusters.shape[1])
+            eps = float(rng.uniform(0.05, 0.3))
+            hits = tree.range_query(query, eps, metric)
+            diffs = np.abs(small_clusters - query)
+            expected = np.flatnonzero(metric.within_gap(diffs, eps))
+            assert hits.tolist() == expected.tolist()
+
+
+class TestJoin:
+    @pytest.mark.parametrize("metric", ["l1", "l2", "linf"])
+    @pytest.mark.parametrize("eps", [0.05, 0.3])
+    def test_self_join_matches_oracle(self, metric, eps, small_uniform):
+        spec = JoinSpec(epsilon=eps, metric=metric)
+        expected = oracle_self_pairs(small_uniform, spec)
+        result = rplus_self_join(small_uniform, spec)
+        assert_same_pairs(result.pairs, expected, f"rplus {metric}/{eps}")
+
+    @pytest.mark.parametrize("max_entries", [4, 32])
+    def test_fanout_never_changes_result(self, max_entries, small_clusters):
+        spec = JoinSpec(epsilon=0.1)
+        expected = oracle_self_pairs(small_clusters, spec)
+        result = rplus_self_join(small_clusters, spec, max_entries=max_entries)
+        assert_same_pairs(result.pairs, expected, f"rplus fanout={max_entries}")
+
+    def test_two_set_join_matches_oracle(self):
+        left = gaussian_clusters(500, 6, clusters=4, sigma=0.05, seed=61)
+        right = gaussian_clusters(650, 6, clusters=4, sigma=0.05, seed=61) + 0.01
+        spec = JoinSpec(epsilon=0.15)
+        expected = oracle_two_set_pairs(left, right, spec)
+        assert len(expected) > 0
+        result = rplus_join(left, right, spec)
+        assert_same_pairs(result.pairs, expected, "rplus two-set")
+
+    def test_prebuilt_tree(self, small_uniform):
+        spec = JoinSpec(epsilon=0.3)
+        tree = RPlusTree.bulk_load(small_uniform)
+        direct = rplus_self_join(small_uniform, spec)
+        reused = rplus_self_join(small_uniform, spec, tree=tree)
+        assert_same_pairs(reused.pairs, direct.pairs, "rplus prebuilt")
+
+    def test_empty_inputs(self):
+        spec = JoinSpec(epsilon=0.1)
+        assert rplus_self_join(np.empty((0, 3)), spec).count == 0
+        assert rplus_join(np.empty((0, 3)), np.zeros((2, 3)), spec).count == 0
+
+    def test_dim_mismatch(self):
+        with pytest.raises(InvalidParameterError):
+            rplus_join(np.zeros((2, 2)), np.zeros((2, 3)), JoinSpec(epsilon=0.1))

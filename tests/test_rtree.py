@@ -1,0 +1,178 @@
+"""Structural and query tests for the R-tree."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.rtree import RTree, _str_tile
+from repro.errors import InvalidParameterError
+from repro.metrics import L2, LINF
+
+
+def check_mbr_invariants(tree):
+    """Every node's MBR tightly contains everything beneath it."""
+
+    def visit(node):
+        if node.is_leaf:
+            if not node.entries:
+                return None
+            block = tree.points[np.asarray(node.entries)]
+            lo, hi = block.min(axis=0), block.max(axis=0)
+        else:
+            bounds = [visit(child) for child in node.entries]
+            lo = np.min([b[0] for b in bounds], axis=0)
+            hi = np.max([b[1] for b in bounds], axis=0)
+        assert np.allclose(node.lo, lo), "loose or wrong lower bound"
+        assert np.allclose(node.hi, hi), "loose or wrong upper bound"
+        return node.lo, node.hi
+
+    visit(tree.root)
+
+
+def collect_point_entries(tree):
+    out = []
+    for leaf in tree.iter_leaves():
+        out.extend(leaf.entries)
+    return sorted(out)
+
+
+class TestBulkLoad:
+    def test_contains_every_point_once(self, small_uniform):
+        tree = RTree.bulk_load(small_uniform, max_entries=16)
+        assert collect_point_entries(tree) == list(range(len(small_uniform)))
+
+    def test_mbr_invariants(self, small_uniform):
+        tree = RTree.bulk_load(small_uniform, max_entries=16)
+        check_mbr_invariants(tree)
+
+    def test_fanout_respected(self, small_uniform):
+        tree = RTree.bulk_load(small_uniform, max_entries=8)
+        stack = [tree.root]
+        while stack:
+            node = stack.pop()
+            assert len(node.entries) <= 8
+            if not node.is_leaf:
+                stack.extend(node.entries)
+
+    def test_leaves_at_uniform_depth(self, small_uniform):
+        tree = RTree.bulk_load(small_uniform, max_entries=8)
+        depths = set()
+
+        def visit(node, depth):
+            if node.is_leaf:
+                depths.add(depth)
+            else:
+                for child in node.entries:
+                    visit(child, depth + 1)
+
+        visit(tree.root, 0)
+        assert len(depths) == 1
+
+    def test_empty_input(self):
+        tree = RTree.bulk_load(np.empty((0, 3)))
+        assert len(tree) == 0
+
+    def test_single_point(self):
+        tree = RTree.bulk_load(np.array([[0.1, 0.2]]))
+        assert collect_point_entries(tree) == [0]
+        assert tree.height() == 1
+
+
+class TestStrTiling:
+    def test_groups_cover_input(self):
+        rng = np.random.default_rng(0)
+        coords = rng.random((137, 4))
+        groups = _str_tile(coords, np.arange(137), dim=0, capacity=10)
+        flat = sorted(int(i) for g in groups for i in g)
+        assert flat == list(range(137))
+
+    def test_group_sizes_bounded(self):
+        rng = np.random.default_rng(1)
+        coords = rng.random((200, 3))
+        groups = _str_tile(coords, np.arange(200), dim=0, capacity=16)
+        assert all(1 <= len(g) <= 16 for g in groups)
+
+    def test_small_input_single_group(self):
+        coords = np.random.default_rng(2).random((5, 2))
+        groups = _str_tile(coords, np.arange(5), dim=0, capacity=16)
+        assert len(groups) == 1
+
+
+class TestInsert:
+    def test_incremental_contains_every_point(self):
+        rng = np.random.default_rng(3)
+        points = rng.random((300, 5))
+        tree = RTree(points, max_entries=8)
+        for index in range(len(points)):
+            tree.insert(index)
+        assert collect_point_entries(tree) == list(range(300))
+        assert len(tree) == 300
+
+    def test_incremental_mbr_invariants(self):
+        rng = np.random.default_rng(4)
+        points = rng.random((300, 4))
+        tree = RTree(points, max_entries=8)
+        for index in range(len(points)):
+            tree.insert(index)
+        check_mbr_invariants(tree)
+
+    def test_incremental_fanout_respected(self):
+        rng = np.random.default_rng(5)
+        points = rng.random((400, 3))
+        tree = RTree(points, max_entries=6)
+        for index in range(len(points)):
+            tree.insert(index)
+        stack = [tree.root]
+        while stack:
+            node = stack.pop()
+            assert len(node.entries) <= 6
+            if not node.is_leaf:
+                stack.extend(node.entries)
+
+    def test_split_respects_minimum_fill(self):
+        rng = np.random.default_rng(6)
+        points = rng.random((500, 2))
+        tree = RTree(points, max_entries=9)
+        for index in range(len(points)):
+            tree.insert(index)
+        stack = [(tree.root, True)]
+        while stack:
+            node, is_root = stack.pop()
+            if not is_root:
+                assert len(node.entries) >= tree.min_entries
+            if not node.is_leaf:
+                stack.extend((child, False) for child in node.entries)
+
+    def test_rejects_small_fanout(self):
+        with pytest.raises(InvalidParameterError):
+            RTree(np.zeros((1, 2)), max_entries=3)
+
+
+class TestRangeQuery:
+    @pytest.mark.parametrize("metric", [L2, LINF])
+    def test_matches_linear_scan(self, metric, small_clusters):
+        tree = RTree.bulk_load(small_clusters, max_entries=16)
+        rng = np.random.default_rng(7)
+        for _ in range(20):
+            query = rng.random(small_clusters.shape[1])
+            eps = float(rng.uniform(0.05, 0.3))
+            hits = tree.range_query(query, eps, metric)
+            diffs = np.abs(small_clusters - query)
+            expected = np.flatnonzero(metric.within_gap(diffs, eps))
+            assert hits.tolist() == expected.tolist()
+
+    def test_query_on_incrementally_built_tree(self):
+        rng = np.random.default_rng(8)
+        points = rng.random((200, 3))
+        tree = RTree(points, max_entries=8)
+        for index in range(len(points)):
+            tree.insert(index)
+        query = np.array([0.5, 0.5, 0.5])
+        hits = tree.range_query(query, 0.2, L2)
+        diffs = np.linalg.norm(points - query, axis=1)
+        assert hits.tolist() == np.flatnonzero(diffs <= 0.2).tolist()
+
+    def test_height_grows_with_size(self):
+        rng = np.random.default_rng(9)
+        small = RTree.bulk_load(rng.random((10, 2)), max_entries=4)
+        large = RTree.bulk_load(rng.random((1000, 2)), max_entries=4)
+        assert large.height() > small.height()

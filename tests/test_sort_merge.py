@@ -1,0 +1,96 @@
+"""Correctness tests for the sort-merge band join."""
+
+import numpy as np
+import pytest
+
+from conftest import assert_same_pairs, oracle_self_pairs, oracle_two_set_pairs
+from repro import JoinSpec
+from repro.baselines import sort_merge_join, sort_merge_self_join
+from repro.datasets import gaussian_clusters
+
+
+@pytest.mark.parametrize("metric", ["l1", "l2", "linf"])
+@pytest.mark.parametrize("eps", [0.05, 0.3])
+def test_self_join_matches_oracle(metric, eps, small_uniform):
+    spec = JoinSpec(epsilon=eps, metric=metric)
+    expected = oracle_self_pairs(small_uniform, spec)
+    result = sort_merge_self_join(small_uniform, spec)
+    assert_same_pairs(result.pairs, expected, f"sm {metric}/{eps}")
+
+
+def test_one_level_equals_two_level(small_clusters):
+    spec = JoinSpec(epsilon=0.12)
+    two = sort_merge_self_join(small_clusters, spec, two_level=True)
+    one = sort_merge_self_join(small_clusters, spec, two_level=False)
+    assert_same_pairs(one.pairs, two.pairs, "1-level vs 2-level")
+    # The 2-level filter only reduces full distance computations.
+    assert two.stats.distance_computations <= one.stats.distance_computations
+
+
+@pytest.mark.parametrize("sweep_dim", [0, 3, 7])
+def test_sweep_dimension_never_changes_result(sweep_dim, small_uniform):
+    spec = JoinSpec(epsilon=0.25)
+    expected = oracle_self_pairs(small_uniform, spec)
+    result = sort_merge_self_join(small_uniform, spec, sweep_dim=sweep_dim)
+    assert_same_pairs(result.pairs, expected, f"sweep_dim={sweep_dim}")
+
+
+def test_explicit_filter_dim(small_uniform):
+    spec = JoinSpec(epsilon=0.25)
+    expected = oracle_self_pairs(small_uniform, spec)
+    result = sort_merge_self_join(
+        small_uniform, spec, sweep_dim=2, filter_dim=5
+    )
+    assert_same_pairs(result.pairs, expected, "filter_dim=5")
+
+
+def test_filter_dim_equal_to_sweep_dim_degrades_to_one_level(small_uniform):
+    spec = JoinSpec(epsilon=0.25)
+    expected = oracle_self_pairs(small_uniform, spec)
+    result = sort_merge_self_join(small_uniform, spec, sweep_dim=0, filter_dim=0)
+    assert_same_pairs(result.pairs, expected, "filter==sweep")
+
+
+def test_one_dimensional_input():
+    rng = np.random.default_rng(11)
+    points = rng.random((400, 1))
+    spec = JoinSpec(epsilon=0.01)
+    expected = oracle_self_pairs(points, spec)
+    result = sort_merge_self_join(points, spec)
+    assert_same_pairs(result.pairs, expected, "1-d sort-merge")
+
+
+def test_two_set_join_matches_oracle():
+    left = gaussian_clusters(500, 6, clusters=4, sigma=0.06, seed=21)
+    right = gaussian_clusters(700, 6, clusters=4, sigma=0.06, seed=21) + 0.015
+    spec = JoinSpec(epsilon=0.18)
+    expected = oracle_two_set_pairs(left, right, spec)
+    assert len(expected) > 0
+    result = sort_merge_join(left, right, spec)
+    assert_same_pairs(result.pairs, expected, "sm two-set")
+
+
+def test_two_set_one_level(small_uniform):
+    other = np.random.default_rng(12).random((300, 8))
+    spec = JoinSpec(epsilon=0.4)
+    expected = oracle_two_set_pairs(small_uniform, other, spec)
+    result = sort_merge_join(small_uniform, other, spec, two_level=False)
+    assert_same_pairs(result.pairs, expected, "two-set 1-level")
+
+
+def test_empty_inputs():
+    spec = JoinSpec(epsilon=0.1)
+    assert sort_merge_self_join(np.empty((0, 2)), spec).count == 0
+    assert sort_merge_join(np.empty((0, 2)), np.zeros((3, 2)), spec).count == 0
+
+
+def test_duplicate_values_on_sweep_dimension():
+    # Many ties on the sweep dimension exercise the stable-sort path.
+    rng = np.random.default_rng(13)
+    points = np.column_stack(
+        [np.repeat([0.1, 0.2, 0.3], 50), rng.random(150)]
+    )
+    spec = JoinSpec(epsilon=0.05)
+    expected = oracle_self_pairs(points, spec)
+    result = sort_merge_self_join(points, spec)
+    assert_same_pairs(result.pairs, expected, "sweep ties")

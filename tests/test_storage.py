@@ -1,0 +1,195 @@
+"""Tests for the simulated paged storage layer."""
+
+import numpy as np
+import pytest
+
+from repro.errors import InvalidParameterError, StorageError
+from repro.storage import BufferManager, PageStore, PointFile
+
+
+class TestPageStore:
+    def test_allocate_and_read_roundtrip(self):
+        store = PageStore(page_rows=4)
+        rows = np.arange(8.0).reshape(4, 2)
+        page_id = store.allocate(rows)
+        assert (store.read_page(page_id) == rows).all()
+
+    def test_counters_track_physical_io(self):
+        store = PageStore(page_rows=4)
+        page_id = store.allocate(np.zeros((2, 2)))
+        store.read_page(page_id)
+        store.read_page(page_id)
+        store.write_page(page_id, np.ones((2, 2)))
+        assert store.counters.reads == 2
+        assert store.counters.writes == 2  # allocate + overwrite
+
+    def test_pages_are_isolated_copies(self):
+        store = PageStore(page_rows=4)
+        rows = np.zeros((2, 2))
+        page_id = store.allocate(rows)
+        rows[0, 0] = 99.0
+        assert store.read_page(page_id)[0, 0] == 0.0
+
+    def test_overflow_rejected(self):
+        store = PageStore(page_rows=2)
+        with pytest.raises(StorageError):
+            store.allocate(np.zeros((3, 1)))
+
+    def test_out_of_range_rejected(self):
+        store = PageStore()
+        with pytest.raises(StorageError):
+            store.read_page(0)
+
+    def test_bad_page_size_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            PageStore(page_rows=0)
+
+    def test_counter_snapshot_delta(self):
+        store = PageStore(page_rows=4)
+        pid = store.allocate(np.zeros((1, 1)))
+        before = store.counters.snapshot()
+        store.read_page(pid)
+        delta = store.counters.delta(before)
+        assert delta.reads == 1 and delta.writes == 0
+
+
+class TestPointFile:
+    def test_roundtrip_exact_pages(self):
+        store = PageStore(page_rows=5)
+        points = np.arange(30.0).reshape(10, 3)
+        pfile = PointFile.from_points(store, points)
+        assert pfile.num_pages == 2
+        assert (pfile.read_all() == points).all()
+
+    def test_roundtrip_with_partial_tail(self):
+        store = PageStore(page_rows=4)
+        points = np.arange(26.0).reshape(13, 2)
+        pfile = PointFile.from_points(store, points)
+        assert pfile.num_pages == 4  # 4+4+4+1
+        assert (pfile.read_all() == points).all()
+
+    def test_incremental_append_buffers_tail(self):
+        store = PageStore(page_rows=4)
+        pfile = PointFile(store, dims=2)
+        pfile.append_rows(np.zeros((3, 2)))
+        assert pfile.num_pages == 0  # nothing flushed yet
+        pfile.append_rows(np.ones((3, 2)))
+        assert pfile.num_pages == 1  # one full page flushed
+        pfile.close_append()
+        assert pfile.num_pages == 2
+        assert pfile.num_rows == 6
+
+    def test_append_after_close_rejected(self):
+        store = PageStore(page_rows=4)
+        pfile = PointFile(store, dims=1)
+        pfile.close_append()
+        with pytest.raises(StorageError):
+            pfile.append_rows(np.zeros((1, 1)))
+
+    def test_scan_counts_reads(self):
+        store = PageStore(page_rows=3)
+        points = np.random.default_rng(0).random((10, 2))
+        pfile = PointFile.from_points(store, points)
+        before = store.counters.snapshot()
+        list(pfile.scan())
+        assert store.counters.delta(before).reads == pfile.num_pages
+
+    def test_empty_file(self):
+        store = PageStore(page_rows=4)
+        pfile = PointFile(store, dims=3)
+        pfile.close_append()
+        assert pfile.read_all().shape == (0, 3)
+
+
+class TestBufferManager:
+    def test_hit_avoids_physical_read(self):
+        store = PageStore(page_rows=2)
+        pid = store.allocate(np.zeros((1, 1)))
+        buffer = BufferManager(store, capacity=2)
+        buffer.get(pid)
+        buffer.get(pid)
+        assert store.counters.reads == 1
+        assert buffer.hits == 1 and buffer.misses == 1
+
+    def test_lru_eviction_order(self):
+        store = PageStore(page_rows=2)
+        pids = [store.allocate(np.full((1, 1), k)) for k in range(3)]
+        buffer = BufferManager(store, capacity=2)
+        buffer.get(pids[0])
+        buffer.get(pids[1])
+        buffer.get(pids[0])  # touch 0 so 1 is the LRU victim
+        buffer.get(pids[2])  # evicts 1
+        before = store.counters.reads
+        buffer.get(pids[0])  # still cached
+        assert store.counters.reads == before
+        buffer.get(pids[1])  # was evicted -> physical read
+        assert store.counters.reads == before + 1
+
+    def test_pinned_pages_survive_eviction(self):
+        store = PageStore(page_rows=2)
+        pids = [store.allocate(np.full((1, 1), k)) for k in range(4)]
+        buffer = BufferManager(store, capacity=2)
+        buffer.get(pids[0], pin=True)
+        buffer.get(pids[1])
+        buffer.get(pids[2])  # must evict 1, not pinned 0
+        before = store.counters.reads
+        buffer.get(pids[0])
+        assert store.counters.reads == before
+
+    def test_all_pinned_raises(self):
+        store = PageStore(page_rows=2)
+        pids = [store.allocate(np.zeros((1, 1))) for _ in range(3)]
+        buffer = BufferManager(store, capacity=2)
+        buffer.get(pids[0], pin=True)
+        buffer.get(pids[1], pin=True)
+        with pytest.raises(StorageError):
+            buffer.get(pids[2])
+
+    def test_unpin_balance_enforced(self):
+        store = PageStore(page_rows=2)
+        pid = store.allocate(np.zeros((1, 1)))
+        buffer = BufferManager(store, capacity=2)
+        buffer.get(pid, pin=True)
+        buffer.unpin(pid)
+        with pytest.raises(StorageError):
+            buffer.unpin(pid)
+
+    def test_nested_pins(self):
+        store = PageStore(page_rows=2)
+        pid = store.allocate(np.zeros((1, 1)))
+        buffer = BufferManager(store, capacity=1)
+        buffer.get(pid, pin=True)
+        buffer.get(pid, pin=True)
+        buffer.unpin(pid)
+        assert buffer.pinned_pages == 1
+        buffer.unpin(pid)
+        assert buffer.pinned_pages == 0
+
+    def test_flush_drops_unpinned_only(self):
+        store = PageStore(page_rows=2)
+        pids = [store.allocate(np.zeros((1, 1))) for _ in range(2)]
+        buffer = BufferManager(store, capacity=4)
+        buffer.get(pids[0], pin=True)
+        buffer.get(pids[1])
+        buffer.flush()
+        before = store.counters.reads
+        buffer.get(pids[0])  # still resident
+        assert store.counters.reads == before
+        buffer.get(pids[1])  # dropped -> physical read
+        assert store.counters.reads == before + 1
+
+    def test_capacity_validation(self):
+        with pytest.raises(InvalidParameterError):
+            BufferManager(PageStore(), capacity=0)
+
+
+class TestSequentialScanModel:
+    def test_scan_io_matches_analytic_page_count(self):
+        """A full scan reads exactly ceil(n / page_rows) pages."""
+        store = PageStore(page_rows=7)
+        points = np.random.default_rng(1).random((100, 3))
+        pfile = PointFile.from_points(store, points)
+        before = store.counters.snapshot()
+        pfile.read_all()
+        expected_pages = -(-100 // 7)
+        assert store.counters.delta(before).reads == expected_pages

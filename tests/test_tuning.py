@@ -1,0 +1,88 @@
+"""Tests for the leaf-threshold auto-tuner."""
+
+import numpy as np
+import pytest
+
+from repro import JoinSpec
+from repro.analysis.tuning import (
+    DEFAULT_CANDIDATES,
+    probe_leaf_sizes,
+    recommend_leaf_size,
+)
+from repro.core import epsilon_kdb_self_join
+from repro.core.result import PairCounter
+from repro.datasets import gaussian_clusters
+from repro.errors import InvalidParameterError
+
+
+@pytest.fixture(scope="module")
+def workload():
+    return gaussian_clusters(5000, 16, clusters=10, sigma=0.05, seed=13)
+
+
+class TestProbes:
+    def test_one_probe_per_candidate(self, workload):
+        probes = probe_leaf_sizes(
+            workload, JoinSpec(epsilon=0.1), candidates=(8, 64, 512)
+        )
+        assert [p.leaf_size for p in probes] == [8, 64, 512]
+
+    def test_probes_are_deterministic(self, workload):
+        spec = JoinSpec(epsilon=0.1)
+        first = probe_leaf_sizes(workload, spec, sample=1000, seed=4)
+        second = probe_leaf_sizes(workload, spec, sample=1000, seed=4)
+        assert [(p.leaf_size, p.score) for p in first] == [
+            (p.leaf_size, p.score) for p in second
+        ]
+
+    def test_counters_move_in_opposite_directions(self, workload):
+        """Bigger leaves: more candidates, fewer node visits — the
+        tradeoff the score balances."""
+        probes = probe_leaf_sizes(
+            workload, JoinSpec(epsilon=0.1), candidates=(16, 1024), sample=3000
+        )
+        small, big = probes
+        assert small.distance_computations <= big.distance_computations
+        assert small.node_pairs_visited >= big.node_pairs_visited
+
+    def test_validation(self, workload):
+        with pytest.raises(InvalidParameterError):
+            probe_leaf_sizes(workload, JoinSpec(epsilon=0.1), candidates=())
+        with pytest.raises(InvalidParameterError):
+            probe_leaf_sizes(workload, JoinSpec(epsilon=0.1), candidates=(0,))
+
+
+class TestRecommendation:
+    def test_recommends_a_candidate(self, workload):
+        best, probes = recommend_leaf_size(workload, JoinSpec(epsilon=0.1))
+        assert best in DEFAULT_CANDIDATES
+        assert len(probes) == len(DEFAULT_CANDIDATES)
+
+    def test_avoids_the_pathological_extreme(self, workload):
+        """Leaf size 1 explodes node visits; the score must reject it in
+        favour of any reasonable threshold."""
+        best, _ = recommend_leaf_size(
+            workload, JoinSpec(epsilon=0.1), candidates=(1, 256)
+        )
+        assert best == 256
+
+    def test_recommendation_actually_joins_well(self, workload):
+        """The recommended threshold must be near-optimal in *measured
+        work score* among the candidates on the full data."""
+        spec = JoinSpec(epsilon=0.1)
+        best, _ = recommend_leaf_size(workload, spec, sample=2500)
+
+        def full_score(leaf_size):
+            sink = PairCounter()
+            result = epsilon_kdb_self_join(
+                workload, JoinSpec(epsilon=0.1, leaf_size=leaf_size), sink=sink
+            )
+            from repro.analysis.tuning import NODE_OVERHEAD
+
+            return (
+                result.stats.distance_computations
+                + NODE_OVERHEAD * result.stats.node_pairs_visited
+            )
+
+        scores = {c: full_score(c) for c in DEFAULT_CANDIDATES}
+        assert scores[best] <= 2.0 * min(scores.values())

@@ -1,0 +1,132 @@
+"""Tests for the Z-order (Morton code) join and its encoding."""
+
+import numpy as np
+import pytest
+
+from conftest import assert_same_pairs, oracle_self_pairs, oracle_two_set_pairs
+from repro import JoinSpec
+from repro.baselines import zorder_join, zorder_self_join
+from repro.baselines.zorder import morton_decode, morton_encode
+from repro.datasets import gaussian_clusters
+from repro.errors import InvalidParameterError
+
+
+class TestMortonEncoding:
+    def test_known_values_2d(self):
+        # Classic 2-D Morton: (x=1, y=0) -> 0b01, (x=0, y=1) -> 0b10,
+        # (x=1, y=1) -> 0b11, (x=2, y=0) -> 0b0100.
+        cells = np.array([[0, 0], [1, 0], [0, 1], [1, 1], [2, 0]])
+        codes = morton_encode(cells, bits=4)
+        assert codes.tolist() == [0, 1, 2, 3, 4]
+
+    def test_roundtrip(self):
+        rng = np.random.default_rng(0)
+        for dims, bits in ((1, 16), (2, 10), (3, 8), (5, 6)):
+            cells = rng.integers(0, 1 << bits, size=(200, dims))
+            codes = morton_encode(cells, bits)
+            decoded = morton_decode(codes, dims, bits)
+            assert (decoded == cells).all()
+
+    def test_codes_unique_per_cell(self):
+        rng = np.random.default_rng(1)
+        cells = rng.integers(0, 32, size=(500, 3))
+        codes = morton_encode(cells, bits=5)
+        unique_cells = len(np.unique(cells, axis=0))
+        assert len(np.unique(codes)) == unique_cells
+
+    def test_z_curve_locality_ordering(self):
+        """Sorting by code visits quadrants in Z order: all of quadrant
+        (0,0) before any of (1,0), etc., at the top level."""
+        cells = np.array([[0, 0], [1, 0], [0, 1], [1, 1]]) * 8  # quadrant corners
+        codes = morton_encode(cells, bits=4)
+        assert codes.tolist() == sorted(codes.tolist())
+
+    def test_validation(self):
+        with pytest.raises(InvalidParameterError):
+            morton_encode(np.zeros((2, 2), dtype=np.int64), bits=31)  # 62 > 60
+        with pytest.raises(InvalidParameterError):
+            morton_encode(np.array([[-1, 0]]), bits=4)
+        with pytest.raises(InvalidParameterError):
+            morton_encode(np.array([[16, 0]]), bits=4)
+        with pytest.raises(InvalidParameterError):
+            morton_encode(np.zeros(4, dtype=np.int64), bits=4)
+
+
+class TestSelfJoin:
+    @pytest.mark.parametrize("metric", ["l1", "l2", "linf"])
+    @pytest.mark.parametrize("eps", [0.05, 0.3])
+    def test_matches_oracle(self, metric, eps, small_uniform):
+        spec = JoinSpec(epsilon=eps, metric=metric)
+        expected = oracle_self_pairs(small_uniform, spec)
+        result = zorder_self_join(small_uniform, spec)
+        assert_same_pairs(result.pairs, expected, f"zorder {metric}/{eps}")
+
+    @pytest.mark.parametrize("zorder_dims", [1, 2, 3, 5])
+    def test_encoded_dims_never_change_result(self, zorder_dims, small_uniform):
+        spec = JoinSpec(epsilon=0.2)
+        expected = oracle_self_pairs(small_uniform, spec)
+        result = zorder_self_join(small_uniform, spec, zorder_dims=zorder_dims)
+        assert_same_pairs(result.pairs, expected, f"zdims={zorder_dims}")
+
+    def test_clusters(self, small_clusters):
+        spec = JoinSpec(epsilon=0.1)
+        expected = oracle_self_pairs(small_clusters, spec)
+        result = zorder_self_join(small_clusters, spec)
+        assert_same_pairs(result.pairs, expected, "zorder clusters")
+
+    def test_tiny_epsilon_forces_code_clipping(self):
+        """A huge span/eps ratio exceeds the bit budget; clipping must
+        keep results exact (it only coarsens the filter)."""
+        rng = np.random.default_rng(2)
+        points = rng.random((400, 2)) * 1e7
+        spec = JoinSpec(epsilon=1e-3)
+        expected = oracle_self_pairs(points, spec)
+        result = zorder_self_join(points, spec, zorder_dims=2)
+        assert_same_pairs(result.pairs, expected, "clipped codes")
+
+    def test_negative_coordinates(self):
+        rng = np.random.default_rng(3)
+        points = rng.normal(0.0, 1.0, size=(400, 4))
+        spec = JoinSpec(epsilon=0.3)
+        expected = oracle_self_pairs(points, spec)
+        result = zorder_self_join(points, spec)
+        assert_same_pairs(result.pairs, expected, "negative coords")
+
+    def test_empty_and_tiny(self):
+        spec = JoinSpec(epsilon=0.1)
+        assert zorder_self_join(np.empty((0, 2)), spec).count == 0
+        assert zorder_self_join(np.array([[0.5, 0.5]]), spec).count == 0
+
+    def test_invalid_zorder_dims(self, small_uniform):
+        with pytest.raises(InvalidParameterError):
+            zorder_self_join(small_uniform, JoinSpec(epsilon=0.1), zorder_dims=0)
+        with pytest.raises(InvalidParameterError):
+            zorder_self_join(small_uniform, JoinSpec(epsilon=0.1), zorder_dims=99)
+
+
+class TestTwoSetJoin:
+    def test_matches_oracle(self):
+        left = gaussian_clusters(500, 5, clusters=4, sigma=0.05, seed=81)
+        right = gaussian_clusters(650, 5, clusters=4, sigma=0.05, seed=81) + 0.01
+        spec = JoinSpec(epsilon=0.15)
+        expected = oracle_two_set_pairs(left, right, spec)
+        assert len(expected) > 0
+        result = zorder_join(left, right, spec)
+        assert_same_pairs(result.pairs, expected, "zorder two-set")
+
+    def test_orientation(self):
+        left = np.array([[0.0, 0.0]])
+        right = np.array([[0.05, 0.0], [0.9, 0.9]])
+        result = zorder_join(left, right, JoinSpec(epsilon=0.1))
+        assert result.pairs.tolist() == [[0, 0]]
+
+    def test_empty_sides(self):
+        spec = JoinSpec(epsilon=0.1)
+        empty = np.empty((0, 3))
+        other = np.zeros((3, 3))
+        assert zorder_join(empty, other, spec).count == 0
+        assert zorder_join(other, empty, spec).count == 0
+
+    def test_dim_mismatch(self):
+        with pytest.raises(InvalidParameterError):
+            zorder_join(np.zeros((2, 2)), np.zeros((2, 3)), JoinSpec(epsilon=0.1))
