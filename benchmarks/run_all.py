@@ -31,6 +31,7 @@ EXPERIMENTS = [
     "bench_e11_build_cost",
     "bench_e12_filter_quality",
     "bench_e13_asymmetric",
+    "bench_e14_parallel",
 ]
 
 

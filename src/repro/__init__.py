@@ -57,10 +57,13 @@ from repro.core import (
     JoinStats,
     PairCollector,
     PairCounter,
+    ParallelJoinExecutor,
     epsilon_kdb_join,
     epsilon_kdb_self_join,
     external_join,
     external_self_join,
+    parallel_join,
+    parallel_self_join,
 )
 from repro.errors import (
     DomainError,
@@ -83,6 +86,7 @@ __version__ = "1.0.0"
 #: Algorithm registry used by :func:`similarity_join` and the CLI.
 _SELF_JOIN_ALGORITHMS = {
     "epsilon-kdb": epsilon_kdb_self_join,
+    "epsilon-kdb-parallel": parallel_self_join,
     "rtree": rtree_self_join,
     "rplus": rplus_self_join,
     "zorder": zorder_self_join,
@@ -93,6 +97,7 @@ _SELF_JOIN_ALGORITHMS = {
 
 _TWO_SET_ALGORITHMS = {
     "epsilon-kdb": epsilon_kdb_join,
+    "epsilon-kdb-parallel": parallel_join,
     "rtree": rtree_join,
     "rplus": rplus_join,
     "zorder": zorder_join,
@@ -113,6 +118,8 @@ def similarity_join(
     metric: Union[str, float, Metric] = "l2",
     algorithm: str = "epsilon-kdb",
     leaf_size: int = 128,
+    parallel: bool = False,
+    n_workers: Optional[int] = None,
     return_result: bool = False,
 ):
     """Find all point pairs within ``epsilon`` of each other.
@@ -129,11 +136,18 @@ def similarity_join(
         metric: ``"l1"``, ``"l2"``, ``"linf"``, a Minkowski order, or a
             :class:`~repro.metrics.Metric` instance.
         algorithm: one of ``"epsilon-kdb"`` (the paper's contribution,
-            default), ``"rplus"`` (the paper's R+-tree baseline),
-            ``"rtree"``, ``"zorder"``, ``"sort-merge"``, ``"grid"``,
-            ``"brute-force"``.
+            default), ``"epsilon-kdb-parallel"`` (its multi-core
+            stripe-partitioned executor), ``"rplus"`` (the paper's
+            R+-tree baseline), ``"rtree"``, ``"zorder"``,
+            ``"sort-merge"``, ``"grid"``, ``"brute-force"``.
         leaf_size: epsilon-kdB leaf split threshold (ignored by the
             baselines).
+        parallel: shorthand for ``algorithm="epsilon-kdb-parallel"``;
+            only valid with the default algorithm.  Output is identical
+            to the serial join.
+        n_workers: worker-process count for the parallel executor
+            (``None``: all cores; ``1``: serial path).  Implies
+            ``parallel`` when set.
         return_result: when true, return the full
             :class:`~repro.core.result.JoinResult` (pairs *and*
             statistics) instead of just the pair array.
@@ -142,7 +156,16 @@ def similarity_join(
         ``(m, 2)`` int64 array of qualifying index pairs, or a
         :class:`~repro.core.result.JoinResult` when ``return_result``.
     """
-    spec = JoinSpec(epsilon=epsilon, metric=metric, leaf_size=leaf_size)
+    if parallel or n_workers is not None:
+        if algorithm not in ("epsilon-kdb", "epsilon-kdb-parallel"):
+            raise InvalidParameterError(
+                "parallel execution is only available for the epsilon-kdb "
+                f"algorithm, not {algorithm!r}"
+            )
+        algorithm = "epsilon-kdb-parallel"
+    spec = JoinSpec(
+        epsilon=epsilon, metric=metric, leaf_size=leaf_size, n_workers=n_workers
+    )
     registry = _SELF_JOIN_ALGORITHMS if points2 is None else _TWO_SET_ALGORITHMS
     try:
         runner = registry[algorithm]
@@ -171,6 +194,9 @@ __all__ = [
     "external_self_join",
     "external_join",
     "ExternalJoinReport",
+    "ParallelJoinExecutor",
+    "parallel_self_join",
+    "parallel_join",
     "PairCollector",
     "PairCounter",
     "JoinStats",

@@ -87,6 +87,13 @@ def build_parser() -> argparse.ArgumentParser:
         help="join algorithm (default: epsilon-kdb)",
     )
     join.add_argument(
+        "--workers",
+        type=int,
+        help="run the stripe-parallel epsilon-kdB executor with this many "
+        "worker processes (only valid with --algorithm epsilon-kdb; "
+        "1 means the serial path)",
+    )
+    join.add_argument(
         "--output",
         help="write the resulting (m, 2) pair array to this .npy file",
     )
@@ -136,10 +143,12 @@ def _run_join(args: argparse.Namespace) -> int:
     spec = JoinSpec(
         epsilon=args.epsilon, metric=args.metric, leaf_size=args.leaf_size
     )
+    workers = getattr(args, "workers", None)
     print(
         f"joining {len(points)} points, d={points.shape[1]}, "
         f"eps={spec.epsilon}, metric={spec.metric.name}, "
         f"algorithm={args.algorithm}"
+        + (f", workers={workers}" if workers else "")
     )
     started = time.perf_counter()
     result = similarity_join(
@@ -148,6 +157,7 @@ def _run_join(args: argparse.Namespace) -> int:
         metric=args.metric,
         algorithm=args.algorithm,
         leaf_size=args.leaf_size,
+        n_workers=workers,
         return_result=True,
     )
     elapsed = time.perf_counter() - started
@@ -155,6 +165,10 @@ def _run_join(args: argparse.Namespace) -> int:
     print(f"pairs:                 {format_si(stats.pairs_emitted)}")
     print(f"distance computations: {format_si(stats.distance_computations)}")
     print(f"node pairs visited:    {format_si(stats.node_pairs_visited)}")
+    if stats.stripes:
+        print(f"stripes:               {stats.stripes}")
+        print(f"worker processes:      {stats.workers_used or 'serial path'}")
+        print(f"boundary dups merged:  {format_si(stats.duplicate_pairs_merged)}")
     print(f"wall clock:            {format_seconds(elapsed)}")
     if args.output:
         save_pairs(args.output, result.pairs)

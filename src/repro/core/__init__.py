@@ -10,6 +10,13 @@ from repro.core.config import JoinSpec
 from repro.core.epsilon_kdb import EpsilonKdbTree, Grid
 from repro.core.external import ExternalJoinReport, external_join, external_self_join
 from repro.core.join import epsilon_kdb_join, epsilon_kdb_self_join
+from repro.core.parallel import (
+    ParallelJoinExecutor,
+    StripePlan,
+    parallel_join,
+    parallel_self_join,
+    plan_parallel_stripes,
+)
 from repro.core.result import JoinStats, PairCollector, PairCounter
 
 __all__ = [
@@ -21,6 +28,11 @@ __all__ = [
     "external_self_join",
     "external_join",
     "ExternalJoinReport",
+    "ParallelJoinExecutor",
+    "StripePlan",
+    "parallel_self_join",
+    "parallel_join",
+    "plan_parallel_stripes",
     "PairCollector",
     "PairCounter",
     "JoinStats",

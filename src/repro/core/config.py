@@ -41,6 +41,14 @@ class JoinSpec:
             pair of children instead of only adjacent cells.  Only the
             E10 ablation turns this off; results are identical, work is
             not.
+        n_workers: process count for the parallel executor; ``None``
+            means "decide at run time" (all available cores), ``1``
+            forces the serial path.  Ignored by the serial entry points.
+        stripe_overlap: width of the boundary band each parallel stripe
+            borrows from its successor.  ``None`` means the minimum safe
+            width (the metric's per-coordinate bound, i.e. one grid
+            cell); anything smaller is rejected at plan time because it
+            would lose boundary pairs.
     """
 
     epsilon: float
@@ -49,6 +57,8 @@ class JoinSpec:
     split_order: Optional[Sequence[int]] = None
     sort_dim: Optional[int] = None
     adjacency_pruning: bool = True
+    n_workers: Optional[int] = None
+    stripe_overlap: Optional[float] = None
 
     def __post_init__(self) -> None:
         if not np.isfinite(self.epsilon) or self.epsilon <= 0:
@@ -62,6 +72,36 @@ class JoinSpec:
                 f"leaf_size must be >= 1, got {self.leaf_size!r}"
             )
         self.leaf_size = int(self.leaf_size)
+        if self.n_workers is not None:
+            if int(self.n_workers) < 1:
+                raise InvalidParameterError(
+                    f"n_workers must be >= 1, got {self.n_workers!r}"
+                )
+            self.n_workers = int(self.n_workers)
+        if self.stripe_overlap is not None:
+            overlap = float(self.stripe_overlap)
+            if not np.isfinite(overlap) or overlap <= 0:
+                raise InvalidParameterError(
+                    "stripe_overlap must be a positive finite number, "
+                    f"got {self.stripe_overlap!r}"
+                )
+            self.stripe_overlap = overlap
+
+    def resolved_stripe_overlap(self) -> float:
+        """The effective boundary-band width for parallel stripes.
+
+        Must be at least :attr:`band_width`: a narrower band could miss
+        a qualifying pair that spans a stripe boundary.
+        """
+        if self.stripe_overlap is None:
+            return self.band_width
+        if self.stripe_overlap < self.band_width:
+            raise InvalidParameterError(
+                f"stripe_overlap {self.stripe_overlap} is narrower than the "
+                f"metric's per-coordinate bound {self.band_width}; boundary "
+                "pairs would be lost"
+            )
+        return self.stripe_overlap
 
     @property
     def band_width(self) -> float:

@@ -1,0 +1,431 @@
+"""Parallel partitioned epsilon-kdB joins.
+
+The epsilon-kdB decomposition is embarrassingly parallel along any split
+dimension: child ``i`` of a split node only ever joins children
+``i-1..i+1``, so a run of epsilon-wide cells (a *stripe*) joins only
+itself and an epsilon-wide band at each neighbouring stripe.  The
+external-memory driver (:mod:`repro.core.external`) already exploits
+this to bound memory; this module exploits it to bound *latency*: it
+plans overlapping stripes along the first split dimension, ships the
+shared ``(n, d)`` point array to worker processes once via
+``multiprocessing.shared_memory`` (workers receive only ``int64`` index
+arrays, matching the tree's no-copy index-array design), runs one serial
+epsilon-kdB join per stripe in a process pool, and merges the per-stripe
+pair blocks deterministically.
+
+Partitioning rule (self-join): stripe ``k`` *owns* the points whose
+dimension-0 cell falls in its span; its task set is the owned points
+plus the *boundary band* — points of later stripes within
+``stripe_overlap`` (>= one cell width) of the stripe's upper boundary.
+Every qualifying pair therefore appears in at least one task (both
+points in one stripe, or spanning adjacent stripes with the upper point
+in the band), and a pair can appear in at most two adjacent tasks (when
+both points sit inside one band).  The merge removes those duplicates
+with :func:`repro.core.result.canonicalize_self_pairs`, whose
+``np.unique`` ordering is exactly the serial path's lexicographic
+``sorted_pairs()`` ordering — so the parallel result is byte-identical
+to the serial one.  Two-set joins stripe both relations on shared
+boundaries planned from the combined histogram and merge with
+:func:`repro.core.result.canonicalize_two_set_pairs`.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from multiprocessing import shared_memory
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.config import JoinSpec, validate_points
+from repro.core.external import plan_stripes
+from repro.core.join import epsilon_kdb_join, epsilon_kdb_self_join
+from repro.core.result import (
+    JoinResult,
+    JoinStats,
+    PairSink,
+    canonicalize_self_pairs,
+    canonicalize_two_set_pairs,
+)
+from repro.errors import InvalidParameterError
+
+#: Below this many points (total, both sides for two-set joins) the
+#: executor runs the serial path: process startup would dominate.
+DEFAULT_SERIAL_THRESHOLD = 2048
+
+#: Stripes planned per worker; a few per worker smooths out skew
+#: (a slow stripe overlaps other workers' remaining stripes).
+DEFAULT_STRIPES_PER_WORKER = 3
+
+
+@dataclass(frozen=True)
+class StripePlan:
+    """Partitioning of one join along a single dimension.
+
+    ``spans`` are half-open cell ranges per stripe, as produced by
+    :func:`repro.core.external.plan_stripes`; ``lo``/``cell_width``
+    translate cells back to coordinates.  ``overlap`` is the boundary
+    band width (>= ``cell_width``).
+    """
+
+    dim: int
+    lo: float
+    cell_width: float
+    overlap: float
+    n_cells: int
+    spans: Tuple[Tuple[int, int], ...]
+
+    @property
+    def n_stripes(self) -> int:
+        return len(self.spans)
+
+    def boundaries(self) -> np.ndarray:
+        """Upper-boundary coordinate of each stripe except the last."""
+        stops = np.array([stop for _, stop in self.spans[:-1]], dtype=np.float64)
+        return self.lo + stops * self.cell_width
+
+    def cell_of(self, values: np.ndarray) -> np.ndarray:
+        cells = np.floor((np.asarray(values) - self.lo) / self.cell_width)
+        return np.clip(cells, 0, self.n_cells - 1).astype(np.int64)
+
+    def owner_of(self, values: np.ndarray) -> np.ndarray:
+        """Stripe id owning each value (by its dimension-0 cell)."""
+        cell_to_stripe = np.empty(self.n_cells, dtype=np.int64)
+        for sid, (start, stop) in enumerate(self.spans):
+            cell_to_stripe[start:stop] = sid
+        return cell_to_stripe[self.cell_of(values)]
+
+    def task_indices(self, values: np.ndarray) -> List[np.ndarray]:
+        """Global point indices of each stripe task, in ascending order.
+
+        Task ``k`` holds stripe ``k``'s owned points plus the boundary
+        band: points owned by later stripes whose coordinate is within
+        ``overlap`` of stripe ``k``'s upper boundary.
+        """
+        values = np.asarray(values, dtype=np.float64)
+        owners = self.owner_of(values)
+        boundaries = self.boundaries()
+        tasks: List[np.ndarray] = []
+        for sid in range(self.n_stripes):
+            mask = owners == sid
+            if sid < self.n_stripes - 1:
+                boundary = boundaries[sid]
+                mask |= (owners > sid) & (values <= boundary + self.overlap)
+            tasks.append(np.flatnonzero(mask))
+        return tasks
+
+
+def plan_parallel_stripes(
+    values: np.ndarray,
+    spec: JoinSpec,
+    n_workers: int,
+    stripes_per_worker: int = DEFAULT_STRIPES_PER_WORKER,
+) -> StripePlan:
+    """Plan load-balanced stripes over one coordinate array.
+
+    Reuses the external driver's greedy :func:`plan_stripes` with a
+    *capacity* target of roughly ``len(values) / (n_workers *
+    stripes_per_worker)`` points per stripe, instead of a memory budget.
+    """
+    values = np.asarray(values, dtype=np.float64)
+    if n_workers < 1:
+        raise InvalidParameterError(f"n_workers must be >= 1, got {n_workers}")
+    if stripes_per_worker < 1:
+        raise InvalidParameterError(
+            f"stripes_per_worker must be >= 1, got {stripes_per_worker}"
+        )
+    overlap = spec.resolved_stripe_overlap()
+    cell_width = spec.band_width
+    lo = float(values.min()) if len(values) else 0.0
+    hi = float(values.max()) if len(values) else 0.0
+    n_cells = max(1, int((hi - lo) // cell_width))
+    plan_args = dict(
+        dim=0, lo=lo, cell_width=cell_width, overlap=overlap, n_cells=n_cells
+    )
+    if n_cells == 1 or len(values) == 0:
+        return StripePlan(spans=((0, n_cells),), **plan_args)
+    cells = np.clip(
+        np.floor((values - lo) / cell_width), 0, n_cells - 1
+    ).astype(np.int64)
+    histogram = np.bincount(cells, minlength=n_cells)
+    capacity = max(2, -(-len(values) // (n_workers * stripes_per_worker)))
+    spans = tuple(
+        (span.start, span.stop)
+        for span in plan_stripes(histogram, capacity)
+    )
+    return StripePlan(spans=spans, **plan_args)
+
+
+# ----------------------------------------------------------------------
+# worker-process machinery
+# ----------------------------------------------------------------------
+# Populated by the pool initializer in each worker (or directly by the
+# in-process runner): side label -> (n, d) float64 view.
+_WORKER_POINTS: Dict[str, np.ndarray] = {}
+# Keeps attached segments alive for the worker's lifetime; with the
+# fork start method all registrations share the parent's resource
+# tracker, so only the parent's unlink() releases the segment.
+_WORKER_SEGMENTS: List[shared_memory.SharedMemory] = []
+
+
+def _init_worker(segments: Dict[str, Tuple[str, Tuple[int, int]]]) -> None:
+    _WORKER_POINTS.clear()
+    for side, (name, shape) in segments.items():
+        shm = shared_memory.SharedMemory(name=name)
+        _WORKER_SEGMENTS.append(shm)
+        _WORKER_POINTS[side] = np.ndarray(shape, dtype=np.float64, buffer=shm.buf)
+
+
+def _self_stripe_task(
+    spec: JoinSpec, members: np.ndarray
+) -> Tuple[np.ndarray, JoinStats, float]:
+    started = time.perf_counter()
+    points = _WORKER_POINTS["a"][members]
+    local = epsilon_kdb_self_join(points, spec)
+    pairs = members[local.pairs] if len(local.pairs) else local.pairs
+    return pairs, local.stats, time.perf_counter() - started
+
+
+def _cross_stripe_task(
+    spec: JoinSpec, members_r: np.ndarray, members_s: np.ndarray
+) -> Tuple[np.ndarray, JoinStats, float]:
+    started = time.perf_counter()
+    points_r = _WORKER_POINTS["r"][members_r]
+    points_s = _WORKER_POINTS["s"][members_s]
+    local = epsilon_kdb_join(points_r, points_s, spec)
+    if len(local.pairs):
+        pairs = np.column_stack(
+            [members_r[local.pairs[:, 0]], members_s[local.pairs[:, 1]]]
+        )
+    else:
+        pairs = local.pairs
+    return pairs, local.stats, time.perf_counter() - started
+
+
+def _export_shared(array: np.ndarray) -> shared_memory.SharedMemory:
+    shm = shared_memory.SharedMemory(create=True, size=max(1, array.nbytes))
+    view = np.ndarray(array.shape, dtype=np.float64, buffer=shm.buf)
+    view[:] = array
+    return shm
+
+
+class ParallelJoinExecutor:
+    """Run epsilon-kdB joins across a process pool of stripe tasks.
+
+    Degrades gracefully: ``n_workers=1``, inputs below
+    ``serial_threshold`` points, or a plan with a single stripe all run
+    the plain serial join — with output identical to the parallel path,
+    which is itself byte-identical to the serial path (see module
+    docstring).
+
+    Args:
+        spec: the join parameters; ``spec.n_workers`` and
+            ``spec.stripe_overlap`` supply defaults.
+        n_workers: overrides ``spec.n_workers``; ``None`` falls back to
+            the spec, then to ``os.cpu_count()``.
+        stripes_per_worker: planned stripes per worker (load balance).
+        serial_threshold: total point count below which the serial path
+            runs directly.
+        use_processes: when ``False``, run the same stripe tasks
+            in-process (same planning, same merge, no pool) — used by
+            tests to exercise the decomposition cheaply, and as the
+            fallback when a pool cannot be created.
+    """
+
+    def __init__(
+        self,
+        spec: JoinSpec,
+        n_workers: Optional[int] = None,
+        stripes_per_worker: int = DEFAULT_STRIPES_PER_WORKER,
+        serial_threshold: int = DEFAULT_SERIAL_THRESHOLD,
+        use_processes: bool = True,
+    ):
+        if n_workers is None:
+            n_workers = spec.n_workers
+        if n_workers is None:
+            n_workers = os.cpu_count() or 1
+        if int(n_workers) < 1:
+            raise InvalidParameterError(
+                f"n_workers must be >= 1, got {n_workers!r}"
+            )
+        self.spec = spec
+        self.n_workers = int(n_workers)
+        self.stripes_per_worker = int(stripes_per_worker)
+        self.serial_threshold = int(serial_threshold)
+        self.use_processes = use_processes
+
+    # ------------------------------------------------------------------
+    def self_join(
+        self, points: np.ndarray, sink: Optional[PairSink] = None
+    ) -> JoinResult:
+        """Parallel self-join; same contract as ``epsilon_kdb_self_join``."""
+        points = validate_points(points)
+        if self.n_workers == 1 or len(points) < max(2, self.serial_threshold):
+            return self._serial(lambda: epsilon_kdb_self_join(points, self.spec, sink=sink))
+        started = time.perf_counter()
+        dim = int(self.spec.resolved_split_order(points.shape[1])[0])
+        plan = plan_parallel_stripes(
+            points[:, dim], self.spec, self.n_workers, self.stripes_per_worker
+        )
+        if plan.n_stripes < 2:
+            return self._serial(lambda: epsilon_kdb_self_join(points, self.spec, sink=sink))
+        tasks = [
+            (members,)
+            for members in plan.task_indices(points[:, dim])
+            if len(members) >= 2
+        ]
+        segments = {"a": points}
+        outcomes, planned = self._run(
+            _self_stripe_task, tasks, segments, started
+        )
+        return self._merge(
+            outcomes, planned, plan, sink, canonicalize_self_pairs
+        )
+
+    def join(
+        self,
+        points_r: np.ndarray,
+        points_s: np.ndarray,
+        sink: Optional[PairSink] = None,
+    ) -> JoinResult:
+        """Parallel two-set join; same contract as ``epsilon_kdb_join``."""
+        points_r = validate_points(points_r, "points_r")
+        points_s = validate_points(points_s, "points_s")
+        if points_r.shape[1] != points_s.shape[1]:
+            raise InvalidParameterError(
+                "both sides of a join must have the same dimensionality: "
+                f"{points_r.shape[1]} != {points_s.shape[1]}"
+            )
+        total = len(points_r) + len(points_s)
+        small = (
+            self.n_workers == 1
+            or total < self.serial_threshold
+            or len(points_r) == 0
+            or len(points_s) == 0
+        )
+        if small:
+            return self._serial(
+                lambda: epsilon_kdb_join(points_r, points_s, self.spec, sink=sink)
+            )
+        started = time.perf_counter()
+        dim = int(self.spec.resolved_split_order(points_r.shape[1])[0])
+        values_r = points_r[:, dim]
+        values_s = points_s[:, dim]
+        plan = plan_parallel_stripes(
+            np.concatenate([values_r, values_s]),
+            self.spec,
+            self.n_workers,
+            self.stripes_per_worker,
+        )
+        if plan.n_stripes < 2:
+            return self._serial(
+                lambda: epsilon_kdb_join(points_r, points_s, self.spec, sink=sink)
+            )
+        tasks = [
+            (members_r, members_s)
+            for members_r, members_s in zip(
+                plan.task_indices(values_r), plan.task_indices(values_s)
+            )
+            if len(members_r) and len(members_s)
+        ]
+        segments = {"r": points_r, "s": points_s}
+        outcomes, planned = self._run(
+            _cross_stripe_task, tasks, segments, started
+        )
+        return self._merge(
+            outcomes, planned, plan, sink, canonicalize_two_set_pairs
+        )
+
+    # ------------------------------------------------------------------
+    def _serial(self, run) -> JoinResult:
+        result = run()
+        result.stats.stripes = max(result.stats.stripes, 1)
+        result.stats.workers_used = 0
+        return result
+
+    def _run(self, task, tasks, arrays, started):
+        """Execute stripe tasks; returns (outcomes in task order, build time)."""
+        if not self.use_processes:
+            _WORKER_POINTS.clear()
+            _WORKER_POINTS.update(arrays)
+            planned = time.perf_counter() - started
+            try:
+                return [task(self.spec, *args) for args in tasks], planned
+            finally:
+                _WORKER_POINTS.clear()
+        shms = {side: _export_shared(array) for side, array in arrays.items()}
+        segments = {
+            side: (shms[side].name, arrays[side].shape) for side in arrays
+        }
+        workers = min(self.n_workers, max(1, len(tasks)))
+        try:
+            with ProcessPoolExecutor(
+                max_workers=workers,
+                initializer=_init_worker,
+                initargs=(segments,),
+            ) as pool:
+                planned = time.perf_counter() - started
+                futures = [pool.submit(task, self.spec, *args) for args in tasks]
+                return [future.result() for future in futures], planned
+        finally:
+            for shm in shms.values():
+                shm.close()
+                shm.unlink()
+
+    def _merge(self, outcomes, planned, plan, sink, canonicalize) -> JoinResult:
+        merge_started = time.perf_counter()
+        result = JoinResult()
+        stats = result.stats
+        blocks: List[np.ndarray] = []
+        for pairs, task_stats, seconds in outcomes:
+            stats.merge(task_stats)
+            stats.worker_seconds.append(seconds)
+            if len(pairs):
+                blocks.append(pairs)
+        if blocks:
+            raw = np.vstack(blocks)
+        else:
+            raw = np.empty((0, 2), dtype=np.int64)
+        canonical = canonicalize(raw[:, 0], raw[:, 1])
+        stats.stripes = plan.n_stripes
+        stats.workers_used = min(self.n_workers, max(1, len(outcomes)))
+        stats.duplicate_pairs_merged = len(raw) - len(canonical)
+        if sink is None:
+            result.pairs = canonical
+            stats.pairs_emitted = len(canonical)
+        else:
+            sink.emit(canonical[:, 0], canonical[:, 1])
+            stats.pairs_emitted = sink.count
+        result.build_seconds = planned
+        result.join_seconds = time.perf_counter() - merge_started + max(
+            stats.worker_seconds, default=0.0
+        )
+        return result
+
+
+def parallel_self_join(
+    points: np.ndarray,
+    spec: JoinSpec,
+    sink: Optional[PairSink] = None,
+    n_workers: Optional[int] = None,
+    **kwargs,
+) -> JoinResult:
+    """Function-style entry point mirroring ``epsilon_kdb_self_join``."""
+    executor = ParallelJoinExecutor(spec, n_workers=n_workers, **kwargs)
+    return executor.self_join(points, sink=sink)
+
+
+def parallel_join(
+    points_r: np.ndarray,
+    points_s: np.ndarray,
+    spec: JoinSpec,
+    sink: Optional[PairSink] = None,
+    n_workers: Optional[int] = None,
+    **kwargs,
+) -> JoinResult:
+    """Function-style entry point mirroring ``epsilon_kdb_join``."""
+    executor = ParallelJoinExecutor(spec, n_workers=n_workers, **kwargs)
+    return executor.join(points_r, points_s, sink=sink)

@@ -34,6 +34,14 @@ class JoinStats:
         pairs_emitted: qualifying pairs reported.
         pages_read / pages_written: simulated I/O, filled in only by the
             external-memory variants.
+        stripes: partitions planned, filled in only by the parallel and
+            external-memory variants.
+        workers_used: process-pool size, filled in only by the parallel
+            executor (0 means the serial path ran).
+        duplicate_pairs_merged: boundary pairs found by more than one
+            stripe task and removed by the deterministic merge.
+        worker_seconds: per-stripe-task wall-clock times, in stripe
+            order (not completion order).
     """
 
     distance_computations: int = 0
@@ -42,6 +50,10 @@ class JoinStats:
     pairs_emitted: int = 0
     pages_read: int = 0
     pages_written: int = 0
+    stripes: int = 0
+    workers_used: int = 0
+    duplicate_pairs_merged: int = 0
+    worker_seconds: List[float] = field(default_factory=list)
 
     def merge(self, other: "JoinStats") -> None:
         """Accumulate another stats object into this one."""
@@ -51,6 +63,10 @@ class JoinStats:
         self.pairs_emitted += other.pairs_emitted
         self.pages_read += other.pages_read
         self.pages_written += other.pages_written
+        self.stripes += other.stripes
+        self.workers_used = max(self.workers_used, other.workers_used)
+        self.duplicate_pairs_merged += other.duplicate_pairs_merged
+        self.worker_seconds.extend(other.worker_seconds)
 
 
 _EMPTY_I64 = np.empty(0, dtype=np.int64)
@@ -179,3 +195,18 @@ def canonicalize_self_pairs(left: np.ndarray, right: np.ndarray) -> np.ndarray:
         return pairs
     pairs = np.unique(pairs, axis=0)
     return pairs
+
+
+def canonicalize_two_set_pairs(left: np.ndarray, right: np.ndarray) -> np.ndarray:
+    """Normalize two-set pairs: keep sides, dedupe, sort lexicographically.
+
+    The parallel merge uses this to fold boundary pairs reported by two
+    adjacent stripe tasks into one occurrence; the result matches the
+    serial traversal's ``PairCollector.sorted_pairs()`` ordering exactly.
+    """
+    left = np.asarray(left, dtype=np.int64)
+    right = np.asarray(right, dtype=np.int64)
+    pairs = np.column_stack([left, right])
+    if len(pairs) == 0:
+        return pairs
+    return np.unique(pairs, axis=0)

@@ -1,33 +1,19 @@
-"""Shared fixtures and oracles for the test suite."""
+"""Shared fixtures for the test suite.
+
+The comparison oracles live in :mod:`_oracles`; the re-export below
+keeps historical ``from conftest import ...`` call sites working.
+"""
 
 from __future__ import annotations
 
 import numpy as np
 import pytest
 
-from repro import JoinSpec
-from repro.baselines import brute_force_join, brute_force_self_join
-
-
-def oracle_self_pairs(points: np.ndarray, spec: JoinSpec) -> np.ndarray:
-    """Canonical self-join answer via the blocked nested loop."""
-    return brute_force_self_join(points, spec).pairs
-
-
-def oracle_two_set_pairs(
-    points_r: np.ndarray, points_s: np.ndarray, spec: JoinSpec
-) -> np.ndarray:
-    """Canonical two-set join answer via the blocked nested loop."""
-    return brute_force_join(points_r, points_s, spec).pairs
-
-
-def assert_same_pairs(actual: np.ndarray, expected: np.ndarray, label: str = ""):
-    """Assert two canonical (sorted) pair arrays are identical."""
-    assert actual.shape == expected.shape, (
-        f"{label}: expected {len(expected)} pairs, got {len(actual)}"
-    )
-    if len(expected):
-        assert (actual == expected).all(), f"{label}: pair sets differ"
+from _oracles import (  # noqa: F401  (re-exported for older imports)
+    assert_same_pairs,
+    oracle_self_pairs,
+    oracle_two_set_pairs,
+)
 
 
 @pytest.fixture(scope="session")

@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from conftest import assert_same_pairs, oracle_self_pairs, oracle_two_set_pairs
+from _oracles import assert_same_pairs, oracle_self_pairs, oracle_two_set_pairs
 from repro import ALGORITHMS, JoinSpec, similarity_join
 from repro.core.result import JoinResult
 from repro.errors import InvalidParameterError
@@ -12,6 +12,7 @@ from repro.errors import InvalidParameterError
 def test_all_algorithms_registered():
     assert set(ALGORITHMS) == {
         "epsilon-kdb",
+        "epsilon-kdb-parallel",
         "rtree",
         "rplus",
         "zorder",

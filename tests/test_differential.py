@@ -1,0 +1,149 @@
+"""Differential testing harness: every engine, one answer.
+
+A seed-driven workload generator sweeps (n, d, epsilon, metric,
+distribution, self vs two-set) and asserts that every join engine —
+serial epsilon-kdB, the stripe-parallel executor, the grid, sort-merge
+and R-tree baselines — returns exactly the brute-force oracle's
+canonical pair set.  A fixed small matrix runs in tier-1; the extended
+matrix (larger inputs, more seeds, the pooled executor) runs under
+``-m slow``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from _oracles import assert_same_pairs, oracle_self_pairs, oracle_two_set_pairs
+from repro import JoinSpec
+from repro.baselines import (
+    grid_join,
+    grid_self_join,
+    rtree_join,
+    rtree_self_join,
+    sort_merge_join,
+    sort_merge_self_join,
+)
+from repro.core import epsilon_kdb_join, epsilon_kdb_self_join
+from repro.core.parallel import ParallelJoinExecutor
+from repro.datasets import gaussian_clusters
+
+
+def _parallel_engine(use_processes: bool, n_workers: int = 3):
+    def self_join(points, spec):
+        executor = ParallelJoinExecutor(
+            spec,
+            n_workers=n_workers,
+            serial_threshold=0,
+            use_processes=use_processes,
+        )
+        return executor.self_join(points)
+
+    def two_set(points_r, points_s, spec):
+        executor = ParallelJoinExecutor(
+            spec,
+            n_workers=n_workers,
+            serial_threshold=0,
+            use_processes=use_processes,
+        )
+        return executor.join(points_r, points_s)
+
+    return self_join, two_set
+
+
+_PARALLEL_SELF, _PARALLEL_TWO_SET = _parallel_engine(use_processes=False)
+_POOLED_SELF, _POOLED_TWO_SET = _parallel_engine(use_processes=True)
+
+#: engine name -> (self_join(points, spec), join(r, s, spec)).
+ENGINES = {
+    "epsilon-kdb": (epsilon_kdb_self_join, epsilon_kdb_join),
+    "epsilon-kdb-parallel": (_PARALLEL_SELF, _PARALLEL_TWO_SET),
+    "grid": (grid_self_join, grid_join),
+    "sort-merge": (sort_merge_self_join, sort_merge_join),
+    "rtree": (rtree_self_join, rtree_join),
+}
+
+
+def generate(distribution: str, n: int, d: int, seed: int) -> np.ndarray:
+    """One workload draw; ``quantized`` forces ties and boundary hits."""
+    rng = np.random.default_rng(seed)
+    if distribution == "uniform":
+        return rng.random((n, d))
+    if distribution == "clusters":
+        return gaussian_clusters(n, d, clusters=5, sigma=0.06, seed=seed)
+    if distribution == "quantized":
+        return rng.integers(0, 9, size=(n, d)).astype(np.float64) / 8.0
+    raise ValueError(distribution)
+
+
+def check_case(n, d, eps, metric, distribution, mode, seed, engines=ENGINES):
+    spec = JoinSpec(epsilon=eps, metric=metric)
+    if mode == "self":
+        points = generate(distribution, n, d, seed)
+        expected = oracle_self_pairs(points, spec)
+        for name, (self_join, _) in engines.items():
+            assert_same_pairs(
+                self_join(points, spec).pairs,
+                expected,
+                f"{name} self n={n} d={d} eps={eps} {metric} "
+                f"{distribution} seed={seed}",
+            )
+    else:
+        points_r = generate(distribution, n, d, seed)
+        points_s = generate(distribution, max(1, n * 3 // 4), d, seed + 1)
+        expected = oracle_two_set_pairs(points_r, points_s, spec)
+        for name, (_, two_set) in engines.items():
+            assert_same_pairs(
+                two_set(points_r, points_s, spec).pairs,
+                expected,
+                f"{name} two-set n={n} d={d} eps={eps} {metric} "
+                f"{distribution} seed={seed}",
+            )
+
+
+#: (n, d, eps, metric, distribution, mode, seed) — the tier-1 matrix.
+TIER1_MATRIX = [
+    (120, 2, 0.25, "l2", "uniform", "self", 0),
+    (200, 4, 0.4, "l1", "clusters", "self", 1),
+    (150, 3, 0.25, "linf", "quantized", "self", 2),
+    (250, 6, 0.6, "l2", "uniform", "self", 3),
+    (90, 5, 0.5, "l1", "quantized", "two-set", 4),
+    (160, 3, 0.3, "l2", "clusters", "two-set", 5),
+    (130, 2, 0.2, "linf", "uniform", "two-set", 6),
+    (60, 8, 0.9, "l2", "quantized", "two-set", 7),
+]
+
+
+@pytest.mark.parametrize(
+    "n,d,eps,metric,distribution,mode,seed",
+    TIER1_MATRIX,
+    ids=[f"{m[5]}-{m[4]}-{m[3]}-n{m[0]}d{m[1]}" for m in TIER1_MATRIX],
+)
+def test_all_engines_agree(n, d, eps, metric, distribution, mode, seed):
+    check_case(n, d, eps, metric, distribution, mode, seed)
+
+
+def test_pooled_executor_agrees_on_one_tier1_case():
+    """One real process-pool run in tier-1; the rest exercise it in-process."""
+    engines = {"epsilon-kdb-parallel-pooled": (_POOLED_SELF, _POOLED_TWO_SET)}
+    check_case(400, 4, 0.3, "l2", "clusters", "self", 11, engines=engines)
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize("seed", range(8))
+@pytest.mark.parametrize("metric", ["l1", "l2", "linf"])
+@pytest.mark.parametrize("distribution", ["uniform", "clusters", "quantized"])
+@pytest.mark.parametrize("mode", ["self", "two-set"])
+def test_extended_matrix(seed, metric, distribution, mode):
+    rng = np.random.default_rng(1000 + seed)
+    n = int(rng.integers(50, 700))
+    d = int(rng.integers(2, 10))
+    eps = float(rng.choice([0.1, 0.25, 0.4, 0.75, 1.25]))
+    check_case(n, d, eps, metric, distribution, mode, seed)
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize("mode", ["self", "two-set"])
+def test_extended_pooled_executor(mode):
+    engines = {"epsilon-kdb-parallel-pooled": (_POOLED_SELF, _POOLED_TWO_SET)}
+    check_case(1500, 6, 0.35, "l2", "uniform", mode, 21, engines=engines)

@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from conftest import assert_same_pairs, oracle_self_pairs
+from _oracles import assert_same_pairs, oracle_self_pairs
 from repro import JoinSpec, PairCounter, external_join, external_self_join
 from repro.core.external import plan_stripes
 from repro.datasets import gaussian_clusters, uniform_points
@@ -155,7 +155,7 @@ class TestExternalTwoSetJoin:
 
     @pytest.mark.parametrize("budget", [150, 400, 5000])
     def test_matches_oracle_across_budgets(self, budget):
-        from conftest import oracle_two_set_pairs
+        from _oracles import oracle_two_set_pairs
 
         left, right = self.make_pair()
         spec = JoinSpec(epsilon=0.1, leaf_size=32)
@@ -178,7 +178,7 @@ class TestExternalTwoSetJoin:
         left = np.vstack([[[0.499, 0.5]], [[0.502, 0.9]], filler])
         right = np.vstack([[[0.501, 0.5]], [[0.498, 0.9]], filler + 2.0])
         spec = JoinSpec(epsilon=0.01)
-        from conftest import oracle_two_set_pairs
+        from _oracles import oracle_two_set_pairs
 
         expected = oracle_two_set_pairs(left, right, spec)
         report = external_join(left, right, spec, memory_points=60)

@@ -1,0 +1,249 @@
+"""Tests for the stripe-parallel epsilon-kdB executor.
+
+Covers the exactness contract (parallel output is byte-identical to the
+serial traversal), the graceful degradation rules (``n_workers=1`` and
+tiny inputs run the serial path), worker-count invariance, determinism
+across runs, and the observability counters.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from _oracles import assert_same_pairs, oracle_self_pairs, oracle_two_set_pairs
+from repro import (
+    JoinSpec,
+    PairCounter,
+    epsilon_kdb_join,
+    epsilon_kdb_self_join,
+    parallel_join,
+    parallel_self_join,
+    similarity_join,
+)
+from repro.core.parallel import ParallelJoinExecutor
+from repro.errors import InvalidParameterError
+
+
+def make_points(n=1200, d=6, seed=7):
+    return np.random.default_rng(seed).random((n, d))
+
+
+SPEC = dict(epsilon=0.3)
+
+
+# ----------------------------------------------------------------------
+# exactness against the serial engine and the brute-force oracle
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("metric", ["l1", "l2", "linf"])
+def test_pooled_self_join_byte_identical_to_serial(metric):
+    points = make_points()
+    spec = JoinSpec(epsilon=0.3, metric=metric)
+    serial = epsilon_kdb_self_join(points, spec)
+    executor = ParallelJoinExecutor(spec, n_workers=3, serial_threshold=64)
+    result = executor.self_join(points)
+    assert result.pairs.tobytes() == serial.pairs.tobytes()
+    assert result.stats.stripes > 1
+    assert result.stats.workers_used >= 2
+    assert_same_pairs(result.pairs, oracle_self_pairs(points, spec), "pooled")
+
+
+def test_pooled_two_set_join_byte_identical_to_serial():
+    rng = np.random.default_rng(13)
+    r = rng.random((900, 5))
+    s = rng.random((800, 5))
+    spec = JoinSpec(epsilon=0.35, metric="l1")
+    serial = epsilon_kdb_join(r, s, spec)
+    executor = ParallelJoinExecutor(spec, n_workers=3, serial_threshold=64)
+    result = executor.join(r, s)
+    assert result.pairs.tobytes() == serial.pairs.tobytes()
+    assert_same_pairs(result.pairs, oracle_two_set_pairs(r, s, spec), "pooled")
+
+
+@pytest.mark.parametrize("n_workers", [1, 2, 3, 7])
+def test_self_join_invariant_to_worker_count(n_workers):
+    points = make_points(n=800)
+    spec = JoinSpec(**SPEC)
+    expected = epsilon_kdb_self_join(points, spec).pairs
+    executor = ParallelJoinExecutor(
+        spec, n_workers=n_workers, serial_threshold=64, use_processes=False
+    )
+    assert executor.self_join(points).pairs.tobytes() == expected.tobytes()
+
+
+@pytest.mark.parametrize("n_workers", [1, 2, 3, 7])
+def test_two_set_join_invariant_to_worker_count(n_workers):
+    rng = np.random.default_rng(5)
+    r = rng.random((700, 4))
+    s = rng.random((600, 4))
+    spec = JoinSpec(epsilon=0.2)
+    expected = epsilon_kdb_join(r, s, spec).pairs
+    executor = ParallelJoinExecutor(
+        spec, n_workers=n_workers, serial_threshold=64, use_processes=False
+    )
+    assert executor.join(r, s).pairs.tobytes() == expected.tobytes()
+
+
+def test_wider_overlap_changes_nothing():
+    points = make_points(n=900)
+    spec = JoinSpec(epsilon=0.3, stripe_overlap=0.55)
+    expected = epsilon_kdb_self_join(points, spec).pairs
+    executor = ParallelJoinExecutor(
+        spec, n_workers=4, serial_threshold=64, use_processes=False
+    )
+    result = executor.self_join(points)
+    assert result.pairs.tobytes() == expected.tobytes()
+
+
+# ----------------------------------------------------------------------
+# determinism: same spec + seed => byte-identical ordering across runs
+# ----------------------------------------------------------------------
+def test_serial_join_is_deterministic_across_runs():
+    spec = JoinSpec(**SPEC)
+    first = epsilon_kdb_self_join(make_points(), spec)
+    second = epsilon_kdb_self_join(make_points(), spec)
+    assert first.pairs.tobytes() == second.pairs.tobytes()
+
+
+def test_parallel_join_is_deterministic_across_runs():
+    spec = JoinSpec(**SPEC)
+    runs = []
+    for _ in range(2):
+        executor = ParallelJoinExecutor(spec, n_workers=3, serial_threshold=64)
+        runs.append(executor.self_join(make_points()))
+    assert runs[0].pairs.tobytes() == runs[1].pairs.tobytes()
+    assert runs[0].stats.stripes == runs[1].stats.stripes
+    assert (
+        runs[0].stats.duplicate_pairs_merged
+        == runs[1].stats.duplicate_pairs_merged
+    )
+
+
+# ----------------------------------------------------------------------
+# graceful degradation
+# ----------------------------------------------------------------------
+def test_one_worker_runs_serial_path():
+    points = make_points(n=600)
+    spec = JoinSpec(**SPEC)
+    result = ParallelJoinExecutor(spec, n_workers=1).self_join(points)
+    assert result.stats.workers_used == 0
+    assert result.stats.stripes == 1
+    assert result.pairs.tobytes() == epsilon_kdb_self_join(points, spec).pairs.tobytes()
+
+
+def test_tiny_input_runs_serial_path():
+    points = make_points(n=200)
+    spec = JoinSpec(**SPEC)
+    result = ParallelJoinExecutor(spec, n_workers=4).self_join(points)
+    assert result.stats.workers_used == 0
+
+
+def test_single_stripe_domain_runs_serial_path():
+    # All mass in one dimension-0 cell: nothing to partition.
+    points = make_points(n=600)
+    points[:, 0] *= 0.01
+    spec = JoinSpec(epsilon=0.3)
+    result = ParallelJoinExecutor(
+        spec, n_workers=4, serial_threshold=64
+    ).self_join(points)
+    assert result.stats.workers_used == 0
+    assert_same_pairs(result.pairs, oracle_self_pairs(points, spec), "1-stripe")
+
+
+def test_degenerate_inputs():
+    spec = JoinSpec(**SPEC)
+    executor = ParallelJoinExecutor(spec, n_workers=4, serial_threshold=0)
+    assert len(executor.self_join(np.empty((0, 3))).pairs) == 0
+    assert len(executor.self_join(np.zeros((1, 3))).pairs) == 0
+    assert len(executor.join(np.empty((0, 3)), np.zeros((4, 3))).pairs) == 0
+
+
+# ----------------------------------------------------------------------
+# knobs, sinks, stats
+# ----------------------------------------------------------------------
+def test_counting_sink_matches_collected_pairs():
+    points = make_points(n=900)
+    spec = JoinSpec(**SPEC)
+    executor = ParallelJoinExecutor(
+        spec, n_workers=3, serial_threshold=64, use_processes=False
+    )
+    collected = executor.self_join(points)
+    sink = PairCounter()
+    counted = executor.self_join(points, sink=sink)
+    assert sink.count == len(collected.pairs)
+    assert counted.stats.pairs_emitted == sink.count
+    assert len(counted.pairs) == 0
+
+
+def test_observability_counters():
+    points = make_points(n=1500)
+    spec = JoinSpec(**SPEC)
+    executor = ParallelJoinExecutor(
+        spec, n_workers=4, serial_threshold=64, use_processes=False
+    )
+    result = executor.self_join(points)
+    stats = result.stats
+    assert stats.stripes >= 2
+    assert len(stats.worker_seconds) >= 1
+    assert all(t >= 0 for t in stats.worker_seconds)
+    assert stats.duplicate_pairs_merged >= 0
+    assert stats.pairs_emitted == len(result.pairs)
+
+
+def test_spec_knob_validation():
+    with pytest.raises(InvalidParameterError):
+        JoinSpec(epsilon=0.3, n_workers=0)
+    with pytest.raises(InvalidParameterError):
+        JoinSpec(epsilon=0.3, stripe_overlap=-1.0)
+    # An overlap narrower than the per-coordinate bound is rejected at
+    # plan time, not construction time (the bound depends on the metric).
+    spec = JoinSpec(epsilon=0.3, stripe_overlap=0.1)
+    with pytest.raises(InvalidParameterError):
+        spec.resolved_stripe_overlap()
+
+
+def test_spec_n_workers_flows_through():
+    spec = JoinSpec(epsilon=0.3, n_workers=1)
+    result = ParallelJoinExecutor(spec).self_join(make_points(n=600))
+    assert result.stats.workers_used == 0
+
+
+# ----------------------------------------------------------------------
+# public API wiring
+# ----------------------------------------------------------------------
+def test_similarity_join_parallel_flag():
+    points = make_points(n=500)
+    expected = similarity_join(points, epsilon=0.3)
+    pairs = similarity_join(points, epsilon=0.3, parallel=True, n_workers=2)
+    assert pairs.tobytes() == expected.tobytes()
+
+
+def test_similarity_join_parallel_algorithm_name():
+    points = make_points(n=500)
+    expected = similarity_join(points, epsilon=0.3)
+    pairs = similarity_join(points, epsilon=0.3, algorithm="epsilon-kdb-parallel")
+    assert pairs.tobytes() == expected.tobytes()
+
+
+def test_similarity_join_parallel_rejects_other_algorithms():
+    with pytest.raises(InvalidParameterError):
+        similarity_join(
+            make_points(n=50), epsilon=0.3, algorithm="grid", parallel=True
+        )
+
+
+def test_function_entry_points():
+    points = make_points(n=700)
+    spec = JoinSpec(**SPEC)
+    expected = epsilon_kdb_self_join(points, spec).pairs
+    result = parallel_self_join(
+        points, spec, n_workers=2, serial_threshold=64, use_processes=False
+    )
+    assert result.pairs.tobytes() == expected.tobytes()
+    rng = np.random.default_rng(3)
+    r, s = rng.random((500, 4)), rng.random((400, 4))
+    expected_rs = epsilon_kdb_join(r, s, spec).pairs
+    result_rs = parallel_join(
+        r, s, spec, n_workers=2, serial_threshold=64, use_processes=False
+    )
+    assert result_rs.pairs.tobytes() == expected_rs.tobytes()

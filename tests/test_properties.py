@@ -12,11 +12,12 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 from hypothesis.extra import numpy as hnp
 
-from conftest import assert_same_pairs, oracle_self_pairs, oracle_two_set_pairs
+from _oracles import assert_same_pairs, oracle_self_pairs, oracle_two_set_pairs
 from repro import JoinSpec, epsilon_kdb_join, epsilon_kdb_self_join
 from repro.baselines import grid_self_join, rtree_self_join, sort_merge_self_join
 from repro.core.epsilon_kdb import EpsilonKdbTree, Grid
 from repro.core.external import plan_stripes
+from repro.core.parallel import ParallelJoinExecutor, plan_parallel_stripes
 from repro.core.result import canonicalize_self_pairs
 from repro.core.sweep import band_pairs_cross, band_pairs_self
 
@@ -227,3 +228,101 @@ def test_canonicalize_properties(left, right):
         if a != b
     }
     assert {tuple(p) for p in pairs.tolist()} == expected
+
+
+# ----------------------------------------------------------------------
+# parallel stripe planner
+# ----------------------------------------------------------------------
+parallel_workers = st.sampled_from([1, 2, 3, 7])
+
+
+@settings(max_examples=60, deadline=None)
+@given(points=point_arrays(max_n=120), eps=epsilons, n_workers=parallel_workers)
+def test_parallel_plan_covers_domain(points, eps, n_workers):
+    """Stripe spans partition the cell range: every cell in exactly one
+    stripe, in order, with no gaps."""
+    if len(points) == 0:
+        return
+    spec = JoinSpec(epsilon=eps)
+    plan = plan_parallel_stripes(points[:, 0], spec, n_workers)
+    covered = []
+    for start, stop in plan.spans:
+        covered.extend(range(start, stop))
+    assert covered == list(range(plan.n_cells))
+    owners = plan.owner_of(points[:, 0])
+    assert (owners >= 0).all() and (owners < plan.n_stripes).all()
+    # Ownership is monotone in the coordinate.
+    order = np.argsort(points[:, 0], kind="stable")
+    assert (np.diff(owners[order]) >= 0).all()
+
+
+@settings(max_examples=60, deadline=None)
+@given(points=point_arrays(max_n=120), eps=epsilons, n_workers=parallel_workers)
+def test_parallel_tasks_overlap_by_at_least_eps(points, eps, n_workers):
+    """Task k's window reaches at least band_width past its upper
+    boundary, and every stripe is at least band_width wide — together
+    the reason a qualifying pair never spans non-adjacent tasks."""
+    if len(points) == 0:
+        return
+    spec = JoinSpec(epsilon=eps)
+    plan = plan_parallel_stripes(points[:, 0], spec, n_workers)
+    assert plan.overlap >= spec.band_width
+    assert plan.cell_width == spec.band_width
+    for start, stop in plan.spans:
+        assert (stop - start) * plan.cell_width >= spec.band_width
+    values = points[:, 0]
+    owners = plan.owner_of(values)
+    boundaries = plan.boundaries()
+    tasks = plan.task_indices(values)
+    for sid, members in enumerate(tasks):
+        member_owners = owners[members]
+        if sid < plan.n_stripes - 1:
+            # Everything the task holds beyond its own stripe lies inside
+            # the overlap band...
+            borrowed = members[member_owners != sid]
+            assert (values[borrowed] <= boundaries[sid] + plan.overlap).all()
+            # ...and everything inside the band is held by the task.
+            in_band = np.flatnonzero(
+                (owners > sid) & (values <= boundaries[sid] + plan.overlap)
+            )
+            assert set(in_band.tolist()) <= set(members.tolist())
+        else:
+            assert (member_owners == sid).all()
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    points=point_arrays(max_n=80, max_d=4),
+    eps=epsilons,
+    metric=metrics,
+    n_workers=parallel_workers,
+)
+def test_parallel_boundary_pairs_emitted_once(points, eps, metric, n_workers):
+    """After the merge, the parallel pair set is duplicate-free and equals
+    the brute-force oracle — boundary pairs appear exactly once."""
+    spec = JoinSpec(epsilon=eps, metric=metric, leaf_size=4)
+    executor = ParallelJoinExecutor(
+        spec, n_workers=n_workers, serial_threshold=0, use_processes=False
+    )
+    result = executor.self_join(points)
+    if len(result.pairs):
+        assert len(np.unique(result.pairs, axis=0)) == len(result.pairs)
+    assert_same_pairs(
+        result.pairs, oracle_self_pairs(points, spec), "property parallel"
+    )
+
+
+@settings(max_examples=20, deadline=None)
+@given(points=point_arrays(max_n=80, max_d=4), eps=epsilons)
+def test_parallel_output_invariant_to_worker_count(points, eps):
+    spec = JoinSpec(epsilon=eps, leaf_size=4)
+    reference = None
+    for n_workers in (1, 2, 3, 7):
+        executor = ParallelJoinExecutor(
+            spec, n_workers=n_workers, serial_threshold=0, use_processes=False
+        )
+        pairs = executor.self_join(points).pairs
+        if reference is None:
+            reference = pairs
+        else:
+            assert pairs.tobytes() == reference.tobytes()

@@ -5,7 +5,7 @@ import numpy as np
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from conftest import assert_same_pairs, oracle_self_pairs, oracle_two_set_pairs
+from _oracles import assert_same_pairs, oracle_self_pairs, oracle_two_set_pairs
 from repro import (
     EpsilonKdbTree,
     JoinSpec,

@@ -5,7 +5,7 @@ import itertools
 import numpy as np
 import pytest
 
-from conftest import assert_same_pairs, oracle_self_pairs, oracle_two_set_pairs
+from _oracles import assert_same_pairs, oracle_self_pairs, oracle_two_set_pairs
 from repro import JoinSpec
 from repro.baselines import RPlusTree, rplus_join, rplus_self_join
 from repro.datasets import gaussian_clusters

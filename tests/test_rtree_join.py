@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from conftest import assert_same_pairs, oracle_self_pairs, oracle_two_set_pairs
+from _oracles import assert_same_pairs, oracle_self_pairs, oracle_two_set_pairs
 from repro import JoinSpec, PairCounter
 from repro.baselines import RTree, rtree_join, rtree_self_join
 from repro.datasets import gaussian_clusters

@@ -10,7 +10,7 @@ check that every join algorithm stays exact under adversarial weights.
 import numpy as np
 import pytest
 
-from conftest import assert_same_pairs, oracle_self_pairs
+from _oracles import assert_same_pairs, oracle_self_pairs
 from repro import JoinSpec, WeightedLpMetric, similarity_join
 from repro.baselines import brute_force_self_join
 from repro.errors import InvalidParameterError
@@ -131,7 +131,7 @@ def test_range_query_exact_under_weighted_metric(weighted_setup):
 
 
 def test_weighted_two_set_join(weighted_setup):
-    from conftest import oracle_two_set_pairs
+    from _oracles import oracle_two_set_pairs
     from repro import epsilon_kdb_join
 
     points, metric = weighted_setup
