@@ -105,14 +105,22 @@ def sweep(workers=None, n: int = N):
             f"{speedup:.2f}x",
             format_si(pairs),
         )
+    cpu_count = os.cpu_count() or 1
+    oversubscribed = [w for w in workers if w > cpu_count]
     record = {
         "experiment": "e14_parallel",
         "n": n,
         "dims": DIMS,
         "epsilon": EPSILON,
-        "cpu_count": os.cpu_count(),
+        "cpu_count": cpu_count,
         "series": series,
     }
+    if oversubscribed:
+        record["warning"] = (
+            f"worker counts {oversubscribed} exceed the {cpu_count} "
+            "available cores; their speedups measure oversubscription, "
+            "not parallel scaling"
+        )
     return table, record
 
 

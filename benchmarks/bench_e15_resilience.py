@@ -1,0 +1,268 @@
+"""E15 — Recovery overhead of the fault-tolerant parallel executor.
+
+The resilience layer (:mod:`repro.core.resilience`) promises that any
+fault plan yields byte-identical results; this experiment measures what
+that recovery *costs*.  Each scenario runs the same self-join under one
+injected failure mode and reports the wall-clock overhead relative to a
+fault-free run of the same configuration, plus the resilience counters
+that prove the scenario actually exercised its recovery path:
+
+* ``baseline`` — fault-free parallel join (the denominator).
+* ``crash-retry`` — one stripe task crashes once and is re-dispatched.
+* ``timeout-retry`` — one stripe task is delayed past ``task_timeout``
+  and re-dispatched.
+* ``pool-failure-degrade`` — the process pool cannot be created; the
+  whole join degrades to the serial traversal.
+* ``storage-retry`` — the external-memory join retries transient page
+  read failures (measured against its own fault-free baseline).
+
+Script mode writes the measured series to
+``benchmarks/results/e15_resilience.json``::
+
+    python benchmarks/bench_e15_resilience.py            # full size
+    python benchmarks/bench_e15_resilience.py --smoke    # seconds-sized
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import time
+
+import pytest
+
+from _harness import attach_info, clustered, scale
+from repro import FaultPlan, JoinSpec, PairCounter, ParallelJoinExecutor
+from repro.analysis import Table, format_seconds, format_si
+from repro.core import external_self_join
+from repro.storage.pages import PageStore
+
+N = scale(40_000)
+DIMS = 8
+EPSILON = 0.05
+N_WORKERS = 2
+TASK_TIMEOUT = 0.5
+DELAY_SECONDS = 2 * TASK_TIMEOUT
+
+SMOKE_N = 4000
+
+EXTERNAL_MEMORY_POINTS = 8192
+EXTERNAL_PAGE_ROWS = 256
+#: Read ordinals the storage scenario fails (spread across the passes).
+EXTERNAL_FAULT_ORDINALS = (2, 9, 23)
+
+
+def _executor(n: int, fault_plan=None, task_timeout=None) -> ParallelJoinExecutor:
+    spec = JoinSpec(epsilon=EPSILON, n_workers=N_WORKERS)
+    return ParallelJoinExecutor(
+        spec,
+        serial_threshold=0,
+        fault_plan=fault_plan,
+        task_timeout=task_timeout,
+    )
+
+
+def _run_parallel(n: int, fault_plan=None, task_timeout=None):
+    points = clustered(n, DIMS)
+    sink = PairCounter()
+    executor = _executor(n, fault_plan=fault_plan, task_timeout=task_timeout)
+    started = time.perf_counter()
+    result = executor.self_join(points, sink=sink)
+    elapsed = time.perf_counter() - started
+    return result, elapsed, sink.count
+
+
+def _run_external(n: int, fault_plan=None):
+    points = clustered(n, DIMS)
+    store = PageStore(page_rows=EXTERNAL_PAGE_ROWS, fault_plan=fault_plan)
+    sink = PairCounter()
+    started = time.perf_counter()
+    report = external_self_join(
+        points,
+        JoinSpec(epsilon=EPSILON),
+        memory_points=EXTERNAL_MEMORY_POINTS,
+        store=store,
+        sink=sink,
+    )
+    elapsed = time.perf_counter() - started
+    return report, elapsed, sink.count
+
+
+def _scenarios(n: int):
+    """Yield (name, runner) pairs; runner() -> (stats, seconds, pairs)."""
+
+    def baseline():
+        result, elapsed, pairs = _run_parallel(n)
+        return result.stats, elapsed, pairs
+
+    def crash_retry():
+        result, elapsed, pairs = _run_parallel(n, fault_plan=FaultPlan().crash_task(0))
+        return result.stats, elapsed, pairs
+
+    def timeout_retry():
+        plan = FaultPlan().delay_task(0, DELAY_SECONDS)
+        result, elapsed, pairs = _run_parallel(
+            n, fault_plan=plan, task_timeout=TASK_TIMEOUT
+        )
+        return result.stats, elapsed, pairs
+
+    def pool_failure():
+        plan = FaultPlan().fail_pool_creation()
+        result, elapsed, pairs = _run_parallel(n, fault_plan=plan)
+        return result.stats, elapsed, pairs
+
+    def storage_baseline():
+        report, elapsed, pairs = _run_external(n)
+        return report.stats, elapsed, pairs
+
+    def storage_retry():
+        plan = FaultPlan().fail_page_read(*EXTERNAL_FAULT_ORDINALS)
+        report, elapsed, pairs = _run_external(n, fault_plan=plan)
+        return report.stats, elapsed, pairs
+
+    return [
+        ("baseline", baseline),
+        ("crash-retry", crash_retry),
+        ("timeout-retry", timeout_retry),
+        ("pool-failure-degrade", pool_failure),
+        ("storage-baseline", storage_baseline),
+        ("storage-retry", storage_retry),
+    ]
+
+
+#: The external-memory scenarios compare against their own baseline.
+_BASELINE_OF = {
+    "crash-retry": "baseline",
+    "timeout-retry": "baseline",
+    "pool-failure-degrade": "baseline",
+    "storage-retry": "storage-baseline",
+}
+
+
+def _row(name: str, stats, elapsed: float, pairs: int) -> dict:
+    return {
+        "scenario": name,
+        "seconds": elapsed,
+        "pairs": pairs,
+        "tasks_retried": stats.tasks_retried,
+        "tasks_timed_out": stats.tasks_timed_out,
+        "degraded_to_serial": stats.degraded_to_serial,
+        "faults_injected": stats.faults_injected,
+        "storage_retries": stats.storage_retries,
+    }
+
+
+@pytest.mark.parametrize(
+    "scenario", [name for name, _ in _scenarios(SMOKE_N)]
+)
+def test_e15_recovery_overhead(benchmark, scenario):
+    benchmark.group = f"E15 resilience (N={SMOKE_N}, d={DIMS}, eps={EPSILON})"
+    runner = dict(_scenarios(SMOKE_N))[scenario]
+
+    def run():
+        stats, elapsed, pairs = runner()
+        return {
+            "seconds": elapsed,
+            "pairs": pairs,
+            "distance_computations": stats.distance_computations,
+            "node_pairs": stats.node_pairs_visited,
+            "tasks_retried": stats.tasks_retried,
+            "faults_injected": stats.faults_injected,
+        }
+
+    row = benchmark.pedantic(run, rounds=1, iterations=1)
+    attach_info(benchmark, row)
+    benchmark.extra_info["tasks_retried"] = row["tasks_retried"]
+    benchmark.extra_info["faults_injected"] = row["faults_injected"]
+
+
+def sweep(n: int = N):
+    table = Table(
+        f"E15: recovery overhead under injected faults "
+        f"(N={n}, d={DIMS}, eps={EPSILON}, {N_WORKERS} workers)",
+        ["scenario", "time", "overhead", "retried", "timed out",
+         "degraded", "io retries", "pairs"],
+    )
+    series = []
+    seconds_of = {}
+    pair_counts = set()
+    for name, runner in _scenarios(n):
+        stats, elapsed, pairs = runner()
+        seconds_of[name] = elapsed
+        row = _row(name, stats, elapsed, pairs)
+        baseline_name = _BASELINE_OF.get(name)
+        if baseline_name is not None:
+            base = seconds_of[baseline_name]
+            row["overhead_vs_baseline"] = (elapsed / base - 1.0) if base else 0.0
+        # Storage scenarios join the same points but through the external
+        # driver; pair counts must agree across every scenario regardless.
+        pair_counts.add(pairs)
+        series.append(row)
+        overhead = row.get("overhead_vs_baseline")
+        table.add_row(
+            name,
+            format_seconds(elapsed),
+            f"{overhead * 100:+.0f}%" if overhead is not None else "-",
+            stats.tasks_retried,
+            stats.tasks_timed_out,
+            "yes" if stats.degraded_to_serial else "no",
+            stats.storage_retries,
+            format_si(pairs),
+        )
+    record = {
+        "experiment": "e15_resilience",
+        "n": n,
+        "dims": DIMS,
+        "epsilon": EPSILON,
+        "n_workers": N_WORKERS,
+        "task_timeout": TASK_TIMEOUT,
+        "cpu_count": os.cpu_count(),
+        "pair_counts_agree": len(pair_counts) == 1,
+        "series": series,
+    }
+    return table, record
+
+
+def _default_out() -> str:
+    return os.path.join(
+        os.path.dirname(__file__), "results", "e15_resilience.json"
+    )
+
+
+def _write_record(record, out: str) -> None:
+    os.makedirs(os.path.dirname(out), exist_ok=True)
+    with open(out, "w") as handle:
+        json.dump(record, handle, indent=2)
+
+
+def run_experiment():
+    """Entry point for ``run_all.py``: full sweep, JSON recorded."""
+    table, record = sweep()
+    _write_record(record, _default_out())
+    return table
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help=f"tiny run ({SMOKE_N} points) for CI",
+    )
+    parser.add_argument(
+        "--out",
+        default=_default_out(),
+        help="JSON output path "
+        "(default: benchmarks/results/e15_resilience.json)",
+    )
+    args = parser.parse_args()
+    table, record = sweep(n=SMOKE_N if args.smoke else N)
+    table.print()
+    _write_record(record, args.out)
+    print(f"recorded series in {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -32,6 +32,7 @@ EXPERIMENTS = [
     "bench_e12_filter_quality",
     "bench_e13_asymmetric",
     "bench_e14_parallel",
+    "bench_e15_resilience",
 ]
 
 

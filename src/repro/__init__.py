@@ -52,6 +52,7 @@ from repro.baselines import (
 from repro.core import (
     EpsilonKdbTree,
     ExternalJoinReport,
+    FaultPlan,
     Grid,
     JoinSpec,
     JoinStats,
@@ -70,6 +71,9 @@ from repro.errors import (
     InvalidParameterError,
     ReproError,
     StorageError,
+    TaskTimeoutError,
+    TransientIoError,
+    WorkerCrashError,
 )
 from repro.metrics import (
     L1,
@@ -120,6 +124,8 @@ def similarity_join(
     leaf_size: int = 128,
     parallel: bool = False,
     n_workers: Optional[int] = None,
+    task_timeout: Optional[float] = None,
+    max_task_retries: Optional[int] = None,
     return_result: bool = False,
 ):
     """Find all point pairs within ``epsilon`` of each other.
@@ -148,6 +154,13 @@ def similarity_join(
         n_workers: worker-process count for the parallel executor
             (``None``: all cores; ``1``: serial path).  Implies
             ``parallel`` when set.
+        task_timeout: per-stripe-task deadline in seconds for the
+            parallel executor; timed-out attempts are retried (and
+            counted in ``stats.tasks_timed_out``).  ``None`` disables
+            deadlines.  Only meaningful with the parallel algorithm.
+        max_task_retries: pool re-dispatch budget per stripe task before
+            the final in-parent attempt.  ``None`` keeps the
+            :class:`~repro.core.config.JoinSpec` default.
         return_result: when true, return the full
             :class:`~repro.core.result.JoinResult` (pairs *and*
             statistics) instead of just the pair array.
@@ -163,9 +176,14 @@ def similarity_join(
                 f"algorithm, not {algorithm!r}"
             )
         algorithm = "epsilon-kdb-parallel"
-    spec = JoinSpec(
+    spec_kwargs = dict(
         epsilon=epsilon, metric=metric, leaf_size=leaf_size, n_workers=n_workers
     )
+    if task_timeout is not None:
+        spec_kwargs["task_timeout"] = task_timeout
+    if max_task_retries is not None:
+        spec_kwargs["max_task_retries"] = max_task_retries
+    spec = JoinSpec(**spec_kwargs)
     registry = _SELF_JOIN_ALGORITHMS if points2 is None else _TWO_SET_ALGORITHMS
     try:
         runner = registry[algorithm]
@@ -197,6 +215,7 @@ __all__ = [
     "ParallelJoinExecutor",
     "parallel_self_join",
     "parallel_join",
+    "FaultPlan",
     "PairCollector",
     "PairCounter",
     "JoinStats",
@@ -234,4 +253,7 @@ __all__ = [
     "InvalidParameterError",
     "DomainError",
     "StorageError",
+    "TransientIoError",
+    "WorkerCrashError",
+    "TaskTimeoutError",
 ]

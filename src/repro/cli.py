@@ -94,6 +94,18 @@ def build_parser() -> argparse.ArgumentParser:
         "1 means the serial path)",
     )
     join.add_argument(
+        "--task-timeout",
+        type=float,
+        help="per-stripe-task deadline in seconds for the parallel "
+        "executor; timed-out attempts are retried (default: no deadline)",
+    )
+    join.add_argument(
+        "--max-task-retries",
+        type=int,
+        help="pool re-dispatch budget per stripe task before the final "
+        "in-parent attempt (default: 2)",
+    )
+    join.add_argument(
         "--output",
         help="write the resulting (m, 2) pair array to this .npy file",
     )
@@ -158,6 +170,8 @@ def _run_join(args: argparse.Namespace) -> int:
         algorithm=args.algorithm,
         leaf_size=args.leaf_size,
         n_workers=workers,
+        task_timeout=getattr(args, "task_timeout", None),
+        max_task_retries=getattr(args, "max_task_retries", None),
         return_result=True,
     )
     elapsed = time.perf_counter() - started
@@ -169,6 +183,12 @@ def _run_join(args: argparse.Namespace) -> int:
         print(f"stripes:               {stats.stripes}")
         print(f"worker processes:      {stats.workers_used or 'serial path'}")
         print(f"boundary dups merged:  {format_si(stats.duplicate_pairs_merged)}")
+    if stats.tasks_retried:
+        print(f"tasks retried:         {stats.tasks_retried}")
+    if stats.tasks_timed_out:
+        print(f"tasks timed out:       {stats.tasks_timed_out}")
+    if stats.degraded_to_serial:
+        print("degraded to serial:    yes (pool unusable; results exact)")
     print(f"wall clock:            {format_seconds(elapsed)}")
     if args.output:
         save_pairs(args.output, result.pairs)

@@ -17,6 +17,7 @@ from repro.core.parallel import (
     parallel_self_join,
     plan_parallel_stripes,
 )
+from repro.core.resilience import FaultPlan, retry_transient
 from repro.core.result import JoinStats, PairCollector, PairCounter
 
 __all__ = [
@@ -33,6 +34,8 @@ __all__ = [
     "parallel_self_join",
     "parallel_join",
     "plan_parallel_stripes",
+    "FaultPlan",
+    "retry_transient",
     "PairCollector",
     "PairCounter",
     "JoinStats",

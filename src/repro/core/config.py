@@ -49,6 +49,14 @@ class JoinSpec:
             width (the metric's per-coordinate bound, i.e. one grid
             cell); anything smaller is rejected at plan time because it
             would lose boundary pairs.
+        task_timeout: per-stripe-task deadline in seconds for the
+            parallel executor; a task attempt exceeding it is counted in
+            ``JoinStats.tasks_timed_out`` and re-dispatched.  ``None``
+            (the default) disables deadlines.
+        max_task_retries: how many times a failed or timed-out stripe
+            task is re-dispatched to the pool before the executor runs
+            it one final time in the parent process.  ``0`` still allows
+            that final in-parent attempt.
     """
 
     epsilon: float
@@ -59,6 +67,8 @@ class JoinSpec:
     adjacency_pruning: bool = True
     n_workers: Optional[int] = None
     stripe_overlap: Optional[float] = None
+    task_timeout: Optional[float] = None
+    max_task_retries: int = 2
 
     def __post_init__(self) -> None:
         if not np.isfinite(self.epsilon) or self.epsilon <= 0:
@@ -86,6 +96,19 @@ class JoinSpec:
                     f"got {self.stripe_overlap!r}"
                 )
             self.stripe_overlap = overlap
+        if self.task_timeout is not None:
+            timeout = float(self.task_timeout)
+            if not np.isfinite(timeout) or timeout <= 0:
+                raise InvalidParameterError(
+                    "task_timeout must be a positive finite number of "
+                    f"seconds, got {self.task_timeout!r}"
+                )
+            self.task_timeout = timeout
+        if int(self.max_task_retries) < 0:
+            raise InvalidParameterError(
+                f"max_task_retries must be >= 0, got {self.max_task_retries!r}"
+            )
+        self.max_task_retries = int(self.max_task_retries)
 
     def resolved_stripe_overlap(self) -> float:
         """The effective boundary-band width for parallel stripes.

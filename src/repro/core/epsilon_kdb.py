@@ -66,6 +66,11 @@ class Grid:
             hi = points.max(axis=0) if hi is None else np.asarray(hi, dtype=np.float64)
         if lo.shape != hi.shape or lo.ndim != 1:
             raise InvalidParameterError("grid bounds must be 1-D and congruent")
+        if not (np.isfinite(lo).all() and np.isfinite(hi).all()):
+            raise InvalidParameterError(
+                "grid bounds contain NaN or infinite values; cell counts "
+                "would be undefined"
+            )
         if np.any(hi < lo):
             raise InvalidParameterError("grid requires hi >= lo in every dimension")
         span = hi - lo

@@ -26,9 +26,13 @@ import numpy as np
 
 from repro.core.config import JoinSpec, validate_points
 from repro.core.join import epsilon_kdb_join, epsilon_kdb_self_join
+from repro.core.resilience import retry_transient
 from repro.core.result import JoinStats, PairCollector, PairSink
 from repro.errors import InvalidParameterError
 from repro.storage.pages import IoCounters, PageStore, PointFile
+
+#: Default retry budget per page read for transient storage faults.
+DEFAULT_IO_RETRIES = 3
 
 
 @dataclass
@@ -70,6 +74,35 @@ class _MappedSink(PairSink):
         return self._target.count
 
 
+def _resilient_pages(pfile: PointFile, stats: JoinStats, io_retries: int):
+    """Yield each page of ``pfile``, retrying transient read faults.
+
+    Each retry re-issues the physical read (a new read ordinal on the
+    store, so an injected transient fault does not repeat) and is counted
+    in ``stats.storage_retries``.
+    """
+
+    def bump(_attempt: int) -> None:
+        stats.storage_retries += 1
+
+    for position in range(pfile.num_pages):
+        yield retry_transient(
+            lambda position=position: pfile.read_page_rows(position),
+            io_retries,
+            on_retry=bump,
+        )
+
+
+def _resilient_read_all(
+    pfile: PointFile, stats: JoinStats, io_retries: int
+) -> np.ndarray:
+    """Materialize ``pfile`` with per-page transient-fault retry."""
+    pages = list(_resilient_pages(pfile, stats, io_retries))
+    if not pages:
+        return np.empty((0, pfile.dims))
+    return np.vstack(pages)
+
+
 def plan_stripes(histogram: np.ndarray, capacity: int) -> List[slice]:
     """Greedily group consecutive cells into stripes that fit ``capacity``.
 
@@ -103,6 +136,7 @@ def external_self_join(
     store: Optional[PageStore] = None,
     sink: Optional[PairSink] = None,
     page_rows: int = 256,
+    io_retries: int = DEFAULT_IO_RETRIES,
 ) -> ExternalJoinReport:
     """Self-join ``points`` through the simulated disk.
 
@@ -110,7 +144,17 @@ def external_self_join(
     algorithm is allowed to hold in memory at once.  ``points`` are first
     written to the store (that load is *not* counted; the paper's setting
     starts with the relation already on disk).
+
+    Every page read retries up to ``io_retries`` times on
+    :class:`~repro.errors.TransientIoError` (counted in
+    ``stats.storage_retries``); a fault that persists past the budget
+    propagates.
     """
+    if int(io_retries) < 0:
+        raise InvalidParameterError(
+            f"io_retries must be >= 0, got {io_retries!r}"
+        )
+    io_retries = int(io_retries)
     points = validate_points(points)
     if memory_points < 2:
         raise InvalidParameterError(
@@ -131,11 +175,12 @@ def external_self_join(
     augmented = np.column_stack([points, np.arange(n, dtype=np.float64)])
     relation = PointFile.from_points(store, augmented)
     baseline_io = store.counters.snapshot()
+    baseline_faults = store.fault_plan.injected if store.fault_plan else 0
 
     # Pass 1: domain of the striping dimension.
     lo = math.inf
     hi = -math.inf
-    for page in relation.scan():
+    for page in _resilient_pages(relation, report.stats, io_retries):
         lo = min(lo, float(page[:, 0].min()))
         hi = max(hi, float(page[:, 0].max()))
 
@@ -144,7 +189,7 @@ def external_self_join(
 
     # Pass 2: histogram of dimension-0 cells.
     histogram = np.zeros(n_cells, dtype=np.int64)
-    for page in relation.scan():
+    for page in _resilient_pages(relation, report.stats, io_retries):
         cells = _cells(page[:, 0], lo, eps, n_cells)
         histogram += np.bincount(cells, minlength=n_cells)
 
@@ -159,7 +204,7 @@ def external_self_join(
     # Pass 3: partition into stripe files and lower-boundary band files.
     stripe_files = [PointFile(store, dims + 1) for _ in stripes]
     band_files = [PointFile(store, dims + 1) for _ in stripes]
-    for page in relation.scan():
+    for page in _resilient_pages(relation, report.stats, io_retries):
         cells = _cells(page[:, 0], lo, eps, n_cells)
         owners = cell_to_stripe[cells]
         for sid in np.unique(owners):
@@ -173,7 +218,9 @@ def external_self_join(
 
     # Pass 4: join each stripe with itself and with the next stripe's band.
     for sid in range(len(stripes)):
-        stripe_rows = stripe_files[sid].read_all()
+        stripe_rows = _resilient_read_all(
+            stripe_files[sid], report.stats, io_retries
+        )
         stripe_points = stripe_rows[:, :dims]
         stripe_map = stripe_rows[:, dims].astype(np.int64)
         in_memory = len(stripe_rows)
@@ -182,7 +229,9 @@ def external_self_join(
             local = epsilon_kdb_self_join(stripe_points, spec, sink=mapped)
             report.stats.merge(local.stats)
         if sid + 1 < len(stripes) and band_files[sid + 1].num_rows:
-            band_rows = band_files[sid + 1].read_all()
+            band_rows = _resilient_read_all(
+                band_files[sid + 1], report.stats, io_retries
+            )
             in_memory += len(band_rows)
             band_points = band_rows[:, :dims]
             band_map = band_rows[:, dims].astype(np.int64)
@@ -198,6 +247,10 @@ def external_self_join(
     report.stats.pages_read = report.io.reads
     report.stats.pages_written = report.io.writes
     report.stats.pairs_emitted = sink.count
+    if store.fault_plan is not None:
+        report.stats.faults_injected = (
+            store.fault_plan.injected - baseline_faults
+        )
     if collect:
         pairs = sink.pairs()
         if len(pairs):
@@ -231,6 +284,7 @@ def external_join(
     store: Optional[PageStore] = None,
     sink: Optional[PairSink] = None,
     page_rows: int = 256,
+    io_retries: int = DEFAULT_IO_RETRIES,
 ) -> ExternalJoinReport:
     """Two-set join R against S through the simulated disk.
 
@@ -240,8 +294,15 @@ def external_join(
     next stripe: ``(R_k x S_k)``, ``(R_k x Sband_{k+1})`` and
     ``(Rband_{k+1} x S_k)`` together cover every qualifying pair exactly
     once.  Reported pairs are ``(r_index, s_index)`` with sides
-    preserved, like :func:`repro.core.join.epsilon_kdb_join`.
+    preserved, like :func:`repro.core.join.epsilon_kdb_join`.  Page
+    reads retry transient faults up to ``io_retries`` times, as in
+    :func:`external_self_join`.
     """
+    if int(io_retries) < 0:
+        raise InvalidParameterError(
+            f"io_retries must be >= 0, got {io_retries!r}"
+        )
+    io_retries = int(io_retries)
     points_r = validate_points(points_r, "points_r")
     points_s = validate_points(points_s, "points_s")
     if points_r.shape[1] != points_s.shape[1]:
@@ -269,12 +330,13 @@ def external_join(
         )
         relations.append(PointFile.from_points(store, augmented))
     baseline_io = store.counters.snapshot()
+    baseline_faults = store.fault_plan.injected if store.fault_plan else 0
 
     # Pass 1: shared striping domain over both relations.
     lo = math.inf
     hi = -math.inf
     for relation in relations:
-        for page in relation.scan():
+        for page in _resilient_pages(relation, report.stats, io_retries):
             lo = min(lo, float(page[:, 0].min()))
             hi = max(hi, float(page[:, 0].max()))
     eps = spec.band_width
@@ -283,7 +345,7 @@ def external_join(
     # Pass 2: combined histogram (memory at join time holds both sides).
     histogram = np.zeros(n_cells, dtype=np.int64)
     for relation in relations:
-        for page in relation.scan():
+        for page in _resilient_pages(relation, report.stats, io_retries):
             cells = _cells(page[:, 0], lo, eps, n_cells)
             histogram += np.bincount(cells, minlength=n_cells)
 
@@ -301,7 +363,7 @@ def external_join(
     for side, relation in enumerate(relations):
         stripe_files[side] = [PointFile(store, dims + 1) for _ in stripes]
         band_files[side] = [PointFile(store, dims + 1) for _ in stripes]
-        for page in relation.scan():
+        for page in _resilient_pages(relation, report.stats, io_retries):
             cells = _cells(page[:, 0], lo, eps, n_cells)
             owners = cell_to_stripe[cells]
             for sid in np.unique(owners):
@@ -315,7 +377,7 @@ def external_join(
 
     # Pass 4: per stripe, R_k x S_k, R_k x Sband_{k+1}, Rband_{k+1} x S_k.
     def load(pfile):
-        rows = pfile.read_all()
+        rows = _resilient_read_all(pfile, report.stats, io_retries)
         return rows[:, :dims], rows[:, dims].astype(np.int64)
 
     def join_sides(left, left_map, right, right_map):
@@ -344,6 +406,10 @@ def external_join(
     report.stats.pages_read = report.io.reads
     report.stats.pages_written = report.io.writes
     report.stats.pairs_emitted = sink.count
+    if store.fault_plan is not None:
+        report.stats.faults_injected = (
+            store.fault_plan.injected - baseline_faults
+        )
     if collect:
         pairs = sink.pairs()
         if len(pairs):

@@ -34,6 +34,8 @@ from __future__ import annotations
 import os
 import time
 from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import TimeoutError as FuturesTimeoutError
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass
 from multiprocessing import shared_memory
 from typing import Dict, List, Optional, Sequence, Tuple
@@ -43,6 +45,7 @@ import numpy as np
 from repro.core.config import JoinSpec, validate_points
 from repro.core.external import plan_stripes
 from repro.core.join import epsilon_kdb_join, epsilon_kdb_self_join
+from repro.core.resilience import DegradeToSerial, FaultPlan
 from repro.core.result import (
     JoinResult,
     JoinStats,
@@ -50,7 +53,7 @@ from repro.core.result import (
     canonicalize_self_pairs,
     canonicalize_two_set_pairs,
 )
-from repro.errors import InvalidParameterError
+from repro.errors import InvalidParameterError, WorkerCrashError
 
 #: Below this many points (total, both sides for two-set joins) the
 #: executor runs the serial path: process startup would dominate.
@@ -59,6 +62,9 @@ DEFAULT_SERIAL_THRESHOLD = 2048
 #: Stripes planned per worker; a few per worker smooths out skew
 #: (a slow stripe overlaps other workers' remaining stripes).
 DEFAULT_STRIPES_PER_WORKER = 3
+
+#: Base of the exponential backoff between task retries, in seconds.
+DEFAULT_RETRY_BACKOFF = 0.05
 
 
 @dataclass(frozen=True)
@@ -131,6 +137,11 @@ def plan_parallel_stripes(
     stripes_per_worker)`` points per stripe, instead of a memory budget.
     """
     values = np.asarray(values, dtype=np.float64)
+    if len(values) and not np.isfinite(values).all():
+        raise InvalidParameterError(
+            "stripe planning requires finite coordinates; the values "
+            "contain NaN or infinite entries"
+        )
     if n_workers < 1:
         raise InvalidParameterError(f"n_workers must be >= 1, got {n_workers}")
     if stripes_per_worker < 1:
@@ -205,11 +216,37 @@ def _cross_stripe_task(
     return pairs, local.stats, time.perf_counter() - started
 
 
+def _guarded_task(task, plan, task_id, attempt, spec, *args, in_process=False):
+    """Run one stripe task attempt, applying any injected faults first.
+
+    Module-level (picklable) so it can be submitted to the pool; the
+    same wrapper runs in-process for the poolless mode and the final
+    in-parent retry, keeping fault semantics identical on every path.
+    """
+    if plan is not None:
+        plan.apply_task_faults(task_id, attempt, in_process=in_process)
+    return task(spec, *args)
+
+
 def _export_shared(array: np.ndarray) -> shared_memory.SharedMemory:
     shm = shared_memory.SharedMemory(create=True, size=max(1, array.nbytes))
-    view = np.ndarray(array.shape, dtype=np.float64, buffer=shm.buf)
-    view[:] = array
+    try:
+        view = np.ndarray(array.shape, dtype=np.float64, buffer=shm.buf)
+        view[:] = array
+    except BaseException:
+        shm.close()
+        shm.unlink()
+        raise
     return shm
+
+
+def _release_shared(shm: shared_memory.SharedMemory) -> None:
+    """Best-effort close + unlink; must never raise during cleanup."""
+    try:
+        shm.close()
+        shm.unlink()
+    except (FileNotFoundError, OSError):  # pragma: no cover - already gone
+        pass
 
 
 class ParallelJoinExecutor:
@@ -221,18 +258,40 @@ class ParallelJoinExecutor:
     which is itself byte-identical to the serial path (see module
     docstring).
 
+    The pool path is fault-tolerant.  Every stripe task is a pure
+    function of ``(points, spec, member indices)``, so recovery is
+    re-execution: a crashed or timed-out task is re-dispatched up to
+    ``max_task_retries`` times (exponential backoff), then run one final
+    time *in the parent process*, so a task whose pool workers keep
+    dying cannot fail the join.  A broken pool
+    (``BrokenProcessPool``, e.g. an OOM-killed worker) or a pool that
+    cannot be created at all degrades the whole join to the serial
+    traversal.  Shared-memory segments are released on every one of
+    those paths.  Because the merge dedups deterministically, the
+    result stays byte-identical to the serial join no matter which
+    recovery route ran; ``JoinStats`` reports the route taken
+    (``tasks_retried``, ``tasks_timed_out``, ``degraded_to_serial``,
+    ``faults_injected``).
+
     Args:
-        spec: the join parameters; ``spec.n_workers`` and
-            ``spec.stripe_overlap`` supply defaults.
+        spec: the join parameters; ``spec.n_workers``,
+            ``spec.stripe_overlap``, ``spec.task_timeout`` and
+            ``spec.max_task_retries`` supply defaults.
         n_workers: overrides ``spec.n_workers``; ``None`` falls back to
             the spec, then to ``os.cpu_count()``.
         stripes_per_worker: planned stripes per worker (load balance).
         serial_threshold: total point count below which the serial path
             runs directly.
         use_processes: when ``False``, run the same stripe tasks
-            in-process (same planning, same merge, no pool) — used by
-            tests to exercise the decomposition cheaply, and as the
-            fallback when a pool cannot be created.
+            in-process (same planning, same merge, same retry
+            accounting, no pool) — used by tests to exercise the
+            decomposition and recovery logic cheaply.
+        task_timeout: overrides ``spec.task_timeout`` (seconds).
+        max_task_retries: overrides ``spec.max_task_retries``.
+        retry_backoff: base of the exponential backoff between retries,
+            in seconds (``0`` disables backoff sleeps).
+        fault_plan: a :class:`~repro.core.resilience.FaultPlan` to
+            inject deterministic faults into this executor's runs.
     """
 
     def __init__(
@@ -242,6 +301,10 @@ class ParallelJoinExecutor:
         stripes_per_worker: int = DEFAULT_STRIPES_PER_WORKER,
         serial_threshold: int = DEFAULT_SERIAL_THRESHOLD,
         use_processes: bool = True,
+        task_timeout: Optional[float] = None,
+        max_task_retries: Optional[int] = None,
+        retry_backoff: float = DEFAULT_RETRY_BACKOFF,
+        fault_plan: Optional[FaultPlan] = None,
     ):
         if n_workers is None:
             n_workers = spec.n_workers
@@ -256,6 +319,20 @@ class ParallelJoinExecutor:
         self.stripes_per_worker = int(stripes_per_worker)
         self.serial_threshold = int(serial_threshold)
         self.use_processes = use_processes
+        self.task_timeout = (
+            spec.task_timeout if task_timeout is None else float(task_timeout)
+        )
+        self.max_task_retries = (
+            spec.max_task_retries
+            if max_task_retries is None
+            else int(max_task_retries)
+        )
+        if self.max_task_retries < 0:
+            raise InvalidParameterError(
+                f"max_task_retries must be >= 0, got {max_task_retries!r}"
+            )
+        self.retry_backoff = float(retry_backoff)
+        self.fault_plan = fault_plan
 
     # ------------------------------------------------------------------
     def self_join(
@@ -278,11 +355,17 @@ class ParallelJoinExecutor:
             if len(members) >= 2
         ]
         segments = {"a": points}
-        outcomes, planned = self._run(
-            _self_stripe_task, tasks, segments, started
-        )
+        try:
+            outcomes, planned, resilience = self._run(
+                _self_stripe_task, tasks, segments, started
+            )
+        except DegradeToSerial as signal:
+            return self._degraded_serial(
+                lambda: epsilon_kdb_self_join(points, self.spec, sink=sink),
+                signal,
+            )
         return self._merge(
-            outcomes, planned, plan, sink, canonicalize_self_pairs
+            outcomes, planned, plan, sink, canonicalize_self_pairs, resilience
         )
 
     def join(
@@ -332,11 +415,19 @@ class ParallelJoinExecutor:
             if len(members_r) and len(members_s)
         ]
         segments = {"r": points_r, "s": points_s}
-        outcomes, planned = self._run(
-            _cross_stripe_task, tasks, segments, started
-        )
+        try:
+            outcomes, planned, resilience = self._run(
+                _cross_stripe_task, tasks, segments, started
+            )
+        except DegradeToSerial as signal:
+            return self._degraded_serial(
+                lambda: epsilon_kdb_join(
+                    points_r, points_s, self.spec, sink=sink
+                ),
+                signal,
+            )
         return self._merge(
-            outcomes, planned, plan, sink, canonicalize_two_set_pairs
+            outcomes, planned, plan, sink, canonicalize_two_set_pairs, resilience
         )
 
     # ------------------------------------------------------------------
@@ -346,36 +437,191 @@ class ParallelJoinExecutor:
         result.stats.workers_used = 0
         return result
 
+    def _degraded_serial(self, run, signal: DegradeToSerial) -> JoinResult:
+        """Serial fallback after the pool path failed; carries its stats."""
+        result = self._serial(run)
+        stats = result.stats
+        stats.degraded_to_serial = True
+        stats.tasks_retried += signal.tasks_retried
+        stats.tasks_timed_out += signal.tasks_timed_out
+        stats.faults_injected += signal.faults_injected
+        return result
+
     def _run(self, task, tasks, arrays, started):
-        """Execute stripe tasks; returns (outcomes in task order, build time)."""
+        """Execute stripe tasks with retry, deadlines, and degradation.
+
+        Returns ``(outcomes in task order, plan seconds, resilience
+        counters)``.  Raises :class:`DegradeToSerial` when no pool can
+        be created or the pool breaks mid-join; shared-memory segments
+        are released on every exit path, including that one.
+        """
+        resilience = {
+            "tasks_retried": 0,
+            "tasks_timed_out": 0,
+            "faults_injected": 0,
+        }
         if not self.use_processes:
             _WORKER_POINTS.clear()
             _WORKER_POINTS.update(arrays)
             planned = time.perf_counter() - started
             try:
-                return [task(self.spec, *args) for args in tasks], planned
+                outcomes = [
+                    self._attempts_in_process(task, index, args, resilience)
+                    for index, args in enumerate(tasks)
+                ]
+                return outcomes, planned, resilience
             finally:
                 _WORKER_POINTS.clear()
-        shms = {side: _export_shared(array) for side, array in arrays.items()}
-        segments = {
-            side: (shms[side].name, arrays[side].shape) for side in arrays
-        }
-        workers = min(self.n_workers, max(1, len(tasks)))
+        shms: Dict[str, shared_memory.SharedMemory] = {}
         try:
-            with ProcessPoolExecutor(
-                max_workers=workers,
-                initializer=_init_worker,
-                initargs=(segments,),
-            ) as pool:
-                planned = time.perf_counter() - started
-                futures = [pool.submit(task, self.spec, *args) for args in tasks]
-                return [future.result() for future in futures], planned
+            for side, array in arrays.items():
+                shms[side] = _export_shared(array)
+            segments = {
+                side: (shms[side].name, arrays[side].shape) for side in arrays
+            }
+            workers = min(self.n_workers, max(1, len(tasks)))
+            if self.fault_plan is not None and self.fault_plan.take_pool_failure():
+                resilience["faults_injected"] += 1
+                raise DegradeToSerial(
+                    "injected pool-creation failure", **resilience
+                )
+            try:
+                pool = ProcessPoolExecutor(
+                    max_workers=workers,
+                    initializer=_init_worker,
+                    initargs=(segments,),
+                )
+            except (OSError, ValueError, RuntimeError) as exc:
+                raise DegradeToSerial(
+                    f"process pool creation failed: {exc}", **resilience
+                ) from exc
+            try:
+                with pool:
+                    planned = time.perf_counter() - started
+                    futures = {
+                        index: self._dispatch(pool, task, index, 0, args, resilience)
+                        for index, args in enumerate(tasks)
+                    }
+                    outcomes = [
+                        self._await_with_retries(
+                            pool, task, index, args, futures[index],
+                            arrays, resilience,
+                        )
+                        for index, args in enumerate(tasks)
+                    ]
+                return outcomes, planned, resilience
+            except BrokenProcessPool as exc:
+                raise DegradeToSerial(
+                    f"process pool broke mid-join: {exc}", **resilience
+                ) from exc
         finally:
             for shm in shms.values():
-                shm.close()
-                shm.unlink()
+                _release_shared(shm)
 
-    def _merge(self, outcomes, planned, plan, sink, canonicalize) -> JoinResult:
+    def _dispatch(self, pool, task, index, attempt, args, resilience):
+        plan = self.fault_plan
+        if plan is not None:
+            resilience["faults_injected"] += plan.count_task_faults(index, attempt)
+        return pool.submit(
+            _guarded_task, task, plan, index, attempt, self.spec, *args
+        )
+
+    def _await_with_retries(
+        self, pool, task, index, args, future, arrays, resilience
+    ):
+        """Wait on one stripe task, re-dispatching failed/timed-out attempts.
+
+        Attempts ``0..max_task_retries`` run in the pool under the
+        ``task_timeout`` deadline; the attempt after that runs in the
+        parent process with no deadline, so a task whose workers keep
+        failing still completes (or surfaces its real error).
+        ``BrokenProcessPool`` propagates — the caller degrades the whole
+        join to serial.
+        """
+        attempt = 0
+        while True:
+            try:
+                return future.result(timeout=self.task_timeout)
+            except BrokenProcessPool:
+                raise
+            except FuturesTimeoutError:
+                resilience["tasks_timed_out"] += 1
+                future.cancel()
+            except (WorkerCrashError, OSError):
+                pass
+            attempt += 1
+            resilience["tasks_retried"] += 1
+            if attempt > self.max_task_retries:
+                return self._final_attempt_in_parent(
+                    task, index, attempt, args, arrays, resilience
+                )
+            if self.retry_backoff:
+                time.sleep(self.retry_backoff * (2 ** (attempt - 1)))
+            future = self._dispatch(pool, task, index, attempt, args, resilience)
+
+    def _final_attempt_in_parent(
+        self, task, index, attempt, args, arrays, resilience
+    ):
+        """Last-chance execution in the parent: no pool, no deadline."""
+        plan = self.fault_plan
+        if plan is not None:
+            resilience["faults_injected"] += plan.count_task_faults(index, attempt)
+        preserved = dict(_WORKER_POINTS)
+        _WORKER_POINTS.clear()
+        _WORKER_POINTS.update(arrays)
+        try:
+            return _guarded_task(
+                task, plan, index, attempt, self.spec, *args, in_process=True
+            )
+        finally:
+            _WORKER_POINTS.clear()
+            _WORKER_POINTS.update(preserved)
+
+    def _attempts_in_process(self, task, index, args, resilience):
+        """Poolless counterpart of ``_await_with_retries``.
+
+        Deadlines cannot preempt an in-process task, so they are
+        emulated post-hoc: an attempt whose wall time exceeded
+        ``task_timeout`` is discarded and retried, with the same
+        accounting as the pool path.  The final attempt (the in-parent
+        one on the pool path) has no deadline.
+        """
+        plan = self.fault_plan
+        attempt = 0
+        while True:
+            if plan is not None:
+                resilience["faults_injected"] += plan.count_task_faults(
+                    index, attempt
+                )
+            final = attempt > self.max_task_retries
+            try:
+                began = time.perf_counter()
+                outcome = _guarded_task(
+                    task, plan, index, attempt, self.spec, *args, in_process=True
+                )
+            except DegradeToSerial as signal:
+                raise DegradeToSerial(signal.reason, **resilience) from None
+            except (WorkerCrashError, OSError):
+                if final:
+                    raise
+            else:
+                elapsed = time.perf_counter() - began
+                timed_out = (
+                    not final
+                    and self.task_timeout is not None
+                    and elapsed > self.task_timeout
+                )
+                if not timed_out:
+                    return outcome
+                resilience["tasks_timed_out"] += 1
+            attempt += 1
+            resilience["tasks_retried"] += 1
+            if self.retry_backoff:
+                time.sleep(self.retry_backoff * (2 ** (attempt - 1)))
+
+    def _merge(
+        self, outcomes, planned, plan, sink, canonicalize, resilience=None
+    ) -> JoinResult:
         merge_started = time.perf_counter()
         result = JoinResult()
         stats = result.stats
@@ -393,6 +639,10 @@ class ParallelJoinExecutor:
         stats.stripes = plan.n_stripes
         stats.workers_used = min(self.n_workers, max(1, len(outcomes)))
         stats.duplicate_pairs_merged = len(raw) - len(canonical)
+        if resilience is not None:
+            stats.tasks_retried += resilience["tasks_retried"]
+            stats.tasks_timed_out += resilience["tasks_timed_out"]
+            stats.faults_injected += resilience["faults_injected"]
         if sink is None:
             result.pairs = canonical
             stats.pairs_emitted = len(canonical)

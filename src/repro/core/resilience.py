@@ -1,0 +1,300 @@
+"""Deterministic fault injection and recovery primitives.
+
+A production join service has to survive the failure modes the paper's
+setting never exercises: a pool worker OOM-killed mid-stripe, a task
+that hangs, a flaky read from the storage layer, a machine on which no
+process pool can be created at all.  Distributed similarity-join systems
+treat per-partition failure and re-dispatch as a first-class concern;
+the epsilon-kdB decomposition makes the same recovery strategy exact
+here, because every stripe task is a pure function of (points, spec,
+member indices) — re-running one yields byte-identical output, and the
+deterministic merge dedup makes double-reported boundary pairs harmless.
+
+This module provides the two halves the rest of the library composes:
+
+* :class:`FaultPlan` — a seeded, picklable description of which faults
+  to inject where.  Explicit builders pin faults to specific stripe
+  tasks / page reads; rate-based faults are drawn from a counter-based
+  RNG keyed on ``(seed, site)``, so the *same plan replays the same
+  faults* in every run, in every worker process, regardless of
+  scheduling.  Injected faults are counted (parent-side) so
+  ``JoinStats.faults_injected`` can report them.
+* :func:`retry_transient` — bounded retry for
+  :class:`~repro.errors.TransientIoError`, used by the external joins.
+* :class:`DegradeToSerial` — the control-flow signal the parallel
+  executor raises internally when the pool path is unusable (pool
+  creation failed, or ``BrokenProcessPool`` mid-join) and the join
+  should fall back to the plain serial traversal.
+
+The hardened execution path itself lives in
+:mod:`repro.core.parallel` (per-task deadlines, bounded retry with an
+in-parent final attempt, pool degradation) and
+:mod:`repro.core.external` (storage-read retry).
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from typing import Callable, Dict, Optional, Set, Tuple, TypeVar
+
+import numpy as np
+
+from repro.errors import TransientIoError, WorkerCrashError
+
+_T = TypeVar("_T")
+
+#: Distinct RNG stream tags so rate-based fault kinds never correlate.
+_CRASH_TAG = 1
+_DELAY_TAG = 2
+_IO_TAG = 3
+
+
+class DegradeToSerial(Exception):
+    """Internal signal: abandon the pool path, run the serial join.
+
+    Carries the resilience counters accumulated before the degradation
+    so the serial fallback's :class:`~repro.core.result.JoinStats` can
+    still report them.  Never escapes the public API: the executor
+    catches it and returns a (correct, serial) result with
+    ``stats.degraded_to_serial`` set.
+    """
+
+    def __init__(
+        self,
+        reason: str,
+        tasks_retried: int = 0,
+        tasks_timed_out: int = 0,
+        faults_injected: int = 0,
+    ):
+        super().__init__(reason)
+        self.reason = reason
+        self.tasks_retried = tasks_retried
+        self.tasks_timed_out = tasks_timed_out
+        self.faults_injected = faults_injected
+
+
+class FaultPlan:
+    """A reproducible schedule of injected faults.
+
+    Faults are addressed by *site*: stripe tasks by their dispatch index
+    (stable across retries and runs), page reads by their per-store read
+    ordinal.  A plan can mix explicit faults (builders below) with
+    rate-based ones drawn deterministically from ``seed``; both replay
+    identically because every decision is a pure function of
+    ``(seed, site, attempt)`` — no global RNG state, no wall clock.
+
+    The plan is picklable and is shipped to pool workers alongside the
+    task arguments; workers *apply* faults, while the parent process
+    does the authoritative *counting* (worker-side copies are discarded
+    with the process), so ``injected`` is exact even when a fault kills
+    its worker.
+
+    Fault kinds:
+
+    * ``crash_task(k)`` — the task raises
+      :class:`~repro.errors.WorkerCrashError` (a survivable worker
+      failure; exercises per-task retry).  ``attempts=None`` poisons the
+      task on *every* attempt, including the parent's final one.
+    * ``hard_crash_task(k)`` — the worker process exits via
+      ``os._exit`` (an OOM-kill stand-in; breaks the whole pool and
+      exercises degradation to serial).
+    * ``delay_task(k, seconds)`` — the task sleeps before running
+      (exercises ``task_timeout``).
+    * ``fail_page_read(*ordinals)`` — those
+      :meth:`~repro.storage.pages.PageStore.read_page` calls raise
+      :class:`~repro.errors.TransientIoError` (exercises storage retry;
+      the retried read has a new ordinal, so it succeeds).
+    * ``fail_pool_creation(times)`` — the next ``times`` attempts to
+      create a process pool fail (exercises whole-join degradation).
+
+    Rate-based equivalents: ``crash_rate``, ``delay_rate`` /
+    ``delay_seconds``, ``io_failure_rate`` (all fire on first attempts
+    only, modelling transient faults).
+    """
+
+    def __init__(
+        self,
+        seed: int = 0,
+        crash_rate: float = 0.0,
+        delay_rate: float = 0.0,
+        delay_seconds: float = 0.25,
+        io_failure_rate: float = 0.0,
+    ):
+        for name, rate in (
+            ("crash_rate", crash_rate),
+            ("delay_rate", delay_rate),
+            ("io_failure_rate", io_failure_rate),
+        ):
+            if not 0.0 <= rate <= 1.0:
+                raise ValueError(f"{name} must be in [0, 1], got {rate!r}")
+        self.seed = int(seed)
+        self.crash_rate = float(crash_rate)
+        self.delay_rate = float(delay_rate)
+        self.delay_seconds = float(delay_seconds)
+        self.io_failure_rate = float(io_failure_rate)
+        # task id -> attempts affected (None = every attempt, i.e. poisoned)
+        self._crashes: Dict[int, Optional[int]] = {}
+        self._hard_crashes: Set[int] = set()
+        # task id -> (sleep seconds, attempts affected)
+        self._delays: Dict[int, Tuple[float, Optional[int]]] = {}
+        self._io_reads: Set[int] = set()
+        self._pool_failures_remaining = 0
+        #: Faults injected so far, counted by the *parent* process.
+        self.injected = 0
+
+    # ------------------------------------------------------------------
+    # builders (chainable)
+    # ------------------------------------------------------------------
+    def crash_task(self, task: int, attempts: Optional[int] = 1) -> "FaultPlan":
+        """Crash stripe task ``task`` on its first ``attempts`` attempts."""
+        self._crashes[int(task)] = attempts
+        return self
+
+    def hard_crash_task(self, task: int) -> "FaultPlan":
+        """Kill the worker process running stripe task ``task``."""
+        self._hard_crashes.add(int(task))
+        return self
+
+    def delay_task(
+        self, task: int, seconds: float, attempts: Optional[int] = 1
+    ) -> "FaultPlan":
+        """Sleep ``seconds`` before running task ``task`` (first ``attempts``)."""
+        self._delays[int(task)] = (float(seconds), attempts)
+        return self
+
+    def fail_page_read(self, *ordinals: int) -> "FaultPlan":
+        """Fail the page reads with these per-store read ordinals."""
+        self._io_reads.update(int(o) for o in ordinals)
+        return self
+
+    def fail_pool_creation(self, times: int = 1) -> "FaultPlan":
+        """Fail the next ``times`` process-pool creations."""
+        self._pool_failures_remaining += int(times)
+        return self
+
+    # ------------------------------------------------------------------
+    # deterministic decisions
+    # ------------------------------------------------------------------
+    def _draw(self, tag: int, site: int) -> float:
+        rng = np.random.default_rng((abs(self.seed), tag, abs(int(site))))
+        return float(rng.random())
+
+    def crash_fires(self, task: int, attempt: int) -> bool:
+        if task in self._crashes:
+            limit = self._crashes[task]
+            if limit is None or attempt < limit:
+                return True
+        return (
+            self.crash_rate > 0.0
+            and attempt == 0
+            and self._draw(_CRASH_TAG, task) < self.crash_rate
+        )
+
+    def delay_for(self, task: int, attempt: int) -> float:
+        if task in self._delays:
+            seconds, limit = self._delays[task]
+            if limit is None or attempt < limit:
+                return seconds
+        if (
+            self.delay_rate > 0.0
+            and attempt == 0
+            and self._draw(_DELAY_TAG, task) < self.delay_rate
+        ):
+            return self.delay_seconds
+        return 0.0
+
+    def hard_crash_fires(self, task: int, attempt: int) -> bool:
+        return task in self._hard_crashes and attempt == 0
+
+    # ------------------------------------------------------------------
+    # application and accounting
+    # ------------------------------------------------------------------
+    def apply_task_faults(
+        self, task: int, attempt: int, in_process: bool = False
+    ) -> None:
+        """Fire this task attempt's faults (called where the task runs).
+
+        ``in_process`` marks attempts running in the parent process (the
+        poolless runner and the final in-parent retry), where a hard
+        crash must not ``os._exit`` the caller — it surfaces as
+        :class:`DegradeToSerial` instead, mirroring what the parent
+        would observe as ``BrokenProcessPool`` with a real pool.
+        """
+        delay = self.delay_for(task, attempt)
+        if delay > 0.0:
+            time.sleep(delay)
+        if self.hard_crash_fires(task, attempt):
+            if in_process:
+                raise DegradeToSerial(
+                    f"injected hard crash on task {task} (in-process mode)"
+                )
+            os._exit(1)
+        if self.crash_fires(task, attempt):
+            raise WorkerCrashError(
+                f"injected worker crash: task {task}, attempt {attempt}"
+            )
+
+    def count_task_faults(self, task: int, attempt: int) -> int:
+        """Parent-side accounting for one task dispatch; returns the count."""
+        count = 0
+        if self.delay_for(task, attempt) > 0.0:
+            count += 1
+        if self.hard_crash_fires(task, attempt):
+            count += 1
+        if self.crash_fires(task, attempt):
+            count += 1
+        self.injected += count
+        return count
+
+    def io_fault(self, read_ordinal: int) -> bool:
+        """Whether this page read fails; counts the injection if so."""
+        fires = read_ordinal in self._io_reads or (
+            self.io_failure_rate > 0.0
+            and self._draw(_IO_TAG, read_ordinal) < self.io_failure_rate
+        )
+        if fires:
+            self.injected += 1
+        return fires
+
+    def take_pool_failure(self) -> bool:
+        """Consume one scheduled pool-creation failure, if any remain."""
+        if self._pool_failures_remaining > 0:
+            self._pool_failures_remaining -= 1
+            self.injected += 1
+            return True
+        return False
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<FaultPlan seed={self.seed} crashes={sorted(self._crashes)} "
+            f"hard={sorted(self._hard_crashes)} delays={sorted(self._delays)} "
+            f"io={sorted(self._io_reads)} "
+            f"pool_failures={self._pool_failures_remaining} "
+            f"injected={self.injected}>"
+        )
+
+
+def retry_transient(
+    operation: Callable[[], _T],
+    retries: int,
+    on_retry: Optional[Callable[[int], None]] = None,
+) -> _T:
+    """Run ``operation``, retrying up to ``retries`` times on transient I/O.
+
+    Only :class:`~repro.errors.TransientIoError` is retried — anything
+    else is a real failure and propagates immediately.  ``on_retry`` is
+    called with the attempt number before each retry (the external joins
+    use it to bump ``JoinStats.storage_retries``).  The final
+    ``TransientIoError`` is re-raised once the budget is exhausted.
+    """
+    attempt = 0
+    while True:
+        try:
+            return operation()
+        except TransientIoError:
+            if attempt >= retries:
+                raise
+            attempt += 1
+            if on_retry is not None:
+                on_retry(attempt)

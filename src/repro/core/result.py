@@ -42,6 +42,17 @@ class JoinStats:
             stripe task and removed by the deterministic merge.
         worker_seconds: per-stripe-task wall-clock times, in stripe
             order (not completion order).
+        tasks_retried: stripe-task dispatches that repeated a failed or
+            timed-out attempt (including the final in-parent attempt).
+        tasks_timed_out: stripe-task attempts that exceeded the
+            ``task_timeout`` deadline.
+        degraded_to_serial: the parallel executor abandoned the process
+            pool (creation failure or ``BrokenProcessPool``) and fell
+            back to the serial join.
+        faults_injected: faults a :class:`~repro.core.resilience.FaultPlan`
+            deliberately injected into this run.
+        storage_retries: transient page-read failures the external joins
+            retried successfully.
     """
 
     distance_computations: int = 0
@@ -54,6 +65,11 @@ class JoinStats:
     workers_used: int = 0
     duplicate_pairs_merged: int = 0
     worker_seconds: List[float] = field(default_factory=list)
+    tasks_retried: int = 0
+    tasks_timed_out: int = 0
+    degraded_to_serial: bool = False
+    faults_injected: int = 0
+    storage_retries: int = 0
 
     def merge(self, other: "JoinStats") -> None:
         """Accumulate another stats object into this one."""
@@ -67,6 +83,13 @@ class JoinStats:
         self.workers_used = max(self.workers_used, other.workers_used)
         self.duplicate_pairs_merged += other.duplicate_pairs_merged
         self.worker_seconds.extend(other.worker_seconds)
+        self.tasks_retried += other.tasks_retried
+        self.tasks_timed_out += other.tasks_timed_out
+        self.degraded_to_serial = bool(
+            self.degraded_to_serial or other.degraded_to_serial
+        )
+        self.faults_injected += other.faults_injected
+        self.storage_retries += other.storage_retries
 
 
 _EMPTY_I64 = np.empty(0, dtype=np.int64)

@@ -35,3 +35,30 @@ class StorageError(ReproError, RuntimeError):
     Examples: unpinning a page that is not pinned, requesting a page past
     the end of a file, or evicting with every buffer frame pinned.
     """
+
+
+class TransientIoError(StorageError):
+    """A page read failed in a way that is expected to succeed on retry.
+
+    Models the flaky-device / interrupted-syscall class of failure.  The
+    external-memory joins retry these a bounded number of times (counted
+    in ``JoinStats.storage_retries``) before giving up and re-raising.
+    """
+
+
+class WorkerCrashError(ReproError, RuntimeError):
+    """A parallel stripe task died (or was deliberately crashed).
+
+    Raised inside a worker by injected faults, and by the parallel
+    executor when a stripe task has exhausted its retry budget —
+    including the final in-process attempt in the parent.
+    """
+
+
+class TaskTimeoutError(ReproError, TimeoutError):
+    """A parallel stripe task exceeded its ``task_timeout`` deadline.
+
+    Timed-out tasks are re-dispatched (counted in
+    ``JoinStats.tasks_timed_out``); this error surfaces only when the
+    retry budget is exhausted as well.
+    """

@@ -20,7 +20,7 @@ from typing import Dict, Iterator, List, Optional
 
 import numpy as np
 
-from repro.errors import InvalidParameterError, StorageError
+from repro.errors import InvalidParameterError, StorageError, TransientIoError
 
 DEFAULT_PAGE_ROWS = 256
 
@@ -47,9 +47,18 @@ class PageStore:
 
     ``page_rows`` is the page size expressed in relation rows; every
     :meth:`read_page` / :meth:`write_page` bumps the physical counters.
+
+    ``fault_plan`` (a :class:`~repro.core.resilience.FaultPlan`) injects
+    deterministic transient read failures: when the plan schedules a
+    fault for a read's ordinal (its position in this store's read
+    sequence), :meth:`read_page` raises
+    :class:`~repro.errors.TransientIoError` *after* counting the
+    physical read — the I/O was attempted — and a retry of the same page
+    advances the ordinal, so it succeeds, exactly the transient-fault
+    shape the external joins recover from.
     """
 
-    def __init__(self, page_rows: int = DEFAULT_PAGE_ROWS):
+    def __init__(self, page_rows: int = DEFAULT_PAGE_ROWS, fault_plan=None):
         if page_rows < 1:
             raise InvalidParameterError(
                 f"page_rows must be >= 1, got {page_rows}"
@@ -57,6 +66,7 @@ class PageStore:
         self.page_rows = int(page_rows)
         self._pages: List[np.ndarray] = []
         self.counters = IoCounters()
+        self.fault_plan = fault_plan
 
     @property
     def num_pages(self) -> int:
@@ -83,9 +93,15 @@ class PageStore:
         self.counters.writes += 1
 
     def read_page(self, page_id: int) -> np.ndarray:
-        """Physically read one page (counted)."""
+        """Physically read one page (counted, possibly injected-faulty)."""
         self._check(page_id)
+        ordinal = self.counters.reads
         self.counters.reads += 1
+        if self.fault_plan is not None and self.fault_plan.io_fault(ordinal):
+            raise TransientIoError(
+                f"injected transient I/O error reading page {page_id} "
+                f"(read ordinal {ordinal})"
+            )
         return self._pages[page_id]
 
     def _check(self, page_id: int) -> None:

@@ -202,6 +202,66 @@ def test_spec_knob_validation():
         spec.resolved_stripe_overlap()
 
 
+def test_spec_resilience_knob_validation():
+    with pytest.raises(InvalidParameterError):
+        JoinSpec(epsilon=0.3, task_timeout=0.0)
+    with pytest.raises(InvalidParameterError):
+        JoinSpec(epsilon=0.3, task_timeout=float("inf"))
+    with pytest.raises(InvalidParameterError):
+        JoinSpec(epsilon=0.3, max_task_retries=-1)
+    spec = JoinSpec(epsilon=0.3, task_timeout=2.5, max_task_retries=0)
+    assert spec.task_timeout == 2.5
+    assert spec.max_task_retries == 0
+
+
+def test_executor_inherits_resilience_knobs_from_spec():
+    spec = JoinSpec(epsilon=0.3, task_timeout=1.5, max_task_retries=4)
+    executor = ParallelJoinExecutor(spec, n_workers=2)
+    assert executor.task_timeout == 1.5
+    assert executor.max_task_retries == 4
+    override = ParallelJoinExecutor(
+        spec, n_workers=2, task_timeout=0.5, max_task_retries=1
+    )
+    assert override.task_timeout == 0.5
+    assert override.max_task_retries == 1
+    with pytest.raises(InvalidParameterError):
+        ParallelJoinExecutor(spec, n_workers=2, max_task_retries=-1)
+
+
+def test_clean_run_reports_zero_resilience_counters():
+    points = make_points(n=900)
+    spec = JoinSpec(**SPEC)
+    executor = ParallelJoinExecutor(
+        spec, n_workers=3, serial_threshold=64, use_processes=False
+    )
+    stats = executor.self_join(points).stats
+    assert stats.tasks_retried == 0
+    assert stats.tasks_timed_out == 0
+    assert not stats.degraded_to_serial
+    assert stats.faults_injected == 0
+    assert stats.storage_retries == 0
+
+
+def test_fault_plan_kwarg_flows_through_entry_point():
+    from repro import FaultPlan
+
+    points = make_points(n=800)
+    spec = JoinSpec(**SPEC)
+    expected = epsilon_kdb_self_join(points, spec).pairs
+    result = parallel_self_join(
+        points,
+        spec,
+        n_workers=3,
+        serial_threshold=64,
+        use_processes=False,
+        retry_backoff=0.0,
+        fault_plan=FaultPlan().crash_task(0),
+    )
+    assert result.pairs.tobytes() == expected.tobytes()
+    assert result.stats.tasks_retried == 1
+    assert result.stats.faults_injected == 1
+
+
 def test_spec_n_workers_flows_through():
     spec = JoinSpec(epsilon=0.3, n_workers=1)
     result = ParallelJoinExecutor(spec).self_join(make_points(n=600))
@@ -230,6 +290,22 @@ def test_similarity_join_parallel_rejects_other_algorithms():
         similarity_join(
             make_points(n=50), epsilon=0.3, algorithm="grid", parallel=True
         )
+
+
+def test_similarity_join_accepts_resilience_kwargs():
+    points = make_points(n=500)
+    expected = similarity_join(points, epsilon=0.3)
+    pairs = similarity_join(
+        points,
+        epsilon=0.3,
+        parallel=True,
+        n_workers=2,
+        task_timeout=30.0,
+        max_task_retries=1,
+    )
+    assert pairs.tobytes() == expected.tobytes()
+    with pytest.raises(InvalidParameterError):
+        similarity_join(points, epsilon=0.3, task_timeout=-1.0)
 
 
 def test_function_entry_points():
