@@ -16,7 +16,11 @@ faster machine.
 
 from __future__ import annotations
 
+import json
 import os
+import platform
+import subprocess
+import sys
 import time
 from functools import lru_cache
 from typing import Callable, Dict
@@ -46,6 +50,50 @@ def scale(n: int) -> int:
     """Apply the REPRO_BENCH_SCALE multiplier to a dataset size."""
     factor = float(os.environ.get("REPRO_BENCH_SCALE", "1.0"))
     return max(4, int(n * factor))
+
+
+def _git_sha() -> str:
+    """The repo's HEAD commit, or "unknown" outside a git checkout."""
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            cwd=os.path.dirname(os.path.abspath(__file__)),
+            capture_output=True,
+            text=True,
+            timeout=5,
+        )
+    except (OSError, subprocess.TimeoutExpired):
+        return "unknown"
+    return out.stdout.strip() if out.returncode == 0 else "unknown"
+
+
+def environment_metadata() -> Dict[str, object]:
+    """Where a benchmark record was measured.
+
+    Stamped into every ``benchmarks/results/*.json`` so numbers are
+    interpretable after the fact (a 2-core CI runner and a 32-core
+    workstation produce very different speedup curves).
+    """
+    return {
+        "cpu_count": os.cpu_count(),
+        "python_version": platform.python_version(),
+        "python_implementation": platform.python_implementation(),
+        "platform": platform.platform(),
+        "machine": platform.machine(),
+        "git_sha": _git_sha(),
+        "bench_scale": float(os.environ.get("REPRO_BENCH_SCALE", "1.0")),
+        "argv": list(sys.argv),
+    }
+
+
+def write_record(record: dict, out: str) -> None:
+    """Write one experiment's JSON record, stamped with the environment."""
+    record = dict(record)
+    record.setdefault("environment", environment_metadata())
+    os.makedirs(os.path.dirname(out), exist_ok=True)
+    with open(out, "w") as handle:
+        json.dump(record, handle, indent=2)
+        handle.write("\n")
 
 
 #: The self-join algorithm roster every comparison experiment sweeps.

@@ -19,13 +19,12 @@ numbers are recorded alongside the printed table::
 from __future__ import annotations
 
 import argparse
-import json
 import os
 import time
 
 import pytest
 
-from _harness import attach_info, clustered, scale
+from _harness import attach_info, clustered, scale, write_record
 from repro import JoinSpec, PairCounter, parallel_self_join
 from repro.analysis import Table, format_seconds, format_si
 
@@ -128,16 +127,10 @@ def _default_out() -> str:
     return os.path.join(os.path.dirname(__file__), "results", "e14_parallel.json")
 
 
-def _write_record(record, out: str) -> None:
-    os.makedirs(os.path.dirname(out), exist_ok=True)
-    with open(out, "w") as handle:
-        json.dump(record, handle, indent=2)
-
-
 def run_experiment():
     """Entry point for ``run_all.py``: full sweep, JSON recorded."""
     table, record = sweep()
-    _write_record(record, _default_out())
+    write_record(record, _default_out())
     return table
 
 
@@ -161,7 +154,7 @@ def main() -> int:
     workers = args.workers or (SMOKE_WORKERS if args.smoke else WORKER_SWEEP)
     table, record = sweep(workers=workers, n=n)
     table.print()
-    _write_record(record, args.out)
+    write_record(record, args.out)
     print(f"recorded series in {args.out}")
     return 0
 

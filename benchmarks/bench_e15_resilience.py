@@ -26,13 +26,12 @@ Script mode writes the measured series to
 from __future__ import annotations
 
 import argparse
-import json
 import os
 import time
 
 import pytest
 
-from _harness import attach_info, clustered, scale
+from _harness import attach_info, clustered, scale, write_record
 from repro import FaultPlan, JoinSpec, PairCounter, ParallelJoinExecutor
 from repro.analysis import Table, format_seconds, format_si
 from repro.core import external_self_join
@@ -230,16 +229,10 @@ def _default_out() -> str:
     )
 
 
-def _write_record(record, out: str) -> None:
-    os.makedirs(os.path.dirname(out), exist_ok=True)
-    with open(out, "w") as handle:
-        json.dump(record, handle, indent=2)
-
-
 def run_experiment():
     """Entry point for ``run_all.py``: full sweep, JSON recorded."""
     table, record = sweep()
-    _write_record(record, _default_out())
+    write_record(record, _default_out())
     return table
 
 
@@ -259,7 +252,7 @@ def main() -> int:
     args = parser.parse_args()
     table, record = sweep(n=SMOKE_N if args.smoke else N)
     table.print()
-    _write_record(record, args.out)
+    write_record(record, args.out)
     print(f"recorded series in {args.out}")
     return 0
 

@@ -6,16 +6,28 @@ Usage::
     REPRO_BENCH_SCALE=3 python benchmarks/run_all.py
 
 This is the command whose output EXPERIMENTS.md records.
+
+The whole run executes under a recording tracer: one span per
+experiment, with the library's own spans (build/traversal, parallel
+plan/ship/dispatch/merge, external-join passes) nested underneath.  The
+trace and the run's environment metadata land in
+``benchmarks/results/run_all_trace.jsonl`` /
+``benchmarks/results/run_all_meta.json``.
 """
 
 from __future__ import annotations
 
 import importlib
+import json
 import os
 import sys
 import time
 
 sys.path.insert(0, os.path.dirname(__file__))
+
+from _harness import environment_metadata  # noqa: E402
+
+from repro.obs import Tracer, trace, write_jsonl  # noqa: E402
 
 EXPERIMENTS = [
     "bench_e1_epsilon",
@@ -35,19 +47,42 @@ EXPERIMENTS = [
     "bench_e15_resilience",
 ]
 
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+TRACE_OUT = os.path.join(RESULTS_DIR, "run_all_trace.jsonl")
+META_OUT = os.path.join(RESULTS_DIR, "run_all_meta.json")
+
 
 def main() -> int:
     total_started = time.perf_counter()
-    for name in EXPERIMENTS:
-        module = importlib.import_module(name)
-        started = time.perf_counter()
-        outcome = module.run_experiment()
-        elapsed = time.perf_counter() - started
-        tables = outcome if isinstance(outcome, tuple) else (outcome,)
-        for table in tables:
-            table.print()
-        print(f"[{name} completed in {elapsed:.1f}s]")
-    print(f"\nAll experiments done in {time.perf_counter() - total_started:.1f}s")
+    tracer = Tracer()
+    with trace.activate(tracer):
+        with trace.span("run-all", experiments=len(EXPERIMENTS)):
+            for name in EXPERIMENTS:
+                module = importlib.import_module(name)
+                started = time.perf_counter()
+                with trace.span(name):
+                    outcome = module.run_experiment()
+                elapsed = time.perf_counter() - started
+                tables = outcome if isinstance(outcome, tuple) else (outcome,)
+                for table in tables:
+                    table.print()
+                print(f"[{name} completed in {elapsed:.1f}s]")
+    total_elapsed = time.perf_counter() - total_started
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    spans = write_jsonl(tracer.export(), TRACE_OUT)
+    with open(META_OUT, "w") as handle:
+        json.dump(
+            {
+                "experiments": EXPERIMENTS,
+                "total_seconds": total_elapsed,
+                "environment": environment_metadata(),
+            },
+            handle,
+            indent=2,
+        )
+        handle.write("\n")
+    print(f"\nAll experiments done in {total_elapsed:.1f}s")
+    print(f"trace: {TRACE_OUT} ({spans} spans); metadata: {META_OUT}")
     return 0
 
 

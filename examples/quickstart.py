@@ -5,7 +5,6 @@ Run with::
     python examples/quickstart.py
 """
 
-import numpy as np
 
 from repro import (
     EpsilonKdbTree,

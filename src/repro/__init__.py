@@ -84,6 +84,7 @@ from repro.metrics import (
     get_metric,
     lp_metric,
 )
+from repro.obs import MetricsRegistry, Tracer
 
 __version__ = "1.0.0"
 
@@ -219,6 +220,9 @@ __all__ = [
     "PairCollector",
     "PairCounter",
     "JoinStats",
+    # observability
+    "Tracer",
+    "MetricsRegistry",
     # baselines
     "RTree",
     "rtree_self_join",

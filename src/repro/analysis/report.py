@@ -7,7 +7,7 @@ bench output is directly readable and diffable.
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence
+from typing import List, Sequence
 
 
 def format_si(value: float) -> str:

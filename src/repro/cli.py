@@ -15,8 +15,10 @@ Three subcommands:
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 import time
+from contextlib import ExitStack
 from typing import Optional, Sequence
 
 import numpy as np
@@ -24,6 +26,7 @@ import numpy as np
 from repro import ALGORITHMS, EpsilonKdbTree, JoinSpec, PairCounter, similarity_join
 from repro import _SELF_JOIN_ALGORITHMS as SELF_JOIN_REGISTRY
 from repro.analysis import Table, format_seconds, format_si
+from repro.core.result import JoinStats
 from repro.datasets import (
     color_histograms,
     gaussian_clusters,
@@ -31,6 +34,14 @@ from repro.datasets import (
     save_pairs,
     timeseries_features,
     uniform_points,
+)
+from repro.obs import (
+    Tracer,
+    format_tree,
+    profiled_span,
+    trace,
+    write_chrome_trace,
+    write_jsonl,
 )
 
 _GENERATORS = {
@@ -109,6 +120,41 @@ def build_parser() -> argparse.ArgumentParser:
         "--output",
         help="write the resulting (m, 2) pair array to this .npy file",
     )
+    join.add_argument(
+        "--trace",
+        metavar="PATH",
+        help="record a structured trace of the run and write it to PATH "
+        "(format chosen by --trace-format)",
+    )
+    join.add_argument(
+        "--trace-format",
+        choices=["jsonl", "chrome"],
+        default="jsonl",
+        help="trace file format: jsonl (one span per line) or chrome "
+        "(trace_event JSON; open in about:tracing or Perfetto)",
+    )
+    join.add_argument(
+        "--trace-summary",
+        action="store_true",
+        help="print the phase-breakdown tree of the traced run",
+    )
+    join.add_argument(
+        "--stats-json",
+        metavar="PATH",
+        help="dump the final JoinStats (every counter, including the "
+        "resilience fields) as JSON to PATH",
+    )
+    join.add_argument(
+        "--profile",
+        action="store_true",
+        help="run the join under cProfile; the top functions attach to "
+        "the trace (visible with --trace / --trace-summary)",
+    )
+    join.add_argument(
+        "--sample-memory",
+        action="store_true",
+        help="sample RSS during the join; the peak attaches to the trace",
+    )
 
     compare = subparsers.add_parser(
         "compare", help="run every algorithm on the same workload"
@@ -150,6 +196,51 @@ def _load_points(args: argparse.Namespace) -> np.ndarray:
     return generator(args.points, args.dims, args.seed)
 
 
+#: Stat lines whose wording predates the generic renderer; any field not
+#: listed renders as its name with underscores spaced, so new JoinStats
+#: counters show up without touching this module.
+_STAT_LABELS = {
+    "pairs_emitted": "pairs",
+    "distance_computations": "distance computations",
+    "node_pairs_visited": "node pairs visited",
+    "duplicate_pairs_merged": "boundary dups merged",
+    "workers_used": "worker processes",
+}
+
+#: Fields printed even when zero (the headline numbers of every join).
+_ALWAYS_SHOWN = {"pairs_emitted", "distance_computations", "node_pairs_visited"}
+
+
+def _render_stat(name: str, value) -> str:
+    if name == "degraded_to_serial":
+        return "yes (pool unusable; results exact)"
+    if name == "workers_used":
+        return str(value) if value else "serial path"
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, list):
+        total = sum(value)
+        return f"{len(value)} tasks, {format_seconds(total)} total"
+    if isinstance(value, int):
+        return format_si(value)
+    return str(value)
+
+
+def _print_stats(stats: JoinStats) -> None:
+    """Render every populated JoinStats field, one aligned line each."""
+    data = stats.as_dict()
+    lines = []
+    for name, value in data.items():
+        if name not in _ALWAYS_SHOWN and not value:
+            if name != "workers_used" or not data.get("stripes"):
+                continue
+        label = _STAT_LABELS.get(name, name.replace("_", " "))
+        lines.append((label, _render_stat(name, value)))
+    width = max(len(label) for label, _ in lines) + 1
+    for label, rendered in lines:
+        print(f"{label + ':':<{width}} {rendered}")
+
+
 def _run_join(args: argparse.Namespace) -> int:
     points = _load_points(args)
     spec = JoinSpec(
@@ -162,37 +253,59 @@ def _run_join(args: argparse.Namespace) -> int:
         f"algorithm={args.algorithm}"
         + (f", workers={workers}" if workers else "")
     )
-    started = time.perf_counter()
-    result = similarity_join(
-        points,
-        epsilon=args.epsilon,
-        metric=args.metric,
-        algorithm=args.algorithm,
-        leaf_size=args.leaf_size,
-        n_workers=workers,
-        task_timeout=getattr(args, "task_timeout", None),
-        max_task_retries=getattr(args, "max_task_retries", None),
-        return_result=True,
+    tracing = bool(
+        args.trace or args.trace_summary or args.profile or args.sample_memory
     )
+    tracer = Tracer() if tracing else None
+    started = time.perf_counter()
+    with ExitStack() as stack:
+        if tracer is not None:
+            stack.enter_context(trace.activate(tracer))
+        with profiled_span(
+            "cli-join",
+            profile=args.profile,
+            sample_memory=args.sample_memory,
+            algorithm=args.algorithm,
+            epsilon=args.epsilon,
+            points=len(points),
+            dims=int(points.shape[1]),
+        ):
+            result = similarity_join(
+                points,
+                epsilon=args.epsilon,
+                metric=args.metric,
+                algorithm=args.algorithm,
+                leaf_size=args.leaf_size,
+                n_workers=workers,
+                task_timeout=getattr(args, "task_timeout", None),
+                max_task_retries=getattr(args, "max_task_retries", None),
+                return_result=True,
+            )
     elapsed = time.perf_counter() - started
-    stats = result.stats
-    print(f"pairs:                 {format_si(stats.pairs_emitted)}")
-    print(f"distance computations: {format_si(stats.distance_computations)}")
-    print(f"node pairs visited:    {format_si(stats.node_pairs_visited)}")
-    if stats.stripes:
-        print(f"stripes:               {stats.stripes}")
-        print(f"worker processes:      {stats.workers_used or 'serial path'}")
-        print(f"boundary dups merged:  {format_si(stats.duplicate_pairs_merged)}")
-    if stats.tasks_retried:
-        print(f"tasks retried:         {stats.tasks_retried}")
-    if stats.tasks_timed_out:
-        print(f"tasks timed out:       {stats.tasks_timed_out}")
-    if stats.degraded_to_serial:
-        print("degraded to serial:    yes (pool unusable; results exact)")
-    print(f"wall clock:            {format_seconds(elapsed)}")
+    _print_stats(result.stats)
+    print(f"wall clock: {format_seconds(elapsed)}")
     if args.output:
         save_pairs(args.output, result.pairs)
         print(f"wrote pairs to {args.output}")
+    if args.stats_json:
+        with open(args.stats_json, "w") as handle:
+            json.dump(result.stats.as_dict(), handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"wrote stats to {args.stats_json}")
+    if tracer is not None:
+        spans = tracer.export()
+        if args.trace:
+            if args.trace_format == "chrome":
+                write_chrome_trace(spans, args.trace)
+            else:
+                write_jsonl(spans, args.trace)
+            print(
+                f"wrote {len(spans)} trace spans to {args.trace} "
+                f"({args.trace_format})"
+            )
+        if args.trace_summary:
+            print()
+            print(format_tree(spans))
     return 0
 
 

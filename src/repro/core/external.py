@@ -29,6 +29,7 @@ from repro.core.join import epsilon_kdb_join, epsilon_kdb_self_join
 from repro.core.resilience import retry_transient
 from repro.core.result import JoinStats, PairCollector, PairSink
 from repro.errors import InvalidParameterError
+from repro.obs import trace
 from repro.storage.pages import IoCounters, PageStore, PointFile
 
 #: Default retry budget per page read for transient storage faults.
@@ -172,26 +173,29 @@ def external_self_join(
 
     # Load the relation onto "disk" with the original index as an extra
     # column, then reset the counters: the algorithm's I/O starts here.
-    augmented = np.column_stack([points, np.arange(n, dtype=np.float64)])
-    relation = PointFile.from_points(store, augmented)
+    with trace.span("load-relation", points=n):
+        augmented = np.column_stack([points, np.arange(n, dtype=np.float64)])
+        relation = PointFile.from_points(store, augmented)
     baseline_io = store.counters.snapshot()
     baseline_faults = store.fault_plan.injected if store.fault_plan else 0
 
     # Pass 1: domain of the striping dimension.
-    lo = math.inf
-    hi = -math.inf
-    for page in _resilient_pages(relation, report.stats, io_retries):
-        lo = min(lo, float(page[:, 0].min()))
-        hi = max(hi, float(page[:, 0].max()))
+    with trace.span("domain-pass"):
+        lo = math.inf
+        hi = -math.inf
+        for page in _resilient_pages(relation, report.stats, io_retries):
+            lo = min(lo, float(page[:, 0].min()))
+            hi = max(hi, float(page[:, 0].max()))
 
     eps = spec.band_width
     n_cells = max(1, int((hi - lo) // eps))
 
     # Pass 2: histogram of dimension-0 cells.
-    histogram = np.zeros(n_cells, dtype=np.int64)
-    for page in _resilient_pages(relation, report.stats, io_retries):
-        cells = _cells(page[:, 0], lo, eps, n_cells)
-        histogram += np.bincount(cells, minlength=n_cells)
+    with trace.span("histogram-pass", cells=n_cells):
+        histogram = np.zeros(n_cells, dtype=np.int64)
+        for page in _resilient_pages(relation, report.stats, io_retries):
+            cells = _cells(page[:, 0], lo, eps, n_cells)
+            histogram += np.bincount(cells, minlength=n_cells)
 
     stripes = plan_stripes(histogram, int(memory_points))
     report.stripes = len(stripes)
@@ -202,46 +206,50 @@ def external_self_join(
         stripe_lower[sid] = lo + span.start * eps
 
     # Pass 3: partition into stripe files and lower-boundary band files.
-    stripe_files = [PointFile(store, dims + 1) for _ in stripes]
-    band_files = [PointFile(store, dims + 1) for _ in stripes]
-    for page in _resilient_pages(relation, report.stats, io_retries):
-        cells = _cells(page[:, 0], lo, eps, n_cells)
-        owners = cell_to_stripe[cells]
-        for sid in np.unique(owners):
-            rows = page[owners == sid]
-            stripe_files[sid].append_rows(rows)
-            in_band = rows[:, 0] <= stripe_lower[sid] + eps
-            if in_band.any():
-                band_files[sid].append_rows(rows[in_band])
-    for pfile in stripe_files + band_files:
-        pfile.close_append()
+    with trace.span("partition-pass", stripes=len(stripes)):
+        stripe_files = [PointFile(store, dims + 1) for _ in stripes]
+        band_files = [PointFile(store, dims + 1) for _ in stripes]
+        for page in _resilient_pages(relation, report.stats, io_retries):
+            cells = _cells(page[:, 0], lo, eps, n_cells)
+            owners = cell_to_stripe[cells]
+            for sid in np.unique(owners):
+                rows = page[owners == sid]
+                stripe_files[sid].append_rows(rows)
+                in_band = rows[:, 0] <= stripe_lower[sid] + eps
+                if in_band.any():
+                    band_files[sid].append_rows(rows[in_band])
+        for pfile in stripe_files + band_files:
+            pfile.close_append()
 
     # Pass 4: join each stripe with itself and with the next stripe's band.
-    for sid in range(len(stripes)):
-        stripe_rows = _resilient_read_all(
-            stripe_files[sid], report.stats, io_retries
-        )
-        stripe_points = stripe_rows[:, :dims]
-        stripe_map = stripe_rows[:, dims].astype(np.int64)
-        in_memory = len(stripe_rows)
-        if len(stripe_points) >= 2:
-            mapped = _MappedSink(sink, stripe_map, stripe_map)
-            local = epsilon_kdb_self_join(stripe_points, spec, sink=mapped)
-            report.stats.merge(local.stats)
-        if sid + 1 < len(stripes) and band_files[sid + 1].num_rows:
-            band_rows = _resilient_read_all(
-                band_files[sid + 1], report.stats, io_retries
-            )
-            in_memory += len(band_rows)
-            band_points = band_rows[:, :dims]
-            band_map = band_rows[:, dims].astype(np.int64)
-            if len(stripe_points) and len(band_points):
-                mapped = _MappedSink(sink, stripe_map, band_map)
-                local = epsilon_kdb_join(
-                    stripe_points, band_points, spec, sink=mapped
+    with trace.span("join-pass", stripes=len(stripes)):
+        for sid in range(len(stripes)):
+            with trace.span("stripe", stripe=sid) as stripe_span:
+                stripe_rows = _resilient_read_all(
+                    stripe_files[sid], report.stats, io_retries
                 )
-                report.stats.merge(local.stats)
-        report.peak_memory_points = max(report.peak_memory_points, in_memory)
+                stripe_points = stripe_rows[:, :dims]
+                stripe_map = stripe_rows[:, dims].astype(np.int64)
+                in_memory = len(stripe_rows)
+                if len(stripe_points) >= 2:
+                    mapped = _MappedSink(sink, stripe_map, stripe_map)
+                    local = epsilon_kdb_self_join(stripe_points, spec, sink=mapped)
+                    report.stats.merge(local.stats)
+                if sid + 1 < len(stripes) and band_files[sid + 1].num_rows:
+                    band_rows = _resilient_read_all(
+                        band_files[sid + 1], report.stats, io_retries
+                    )
+                    in_memory += len(band_rows)
+                    band_points = band_rows[:, :dims]
+                    band_map = band_rows[:, dims].astype(np.int64)
+                    if len(stripe_points) and len(band_points):
+                        mapped = _MappedSink(sink, stripe_map, band_map)
+                        local = epsilon_kdb_join(
+                            stripe_points, band_points, spec, sink=mapped
+                        )
+                        report.stats.merge(local.stats)
+                stripe_span.set_attribute("points_in_memory", in_memory)
+            report.peak_memory_points = max(report.peak_memory_points, in_memory)
 
     report.io = store.counters.delta(baseline_io)
     report.stats.pages_read = report.io.reads
@@ -324,30 +332,35 @@ def external_join(
     dims = points_r.shape[1]
 
     relations = []
-    for label, points in (("r", points_r), ("s", points_s)):
-        augmented = np.column_stack(
-            [points, np.arange(len(points), dtype=np.float64)]
-        )
-        relations.append(PointFile.from_points(store, augmented))
+    with trace.span(
+        "load-relation", points_r=len(points_r), points_s=len(points_s)
+    ):
+        for label, points in (("r", points_r), ("s", points_s)):
+            augmented = np.column_stack(
+                [points, np.arange(len(points), dtype=np.float64)]
+            )
+            relations.append(PointFile.from_points(store, augmented))
     baseline_io = store.counters.snapshot()
     baseline_faults = store.fault_plan.injected if store.fault_plan else 0
 
     # Pass 1: shared striping domain over both relations.
-    lo = math.inf
-    hi = -math.inf
-    for relation in relations:
-        for page in _resilient_pages(relation, report.stats, io_retries):
-            lo = min(lo, float(page[:, 0].min()))
-            hi = max(hi, float(page[:, 0].max()))
+    with trace.span("domain-pass"):
+        lo = math.inf
+        hi = -math.inf
+        for relation in relations:
+            for page in _resilient_pages(relation, report.stats, io_retries):
+                lo = min(lo, float(page[:, 0].min()))
+                hi = max(hi, float(page[:, 0].max()))
     eps = spec.band_width
     n_cells = max(1, int((hi - lo) // eps))
 
     # Pass 2: combined histogram (memory at join time holds both sides).
-    histogram = np.zeros(n_cells, dtype=np.int64)
-    for relation in relations:
-        for page in _resilient_pages(relation, report.stats, io_retries):
-            cells = _cells(page[:, 0], lo, eps, n_cells)
-            histogram += np.bincount(cells, minlength=n_cells)
+    with trace.span("histogram-pass", cells=n_cells):
+        histogram = np.zeros(n_cells, dtype=np.int64)
+        for relation in relations:
+            for page in _resilient_pages(relation, report.stats, io_retries):
+                cells = _cells(page[:, 0], lo, eps, n_cells)
+                histogram += np.bincount(cells, minlength=n_cells)
 
     stripes = plan_stripes(histogram, int(memory_points))
     report.stripes = len(stripes)
@@ -358,22 +371,23 @@ def external_join(
         stripe_lower[sid] = lo + span.start * eps
 
     # Pass 3: partition each relation into stripe and band files.
-    stripe_files = [[], []]
-    band_files = [[], []]
-    for side, relation in enumerate(relations):
-        stripe_files[side] = [PointFile(store, dims + 1) for _ in stripes]
-        band_files[side] = [PointFile(store, dims + 1) for _ in stripes]
-        for page in _resilient_pages(relation, report.stats, io_retries):
-            cells = _cells(page[:, 0], lo, eps, n_cells)
-            owners = cell_to_stripe[cells]
-            for sid in np.unique(owners):
-                rows = page[owners == sid]
-                stripe_files[side][sid].append_rows(rows)
-                in_band = rows[:, 0] <= stripe_lower[sid] + eps
-                if in_band.any():
-                    band_files[side][sid].append_rows(rows[in_band])
-        for pfile in stripe_files[side] + band_files[side]:
-            pfile.close_append()
+    with trace.span("partition-pass", stripes=len(stripes)):
+        stripe_files = [[], []]
+        band_files = [[], []]
+        for side, relation in enumerate(relations):
+            stripe_files[side] = [PointFile(store, dims + 1) for _ in stripes]
+            band_files[side] = [PointFile(store, dims + 1) for _ in stripes]
+            for page in _resilient_pages(relation, report.stats, io_retries):
+                cells = _cells(page[:, 0], lo, eps, n_cells)
+                owners = cell_to_stripe[cells]
+                for sid in np.unique(owners):
+                    rows = page[owners == sid]
+                    stripe_files[side][sid].append_rows(rows)
+                    in_band = rows[:, 0] <= stripe_lower[sid] + eps
+                    if in_band.any():
+                        band_files[side][sid].append_rows(rows[in_band])
+            for pfile in stripe_files[side] + band_files[side]:
+                pfile.close_append()
 
     # Pass 4: per stripe, R_k x S_k, R_k x Sband_{k+1}, Rband_{k+1} x S_k.
     def load(pfile):
@@ -386,21 +400,24 @@ def external_join(
             local = epsilon_kdb_join(left, right, spec, sink=mapped)
             report.stats.merge(local.stats)
 
-    for sid in range(len(stripes)):
-        r_points, r_map = load(stripe_files[0][sid])
-        s_points, s_map = load(stripe_files[1][sid])
-        in_memory = len(r_points) + len(s_points)
-        join_sides(r_points, r_map, s_points, s_map)
-        if sid + 1 < len(stripes):
-            if band_files[1][sid + 1].num_rows:
-                sband_points, sband_map = load(band_files[1][sid + 1])
-                in_memory += len(sband_points)
-                join_sides(r_points, r_map, sband_points, sband_map)
-            if band_files[0][sid + 1].num_rows:
-                rband_points, rband_map = load(band_files[0][sid + 1])
-                in_memory += len(rband_points)
-                join_sides(rband_points, rband_map, s_points, s_map)
-        report.peak_memory_points = max(report.peak_memory_points, in_memory)
+    with trace.span("join-pass", stripes=len(stripes)):
+        for sid in range(len(stripes)):
+            with trace.span("stripe", stripe=sid) as stripe_span:
+                r_points, r_map = load(stripe_files[0][sid])
+                s_points, s_map = load(stripe_files[1][sid])
+                in_memory = len(r_points) + len(s_points)
+                join_sides(r_points, r_map, s_points, s_map)
+                if sid + 1 < len(stripes):
+                    if band_files[1][sid + 1].num_rows:
+                        sband_points, sband_map = load(band_files[1][sid + 1])
+                        in_memory += len(sband_points)
+                        join_sides(r_points, r_map, sband_points, sband_map)
+                    if band_files[0][sid + 1].num_rows:
+                        rband_points, rband_map = load(band_files[0][sid + 1])
+                        in_memory += len(rband_points)
+                        join_sides(rband_points, rband_map, s_points, s_map)
+                stripe_span.set_attribute("points_in_memory", in_memory)
+            report.peak_memory_points = max(report.peak_memory_points, in_memory)
 
     report.io = store.counters.delta(baseline_io)
     report.stats.pages_read = report.io.reads

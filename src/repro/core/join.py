@@ -13,7 +13,6 @@ joins emit ``(r_index, s_index)`` with sides preserved.
 
 from __future__ import annotations
 
-import time
 from typing import Optional, Tuple, Union
 
 import numpy as np
@@ -23,6 +22,7 @@ from repro.core.epsilon_kdb import EpsilonKdbTree, Grid, InternalNode, LeafNode
 from repro.core.result import JoinResult, JoinStats, PairCollector, PairCounter, PairSink
 from repro.core.sweep import band_pairs_cross, band_pairs_self
 from repro.errors import InvalidParameterError
+from repro.obs import trace
 
 # A "flat" node during traversal: (indices, sort-dim values), both sorted
 # by the sort dimension.  Real leaves are converted to this form and
@@ -229,32 +229,35 @@ def epsilon_kdb_self_join(
     result = JoinResult()
     if len(points) < 2:
         return result
-    started = time.perf_counter()
-    if tree is None:
-        tree = EpsilonKdbTree.build(points, spec)
-    else:
-        # A tree built for a larger epsilon remains valid for any
-        # smaller threshold: its cells are at least tree-epsilon wide,
-        # so the adjacent-cell rule still over-approximates the
-        # spec-epsilon predicate.  The reverse would silently drop
-        # pairs, so it is rejected.
-        if spec.epsilon > tree.spec.epsilon or spec.band_width > tree.grid.eps:
-            raise InvalidParameterError(
-                f"join epsilon {spec.epsilon} (band {spec.band_width}) "
-                f"exceeds the tree's build epsilon {tree.spec.epsilon} "
-                f"(cell width {tree.grid.eps}); rebuild the tree"
-            )
-        tree.finalize()
-    built = time.perf_counter()
-    ctx = _JoinContext(
-        points, points, tree.grid, spec, sink, self_mode=True
-    )
-    _self_join_node(ctx, tree.root)
-    finished = time.perf_counter()
+    with trace.span(
+        "build", points=len(points), dims=points.shape[1], epsilon=spec.epsilon
+    ) as build_span:
+        if tree is None:
+            tree = EpsilonKdbTree.build(points, spec)
+        else:
+            # A tree built for a larger epsilon remains valid for any
+            # smaller threshold: its cells are at least tree-epsilon wide,
+            # so the adjacent-cell rule still over-approximates the
+            # spec-epsilon predicate.  The reverse would silently drop
+            # pairs, so it is rejected.
+            if spec.epsilon > tree.spec.epsilon or spec.band_width > tree.grid.eps:
+                raise InvalidParameterError(
+                    f"join epsilon {spec.epsilon} (band {spec.band_width}) "
+                    f"exceeds the tree's build epsilon {tree.spec.epsilon} "
+                    f"(cell width {tree.grid.eps}); rebuild the tree"
+                )
+            tree.finalize()
+    with trace.span("self-join-traversal", points=len(points)) as join_span:
+        ctx = _JoinContext(
+            points, points, tree.grid, spec, sink, self_mode=True
+        )
+        _self_join_node(ctx, tree.root)
+        join_span.set_attribute("pairs", sink.count)
+        join_span.set_attribute("leaf_joins", ctx.stats.leaf_joins)
     result.stats = ctx.stats
     result.stats.pairs_emitted = sink.count
-    result.build_seconds = built - started
-    result.join_seconds = finished - built
+    result.build_seconds = build_span.duration
+    result.join_seconds = join_span.duration
     if collect:
         result.pairs = sink.sorted_pairs()
     return result
@@ -284,18 +287,25 @@ def epsilon_kdb_join(
     result = JoinResult()
     if len(points_r) == 0 or len(points_s) == 0:
         return result
-    started = time.perf_counter()
-    grid = Grid.fit_union(points_r, points_s, spec.band_width)
-    tree_r = EpsilonKdbTree.build(points_r, spec, grid=grid)
-    tree_s = EpsilonKdbTree.build(points_s, spec, grid=grid)
-    built = time.perf_counter()
-    ctx = _JoinContext(points_r, points_s, grid, spec, sink, self_mode=False)
-    _cross_join(ctx, tree_r.root, tree_s.root)
-    finished = time.perf_counter()
+    with trace.span(
+        "build",
+        points_r=len(points_r),
+        points_s=len(points_s),
+        dims=points_r.shape[1],
+        epsilon=spec.epsilon,
+    ) as build_span:
+        grid = Grid.fit_union(points_r, points_s, spec.band_width)
+        tree_r = EpsilonKdbTree.build(points_r, spec, grid=grid)
+        tree_s = EpsilonKdbTree.build(points_s, spec, grid=grid)
+    with trace.span("two-set-traversal") as join_span:
+        ctx = _JoinContext(points_r, points_s, grid, spec, sink, self_mode=False)
+        _cross_join(ctx, tree_r.root, tree_s.root)
+        join_span.set_attribute("pairs", sink.count)
+        join_span.set_attribute("leaf_joins", ctx.stats.leaf_joins)
     result.stats = ctx.stats
     result.stats.pairs_emitted = sink.count
-    result.build_seconds = built - started
-    result.join_seconds = finished - built
+    result.build_seconds = build_span.duration
+    result.join_seconds = join_span.duration
     if collect:
         result.pairs = sink.sorted_pairs()
     return result

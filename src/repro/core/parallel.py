@@ -38,7 +38,7 @@ from concurrent.futures import TimeoutError as FuturesTimeoutError
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass
 from multiprocessing import shared_memory
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
@@ -54,6 +54,8 @@ from repro.core.result import (
     canonicalize_two_set_pairs,
 )
 from repro.errors import InvalidParameterError, WorkerCrashError
+from repro.obs import trace
+from repro.obs.trace import Tracer
 
 #: Below this many points (total, both sides for two-set joins) the
 #: executor runs the serial path: process startup would dominate.
@@ -216,16 +218,48 @@ def _cross_stripe_task(
     return pairs, local.stats, time.perf_counter() - started
 
 
-def _guarded_task(task, plan, task_id, attempt, spec, *args, in_process=False):
+def _guarded_task(
+    task, plan, task_id, attempt, spec, *args, in_process=False, traced=False
+):
     """Run one stripe task attempt, applying any injected faults first.
 
     Module-level (picklable) so it can be submitted to the pool; the
     same wrapper runs in-process for the poolless mode and the final
     in-parent retry, keeping fault semantics identical on every path.
+
+    Returns ``(task result, shipped spans)``.  When ``traced`` and
+    running in a pool worker, the attempt executes under a fresh local
+    :class:`~repro.obs.trace.Tracer` whose spans are serialized and
+    shipped back for the parent to stitch (spans of attempts that crash
+    die with the worker; the parent records those from its side).
+    In-process attempts trace straight into the parent's ambient tracer
+    and ship nothing.
     """
-    if plan is not None:
-        plan.apply_task_faults(task_id, attempt, in_process=in_process)
-    return task(spec, *args)
+
+    def attempt_span(tracer):
+        return tracer.span(
+            "stripe-task",
+            task=task_id,
+            attempt=attempt,
+            pid=os.getpid(),
+            in_parent=in_process,
+        )
+
+    def run(span):
+        if plan is not None:
+            plan.apply_task_faults(task_id, attempt, in_process=in_process)
+        out = task(spec, *args)
+        span.set_attribute("outcome", "ok")
+        return out
+
+    if traced and not in_process:
+        tracer = Tracer()
+        with trace.activate(tracer):
+            with attempt_span(tracer) as span:
+                out = run(span)
+        return out, tracer.export()
+    with attempt_span(trace.current_tracer()) as span:
+        return run(span), None
 
 
 def _export_shared(array: np.ndarray) -> shared_memory.SharedMemory:
@@ -340,33 +374,44 @@ class ParallelJoinExecutor:
     ) -> JoinResult:
         """Parallel self-join; same contract as ``epsilon_kdb_self_join``."""
         points = validate_points(points)
-        if self.n_workers == 1 or len(points) < max(2, self.serial_threshold):
-            return self._serial(lambda: epsilon_kdb_self_join(points, self.spec, sink=sink))
-        started = time.perf_counter()
-        dim = int(self.spec.resolved_split_order(points.shape[1])[0])
-        plan = plan_parallel_stripes(
-            points[:, dim], self.spec, self.n_workers, self.stripes_per_worker
-        )
-        if plan.n_stripes < 2:
-            return self._serial(lambda: epsilon_kdb_self_join(points, self.spec, sink=sink))
-        tasks = [
-            (members,)
-            for members in plan.task_indices(points[:, dim])
-            if len(members) >= 2
-        ]
-        segments = {"a": points}
-        try:
-            outcomes, planned, resilience = self._run(
-                _self_stripe_task, tasks, segments, started
+        with trace.span(
+            "parallel-self-join", points=len(points), n_workers=self.n_workers
+        ):
+            if self.n_workers == 1 or len(points) < max(2, self.serial_threshold):
+                trace.add_event("serial-fallback", reason="small input or 1 worker")
+                return self._serial(
+                    lambda: epsilon_kdb_self_join(points, self.spec, sink=sink)
+                )
+            started = time.perf_counter()
+            with trace.span("plan") as plan_span:
+                dim = int(self.spec.resolved_split_order(points.shape[1])[0])
+                plan = plan_parallel_stripes(
+                    points[:, dim], self.spec, self.n_workers, self.stripes_per_worker
+                )
+                plan_span.set_attribute("stripes", plan.n_stripes)
+            if plan.n_stripes < 2:
+                trace.add_event("serial-fallback", reason="single stripe")
+                return self._serial(
+                    lambda: epsilon_kdb_self_join(points, self.spec, sink=sink)
+                )
+            tasks = [
+                (members,)
+                for members in plan.task_indices(points[:, dim])
+                if len(members) >= 2
+            ]
+            segments = {"a": points}
+            try:
+                outcomes, planned, resilience = self._run(
+                    _self_stripe_task, tasks, segments, started
+                )
+            except DegradeToSerial as signal:
+                return self._degraded_serial(
+                    lambda: epsilon_kdb_self_join(points, self.spec, sink=sink),
+                    signal,
+                )
+            return self._merge(
+                outcomes, planned, plan, sink, canonicalize_self_pairs, resilience
             )
-        except DegradeToSerial as signal:
-            return self._degraded_serial(
-                lambda: epsilon_kdb_self_join(points, self.spec, sink=sink),
-                signal,
-            )
-        return self._merge(
-            outcomes, planned, plan, sink, canonicalize_self_pairs, resilience
-        )
 
     def join(
         self,
@@ -383,52 +428,62 @@ class ParallelJoinExecutor:
                 f"{points_r.shape[1]} != {points_s.shape[1]}"
             )
         total = len(points_r) + len(points_s)
-        small = (
-            self.n_workers == 1
-            or total < self.serial_threshold
-            or len(points_r) == 0
-            or len(points_s) == 0
-        )
-        if small:
-            return self._serial(
-                lambda: epsilon_kdb_join(points_r, points_s, self.spec, sink=sink)
+        with trace.span(
+            "parallel-two-set-join",
+            points_r=len(points_r),
+            points_s=len(points_s),
+            n_workers=self.n_workers,
+        ):
+            small = (
+                self.n_workers == 1
+                or total < self.serial_threshold
+                or len(points_r) == 0
+                or len(points_s) == 0
             )
-        started = time.perf_counter()
-        dim = int(self.spec.resolved_split_order(points_r.shape[1])[0])
-        values_r = points_r[:, dim]
-        values_s = points_s[:, dim]
-        plan = plan_parallel_stripes(
-            np.concatenate([values_r, values_s]),
-            self.spec,
-            self.n_workers,
-            self.stripes_per_worker,
-        )
-        if plan.n_stripes < 2:
-            return self._serial(
-                lambda: epsilon_kdb_join(points_r, points_s, self.spec, sink=sink)
+            if small:
+                trace.add_event("serial-fallback", reason="small input or 1 worker")
+                return self._serial(
+                    lambda: epsilon_kdb_join(points_r, points_s, self.spec, sink=sink)
+                )
+            started = time.perf_counter()
+            with trace.span("plan") as plan_span:
+                dim = int(self.spec.resolved_split_order(points_r.shape[1])[0])
+                values_r = points_r[:, dim]
+                values_s = points_s[:, dim]
+                plan = plan_parallel_stripes(
+                    np.concatenate([values_r, values_s]),
+                    self.spec,
+                    self.n_workers,
+                    self.stripes_per_worker,
+                )
+                plan_span.set_attribute("stripes", plan.n_stripes)
+            if plan.n_stripes < 2:
+                trace.add_event("serial-fallback", reason="single stripe")
+                return self._serial(
+                    lambda: epsilon_kdb_join(points_r, points_s, self.spec, sink=sink)
+                )
+            tasks = [
+                (members_r, members_s)
+                for members_r, members_s in zip(
+                    plan.task_indices(values_r), plan.task_indices(values_s)
+                )
+                if len(members_r) and len(members_s)
+            ]
+            segments = {"r": points_r, "s": points_s}
+            try:
+                outcomes, planned, resilience = self._run(
+                    _cross_stripe_task, tasks, segments, started
+                )
+            except DegradeToSerial as signal:
+                return self._degraded_serial(
+                    lambda: epsilon_kdb_join(
+                        points_r, points_s, self.spec, sink=sink
+                    ),
+                    signal,
+                )
+            return self._merge(
+                outcomes, planned, plan, sink, canonicalize_two_set_pairs, resilience
             )
-        tasks = [
-            (members_r, members_s)
-            for members_r, members_s in zip(
-                plan.task_indices(values_r), plan.task_indices(values_s)
-            )
-            if len(members_r) and len(members_s)
-        ]
-        segments = {"r": points_r, "s": points_s}
-        try:
-            outcomes, planned, resilience = self._run(
-                _cross_stripe_task, tasks, segments, started
-            )
-        except DegradeToSerial as signal:
-            return self._degraded_serial(
-                lambda: epsilon_kdb_join(
-                    points_r, points_s, self.spec, sink=sink
-                ),
-                signal,
-            )
-        return self._merge(
-            outcomes, planned, plan, sink, canonicalize_two_set_pairs, resilience
-        )
 
     # ------------------------------------------------------------------
     def _serial(self, run) -> JoinResult:
@@ -439,6 +494,7 @@ class ParallelJoinExecutor:
 
     def _degraded_serial(self, run, signal: DegradeToSerial) -> JoinResult:
         """Serial fallback after the pool path failed; carries its stats."""
+        trace.add_event("degraded-to-serial", reason=signal.reason)
         result = self._serial(run)
         stats = result.stats
         stats.degraded_to_serial = True
@@ -465,20 +521,25 @@ class ParallelJoinExecutor:
             _WORKER_POINTS.update(arrays)
             planned = time.perf_counter() - started
             try:
-                outcomes = [
-                    self._attempts_in_process(task, index, args, resilience)
-                    for index, args in enumerate(tasks)
-                ]
+                with trace.span("dispatch", mode="in-process", tasks=len(tasks)):
+                    outcomes = [
+                        self._attempts_in_process(task, index, args, resilience)
+                        for index, args in enumerate(tasks)
+                    ]
                 return outcomes, planned, resilience
             finally:
                 _WORKER_POINTS.clear()
         shms: Dict[str, shared_memory.SharedMemory] = {}
         try:
-            for side, array in arrays.items():
-                shms[side] = _export_shared(array)
-            segments = {
-                side: (shms[side].name, arrays[side].shape) for side in arrays
-            }
+            with trace.span("ship") as ship_span:
+                for side, array in arrays.items():
+                    shms[side] = _export_shared(array)
+                segments = {
+                    side: (shms[side].name, arrays[side].shape) for side in arrays
+                }
+                ship_span.set_attribute(
+                    "bytes", int(sum(a.nbytes for a in arrays.values()))
+                )
             workers = min(self.n_workers, max(1, len(tasks)))
             if self.fault_plan is not None and self.fault_plan.take_pool_failure():
                 resilience["faults_injected"] += 1
@@ -498,17 +559,22 @@ class ParallelJoinExecutor:
             try:
                 with pool:
                     planned = time.perf_counter() - started
-                    futures = {
-                        index: self._dispatch(pool, task, index, 0, args, resilience)
-                        for index, args in enumerate(tasks)
-                    }
-                    outcomes = [
-                        self._await_with_retries(
-                            pool, task, index, args, futures[index],
-                            arrays, resilience,
-                        )
-                        for index, args in enumerate(tasks)
-                    ]
+                    with trace.span(
+                        "dispatch", tasks=len(tasks), workers=workers
+                    ):
+                        futures = {
+                            index: self._dispatch(
+                                pool, task, index, 0, args, resilience
+                            )
+                            for index, args in enumerate(tasks)
+                        }
+                        outcomes = [
+                            self._await_with_retries(
+                                pool, task, index, args, futures[index],
+                                arrays, resilience,
+                            )
+                            for index, args in enumerate(tasks)
+                        ]
                 return outcomes, planned, resilience
             except BrokenProcessPool as exc:
                 raise DegradeToSerial(
@@ -519,12 +585,21 @@ class ParallelJoinExecutor:
                 _release_shared(shm)
 
     def _dispatch(self, pool, task, index, attempt, args, resilience):
+        """Submit one attempt; returns ``(future, dispatch timestamp)``."""
         plan = self.fault_plan
         if plan is not None:
             resilience["faults_injected"] += plan.count_task_faults(index, attempt)
-        return pool.submit(
-            _guarded_task, task, plan, index, attempt, self.spec, *args
+        future = pool.submit(
+            _guarded_task,
+            task,
+            plan,
+            index,
+            attempt,
+            self.spec,
+            *args,
+            traced=trace.is_enabled(),
         )
+        return future, time.perf_counter()
 
     def _await_with_retries(
         self, pool, task, index, args, future, arrays, resilience
@@ -537,27 +612,56 @@ class ParallelJoinExecutor:
         failing still completes (or surfaces its real error).
         ``BrokenProcessPool`` propagates — the caller degrades the whole
         join to serial.
+
+        Tracing: a successful attempt ships its worker-side spans back
+        with the result, which are stitched into the ambient trace here;
+        a failed attempt's spans die with the worker, so the parent
+        records a ``stripe-task`` span for it from the dispatch
+        timestamp (submission time, so it includes queueing).
         """
+        future, dispatched_at = future
         attempt = 0
         while True:
             try:
-                return future.result(timeout=self.task_timeout)
+                outcome, spans = future.result(timeout=self.task_timeout)
             except BrokenProcessPool:
                 raise
             except FuturesTimeoutError:
                 resilience["tasks_timed_out"] += 1
+                trace.record_span(
+                    "stripe-task",
+                    dispatched_at,
+                    time.perf_counter(),
+                    task=index,
+                    attempt=attempt,
+                    outcome="timed-out",
+                )
                 future.cancel()
-            except (WorkerCrashError, OSError):
-                pass
+            except (WorkerCrashError, OSError) as exc:
+                trace.record_span(
+                    "stripe-task",
+                    dispatched_at,
+                    time.perf_counter(),
+                    task=index,
+                    attempt=attempt,
+                    outcome=f"crashed:{type(exc).__name__}",
+                )
+            else:
+                if spans:
+                    trace.current_tracer().adopt(spans)
+                return outcome
             attempt += 1
             resilience["tasks_retried"] += 1
+            trace.add_event("task-retry", task=index, attempt=attempt)
             if attempt > self.max_task_retries:
                 return self._final_attempt_in_parent(
                     task, index, attempt, args, arrays, resilience
                 )
             if self.retry_backoff:
                 time.sleep(self.retry_backoff * (2 ** (attempt - 1)))
-            future = self._dispatch(pool, task, index, attempt, args, resilience)
+            future, dispatched_at = self._dispatch(
+                pool, task, index, attempt, args, resilience
+            )
 
     def _final_attempt_in_parent(
         self, task, index, attempt, args, arrays, resilience
@@ -570,9 +674,10 @@ class ParallelJoinExecutor:
         _WORKER_POINTS.clear()
         _WORKER_POINTS.update(arrays)
         try:
-            return _guarded_task(
+            outcome, _ = _guarded_task(
                 task, plan, index, attempt, self.spec, *args, in_process=True
             )
+            return outcome
         finally:
             _WORKER_POINTS.clear()
             _WORKER_POINTS.update(preserved)
@@ -596,7 +701,7 @@ class ParallelJoinExecutor:
             final = attempt > self.max_task_retries
             try:
                 began = time.perf_counter()
-                outcome = _guarded_task(
+                outcome, _ = _guarded_task(
                     task, plan, index, attempt, self.spec, *args, in_process=True
                 )
             except DegradeToSerial as signal:
@@ -616,41 +721,46 @@ class ParallelJoinExecutor:
                 resilience["tasks_timed_out"] += 1
             attempt += 1
             resilience["tasks_retried"] += 1
+            trace.add_event("task-retry", task=index, attempt=attempt)
             if self.retry_backoff:
                 time.sleep(self.retry_backoff * (2 ** (attempt - 1)))
 
     def _merge(
         self, outcomes, planned, plan, sink, canonicalize, resilience=None
     ) -> JoinResult:
-        merge_started = time.perf_counter()
         result = JoinResult()
         stats = result.stats
-        blocks: List[np.ndarray] = []
-        for pairs, task_stats, seconds in outcomes:
-            stats.merge(task_stats)
-            stats.worker_seconds.append(seconds)
-            if len(pairs):
-                blocks.append(pairs)
-        if blocks:
-            raw = np.vstack(blocks)
-        else:
-            raw = np.empty((0, 2), dtype=np.int64)
-        canonical = canonicalize(raw[:, 0], raw[:, 1])
-        stats.stripes = plan.n_stripes
-        stats.workers_used = min(self.n_workers, max(1, len(outcomes)))
-        stats.duplicate_pairs_merged = len(raw) - len(canonical)
-        if resilience is not None:
-            stats.tasks_retried += resilience["tasks_retried"]
-            stats.tasks_timed_out += resilience["tasks_timed_out"]
-            stats.faults_injected += resilience["faults_injected"]
-        if sink is None:
-            result.pairs = canonical
-            stats.pairs_emitted = len(canonical)
-        else:
-            sink.emit(canonical[:, 0], canonical[:, 1])
-            stats.pairs_emitted = sink.count
+        with trace.span("merge", tasks=len(outcomes)) as merge_span:
+            blocks: List[np.ndarray] = []
+            for pairs, task_stats, seconds in outcomes:
+                stats.merge(task_stats)
+                stats.worker_seconds.append(seconds)
+                if len(pairs):
+                    blocks.append(pairs)
+            if blocks:
+                raw = np.vstack(blocks)
+            else:
+                raw = np.empty((0, 2), dtype=np.int64)
+            canonical = canonicalize(raw[:, 0], raw[:, 1])
+            stats.stripes = plan.n_stripes
+            stats.workers_used = min(self.n_workers, max(1, len(outcomes)))
+            stats.duplicate_pairs_merged = len(raw) - len(canonical)
+            merge_span.set_attribute("pairs", len(canonical))
+            merge_span.set_attribute(
+                "duplicate_pairs_merged", stats.duplicate_pairs_merged
+            )
+            if resilience is not None:
+                stats.tasks_retried += resilience["tasks_retried"]
+                stats.tasks_timed_out += resilience["tasks_timed_out"]
+                stats.faults_injected += resilience["faults_injected"]
+            if sink is None:
+                result.pairs = canonical
+                stats.pairs_emitted = len(canonical)
+            else:
+                sink.emit(canonical[:, 0], canonical[:, 1])
+                stats.pairs_emitted = sink.count
         result.build_seconds = planned
-        result.join_seconds = time.perf_counter() - merge_started + max(
+        result.join_seconds = merge_span.duration + max(
             stats.worker_seconds, default=0.0
         )
         return result

@@ -41,6 +41,7 @@ from typing import Callable, Dict, Optional, Set, Tuple, TypeVar
 import numpy as np
 
 from repro.errors import TransientIoError, WorkerCrashError
+from repro.obs import trace
 
 _T = TypeVar("_T")
 
@@ -223,14 +224,19 @@ class FaultPlan:
         """
         delay = self.delay_for(task, attempt)
         if delay > 0.0:
+            trace.add_event(
+                "injected-delay", task=task, attempt=attempt, seconds=delay
+            )
             time.sleep(delay)
         if self.hard_crash_fires(task, attempt):
+            trace.add_event("injected-hard-crash", task=task, attempt=attempt)
             if in_process:
                 raise DegradeToSerial(
                     f"injected hard crash on task {task} (in-process mode)"
                 )
             os._exit(1)
         if self.crash_fires(task, attempt):
+            trace.add_event("injected-crash", task=task, attempt=attempt)
             raise WorkerCrashError(
                 f"injected worker crash: task {task}, attempt {attempt}"
             )
@@ -255,6 +261,7 @@ class FaultPlan:
         )
         if fires:
             self.injected += 1
+            trace.add_event("injected-io-fault", read_ordinal=read_ordinal)
         return fires
 
     def take_pool_failure(self) -> bool:

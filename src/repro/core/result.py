@@ -14,8 +14,8 @@ many leaf joins it executed.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import List, Tuple
+from dataclasses import dataclass, field, fields
+from typing import Any, Dict, List, Tuple
 
 import numpy as np
 
@@ -70,6 +70,22 @@ class JoinStats:
     degraded_to_serial: bool = False
     faults_injected: int = 0
     storage_retries: int = 0
+
+    def as_dict(self) -> Dict[str, Any]:
+        """Every counter as JSON-ready data, in field order.
+
+        Consumers that render or export stats (the CLI's stat lines and
+        ``--stats-json``, :meth:`repro.obs.metrics.MetricsRegistry.ingest_stats`)
+        iterate this generically, so new fields added here flow through
+        without touching them.
+        """
+        out: Dict[str, Any] = {}
+        for spec in fields(self):
+            value = getattr(self, spec.name)
+            if isinstance(value, (list, tuple)):
+                value = [float(v) for v in value]
+            out[spec.name] = value
+        return out
 
     def merge(self, other: "JoinStats") -> None:
         """Accumulate another stats object into this one."""

@@ -1,0 +1,183 @@
+"""Trace export sinks: JSONL, Chrome ``trace_event``, and a phase tree.
+
+Three consumers of one span list (as produced by
+:meth:`repro.obs.trace.Tracer.export`):
+
+* :func:`write_jsonl` / :func:`load_jsonl` — one span dict per line; the
+  durable artifact the benchmarks record and tests round-trip.
+* :func:`to_chrome_trace` / :func:`write_chrome_trace` — the Chrome
+  ``trace_event`` JSON format; open the file in ``about:tracing`` or
+  https://ui.perfetto.dev to see the join on a timeline, one track per
+  (process, thread).
+* :func:`format_tree` — the human-readable phase breakdown the CLI
+  prints for ``--trace-summary``.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, Iterable, List, Optional, Sequence
+
+__all__ = [
+    "write_jsonl",
+    "load_jsonl",
+    "to_chrome_trace",
+    "write_chrome_trace",
+    "format_tree",
+]
+
+#: Keys every exported span dict must carry (schema checked by tests).
+SPAN_SCHEMA_KEYS = (
+    "name",
+    "span_id",
+    "parent_id",
+    "start",
+    "end",
+    "duration",
+    "pid",
+    "tid",
+    "attributes",
+    "events",
+)
+
+
+def write_jsonl(spans: Iterable[Dict[str, Any]], path: str) -> int:
+    """Write one span dict per line; returns the number written."""
+    count = 0
+    with open(path, "w") as handle:
+        for span in spans:
+            handle.write(json.dumps(span, sort_keys=True, default=str))
+            handle.write("\n")
+            count += 1
+    return count
+
+
+def load_jsonl(path: str) -> List[Dict[str, Any]]:
+    """Read a JSONL trace file back into span dicts."""
+    spans = []
+    with open(path) as handle:
+        for line in handle:
+            line = line.strip()
+            if line:
+                spans.append(json.loads(line))
+    return spans
+
+
+def to_chrome_trace(spans: Sequence[Dict[str, Any]]) -> Dict[str, Any]:
+    """Convert span dicts to the Chrome ``trace_event`` format.
+
+    Each span becomes one complete (``"ph": "X"``) event; span events
+    become instant (``"ph": "i"``) events.  Timestamps are microseconds
+    on the shared monotonic clock, so worker spans land at the right
+    offsets on the parent timeline.
+    """
+    events: List[Dict[str, Any]] = []
+    for span in spans:
+        start = span["start"]
+        end = span["end"] if span["end"] is not None else start
+        args = dict(span.get("attributes") or {})
+        args["span_id"] = span["span_id"]
+        if span.get("parent_id"):
+            args["parent_id"] = span["parent_id"]
+        events.append(
+            {
+                "name": span["name"],
+                "ph": "X",
+                "ts": start * 1e6,
+                "dur": (end - start) * 1e6,
+                "pid": span["pid"],
+                "tid": span["tid"],
+                "cat": "repro",
+                "args": args,
+            }
+        )
+        for event in span.get("events", ()):
+            events.append(
+                {
+                    "name": event["name"],
+                    "ph": "i",
+                    "ts": event["time"] * 1e6,
+                    "pid": span["pid"],
+                    "tid": span["tid"],
+                    "cat": "repro",
+                    "s": "t",
+                    "args": dict(event.get("attributes") or {}),
+                }
+            )
+    return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+
+def write_chrome_trace(spans: Sequence[Dict[str, Any]], path: str) -> int:
+    """Write the Chrome-format trace; returns the number of trace events."""
+    trace = to_chrome_trace(spans)
+    with open(path, "w") as handle:
+        json.dump(trace, handle, default=str)
+    return len(trace["traceEvents"])
+
+
+# ----------------------------------------------------------------------
+# phase-breakdown tree
+# ----------------------------------------------------------------------
+def _format_duration(seconds: float) -> str:
+    if seconds >= 1.0:
+        return f"{seconds:.2f} s"
+    if seconds >= 1e-3:
+        return f"{seconds * 1e3:.1f} ms"
+    return f"{seconds * 1e6:.0f} us"
+
+
+def _format_attributes(span: Dict[str, Any], keys: Optional[int] = 4) -> str:
+    attributes = span.get("attributes") or {}
+    shown = list(attributes.items())[:keys]
+    if not shown:
+        return ""
+    inner = ", ".join(f"{k}={v}" for k, v in shown)
+    return f"  [{inner}]"
+
+
+def format_tree(spans: Sequence[Dict[str, Any]]) -> str:
+    """Render spans as an indented tree with durations and attributes.
+
+    Roots are spans whose parent is absent from the list (e.g. worker
+    spans whose parent crashed before being recorded still show up,
+    rather than disappearing).  Events are listed under their span with
+    a ``*`` marker.
+    """
+    spans = sorted(spans, key=lambda s: s["start"])
+    by_id = {s["span_id"]: s for s in spans}
+    children: Dict[Optional[str], List[Dict[str, Any]]] = {}
+    roots: List[Dict[str, Any]] = []
+    for span in spans:
+        parent = span.get("parent_id")
+        if parent and parent in by_id:
+            children.setdefault(parent, []).append(span)
+        else:
+            roots.append(span)
+
+    lines: List[str] = []
+
+    def emit(span: Dict[str, Any], prefix: str, is_last: bool, is_root: bool) -> None:
+        connector = "" if is_root else ("└─ " if is_last else "├─ ")
+        start = span["start"]
+        end = span["end"] if span["end"] is not None else start
+        label = (
+            f"{prefix}{connector}{span['name']}  "
+            f"{_format_duration(end - start)}{_format_attributes(span)}"
+        )
+        lines.append(label)
+        child_prefix = prefix if is_root else prefix + ("   " if is_last else "│  ")
+        kids = children.get(span["span_id"], [])
+        events = span.get("events", ())
+        for event in events:
+            marker = "│  " if kids else "   "
+            attrs = ", ".join(
+                f"{k}={v}" for k, v in (event.get("attributes") or {}).items()
+            )
+            suffix = f" ({attrs})" if attrs else ""
+            lines.append(f"{child_prefix}{marker}* {event['name']}{suffix}")
+        for position, child in enumerate(kids):
+            emit(child, child_prefix, position == len(kids) - 1, is_root=False)
+
+    for root in roots:
+        emit(root, "", True, is_root=True)
+    return "\n".join(lines)

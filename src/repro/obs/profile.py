@@ -1,0 +1,139 @@
+"""Opt-in profiling hooks: RSS sampling and per-phase ``cProfile``.
+
+Both hooks are off by default and cost nothing when disabled (the
+context managers degrade to bare ``yield``).  When enabled they attach
+their findings to the ambient trace span, so profiles travel inside the
+same artifact as the timing data:
+
+* :class:`MemorySampler` — a daemon thread sampling resident set size
+  at a fixed interval (``/proc/self/status`` on Linux, falling back to
+  ``resource.getrusage``); records ``rss_peak_bytes`` / ``rss_samples``.
+* :func:`profiled_span` — a span whose body runs under ``cProfile``;
+  the top functions by cumulative time are stored in the span's
+  ``profile`` attribute.
+"""
+
+from __future__ import annotations
+
+import cProfile
+import io
+import pstats
+import threading
+import time
+from contextlib import contextmanager
+from typing import Iterator, List, Optional
+
+from repro.obs import trace
+
+__all__ = ["read_rss_bytes", "MemorySampler", "profiled_span"]
+
+
+def read_rss_bytes() -> int:
+    """Current resident set size in bytes (0 when unavailable)."""
+    try:
+        with open("/proc/self/status") as handle:
+            for line in handle:
+                if line.startswith("VmRSS:"):
+                    return int(line.split()[1]) * 1024
+    except (OSError, ValueError, IndexError):
+        pass
+    try:
+        import resource
+
+        usage = resource.getrusage(resource.RUSAGE_SELF)
+        # ru_maxrss is KiB on Linux, bytes on macOS; either way it is a
+        # usable high-water mark when /proc is missing.
+        return int(usage.ru_maxrss) * 1024
+    except (ImportError, ValueError):  # pragma: no cover - no resource module
+        return 0
+
+
+class MemorySampler:
+    """Background RSS sampler; use as a context manager around a phase.
+
+    Samples ``(t, rss_bytes)`` every ``interval`` seconds on a daemon
+    thread.  On exit the peak and sample count are attached to the
+    ambient trace span (when one is open) and remain readable from
+    :attr:`samples` / :attr:`peak_bytes`.
+    """
+
+    def __init__(self, interval: float = 0.05):
+        if interval <= 0:
+            raise ValueError(f"interval must be > 0, got {interval}")
+        self.interval = float(interval)
+        self.samples: List[tuple] = []
+        self._stop = threading.Event()
+        self._thread: Optional[threading.Thread] = None
+
+    @property
+    def peak_bytes(self) -> int:
+        return max((rss for _, rss in self.samples), default=0)
+
+    def _run(self) -> None:
+        while not self._stop.is_set():
+            self.samples.append((time.perf_counter(), read_rss_bytes()))
+            self._stop.wait(self.interval)
+
+    def start(self) -> "MemorySampler":
+        if self._thread is not None:
+            raise RuntimeError("sampler already started")
+        self.samples.append((time.perf_counter(), read_rss_bytes()))
+        self._thread = threading.Thread(
+            target=self._run, name="repro-rss-sampler", daemon=True
+        )
+        self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        if self._thread is None:
+            return
+        self._stop.set()
+        self._thread.join(timeout=5.0)
+        self._thread = None
+        self.samples.append((time.perf_counter(), read_rss_bytes()))
+        trace.set_attribute("rss_peak_bytes", self.peak_bytes)
+        trace.set_attribute("rss_samples", len(self.samples))
+
+    def __enter__(self) -> "MemorySampler":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+
+@contextmanager
+def profiled_span(
+    name: str,
+    profile: bool = False,
+    sample_memory: bool = False,
+    sample_interval: float = 0.05,
+    top: int = 15,
+    **attributes,
+) -> Iterator[object]:
+    """A trace span whose body optionally runs under ``cProfile``.
+
+    With both flags off this is exactly :func:`repro.obs.trace.span` —
+    the guaranteed-cheap disabled path.  With ``profile=True`` the top
+    ``top`` functions by cumulative time land in the span's ``profile``
+    attribute; with ``sample_memory=True`` a :class:`MemorySampler`
+    runs for the duration of the span.
+    """
+    with trace.span(name, **attributes) as span:
+        sampler = None
+        profiler = None
+        if sample_memory:
+            sampler = MemorySampler(interval=sample_interval).start()
+        if profile:
+            profiler = cProfile.Profile()
+            profiler.enable()
+        try:
+            yield span
+        finally:
+            if profiler is not None:
+                profiler.disable()
+                buffer = io.StringIO()
+                stats = pstats.Stats(profiler, stream=buffer)
+                stats.sort_stats("cumulative").print_stats(top)
+                span.set_attribute("profile", buffer.getvalue())
+            if sampler is not None:
+                sampler.stop()

@@ -15,7 +15,7 @@ I/O behaviour of the paper's disk-resident setting.
 from __future__ import annotations
 
 from collections import OrderedDict
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, Iterator, List, Optional
 
 import numpy as np
@@ -56,9 +56,20 @@ class PageStore:
     physical read — the I/O was attempted — and a retry of the same page
     advances the ordinal, so it succeeds, exactly the transient-fault
     shape the external joins recover from.
+
+    ``metrics`` (a :class:`~repro.obs.metrics.MetricsRegistry`) mirrors
+    every physical read/write into the ``storage.pages_read`` /
+    ``storage.pages_written`` counters, so a store's I/O lands in the
+    same registry as the join counters.  ``None`` (the default) skips
+    the mirroring entirely.
     """
 
-    def __init__(self, page_rows: int = DEFAULT_PAGE_ROWS, fault_plan=None):
+    def __init__(
+        self,
+        page_rows: int = DEFAULT_PAGE_ROWS,
+        fault_plan=None,
+        metrics=None,
+    ):
         if page_rows < 1:
             raise InvalidParameterError(
                 f"page_rows must be >= 1, got {page_rows}"
@@ -67,6 +78,7 @@ class PageStore:
         self._pages: List[np.ndarray] = []
         self.counters = IoCounters()
         self.fault_plan = fault_plan
+        self.metrics = metrics
 
     @property
     def num_pages(self) -> int:
@@ -80,6 +92,8 @@ class PageStore:
             )
         self._pages.append(np.array(rows, copy=True))
         self.counters.writes += 1
+        if self.metrics is not None:
+            self.metrics.counter("storage.pages_written").inc()
         return len(self._pages) - 1
 
     def write_page(self, page_id: int, rows: np.ndarray) -> None:
@@ -91,12 +105,16 @@ class PageStore:
             )
         self._pages[page_id] = np.array(rows, copy=True)
         self.counters.writes += 1
+        if self.metrics is not None:
+            self.metrics.counter("storage.pages_written").inc()
 
     def read_page(self, page_id: int) -> np.ndarray:
         """Physically read one page (counted, possibly injected-faulty)."""
         self._check(page_id)
         ordinal = self.counters.reads
         self.counters.reads += 1
+        if self.metrics is not None:
+            self.metrics.counter("storage.pages_read").inc()
         if self.fault_plan is not None and self.fault_plan.io_fault(ordinal):
             raise TransientIoError(
                 f"injected transient I/O error reading page {page_id} "

@@ -1,7 +1,6 @@
 """Tests for the brute-force reference join itself."""
 
 import numpy as np
-import pytest
 
 import repro.baselines.brute_force as bf_module
 from repro import JoinSpec

@@ -211,3 +211,67 @@ def test_input_csv_file(tmp_path, capsys):
     code = main(["--epsilon", "0.3", "--input", str(source)])
     assert code == 0
     assert "50 points" in capsys.readouterr().out
+
+
+_SMALL_JOIN = [
+    "--epsilon", "0.3", "--dataset", "uniform", "--points", "200", "--dims", "3",
+]
+
+
+def test_stats_json_dumps_every_counter(tmp_path, capsys):
+    import json
+
+    from repro.core.result import JoinStats
+
+    target = tmp_path / "stats.json"
+    code = main([*_SMALL_JOIN, "--stats-json", str(target)])
+    assert code == 0
+    assert f"wrote stats to {target}" in capsys.readouterr().out
+    stats = json.loads(target.read_text())
+    assert set(stats) == set(JoinStats.__dataclass_fields__)
+    assert stats["pairs_emitted"] > 0
+
+
+def test_trace_jsonl_artifact(tmp_path, capsys):
+    from repro.obs import load_jsonl
+    from repro.obs.export import SPAN_SCHEMA_KEYS
+
+    target = tmp_path / "trace.jsonl"
+    code = main([*_SMALL_JOIN, "--trace", str(target)])
+    assert code == 0
+    assert "trace spans" in capsys.readouterr().out
+    spans = load_jsonl(str(target))
+    names = {s["name"] for s in spans}
+    assert {"cli-join", "build", "self-join-traversal"} <= names
+    for span in spans:
+        assert set(span) == set(SPAN_SCHEMA_KEYS)
+
+
+def test_trace_chrome_artifact(tmp_path):
+    import json
+
+    target = tmp_path / "trace.json"
+    code = main(
+        [*_SMALL_JOIN, "--trace", str(target), "--trace-format", "chrome"]
+    )
+    assert code == 0
+    doc = json.loads(target.read_text())
+    assert doc["traceEvents"]
+    assert {e["ph"] for e in doc["traceEvents"]} <= {"X", "i"}
+
+
+def test_trace_summary_prints_phase_tree(capsys):
+    code = main([*_SMALL_JOIN, "--trace-summary"])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "cli-join" in out
+    assert "└─" in out
+    # the ordinary stat lines are still there
+    assert "pairs:" in out
+    assert "distance computations:" in out
+
+
+def test_untraced_join_prints_no_tree(capsys):
+    code = main(_SMALL_JOIN)
+    assert code == 0
+    assert "cli-join" not in capsys.readouterr().out

@@ -1,6 +1,5 @@
 """Validation of the analytic cost model against measured counters."""
 
-import numpy as np
 import pytest
 
 from repro import JoinSpec, PairCounter

@@ -9,7 +9,6 @@ import importlib.util
 import os
 import sys
 
-import pytest
 
 EXAMPLES_DIR = os.path.join(os.path.dirname(__file__), "..", "examples")
 

@@ -6,7 +6,7 @@ import pytest
 from _oracles import assert_same_pairs, oracle_self_pairs
 from repro import JoinSpec, PairCounter, external_join, external_self_join
 from repro.core.external import plan_stripes
-from repro.datasets import gaussian_clusters, uniform_points
+from repro.datasets import gaussian_clusters
 from repro.errors import InvalidParameterError
 from repro.storage import PageStore
 

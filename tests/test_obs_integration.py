@@ -1,0 +1,252 @@
+"""Integration tests: tracing the join stack end to end.
+
+The acceptance scenario of the observability subsystem: a traced
+parallel join under an injected worker crash must produce ONE stitched
+trace showing the failed attempt, the retry, and the deterministic
+merge — and tracing must never change the join's output.
+"""
+
+import os
+
+import numpy as np
+import pytest
+
+from repro import FaultPlan, JoinSpec, similarity_join
+from repro.core import external_self_join
+from repro.core.join import epsilon_kdb_self_join
+from repro.core.parallel import ParallelJoinExecutor
+from repro.obs import MetricsRegistry, Tracer, trace
+from repro.storage.pages import PageStore
+
+
+def _shm_listing():
+    try:
+        return set(os.listdir("/dev/shm"))
+    except (FileNotFoundError, NotADirectoryError):  # pragma: no cover
+        return None
+
+
+@pytest.fixture
+def shm_guard():
+    """Assert the test leaked no shared-memory segments."""
+    before = _shm_listing()
+    yield
+    if before is not None:
+        leaked = _shm_listing() - before
+        assert not leaked, f"leaked shared memory segments: {sorted(leaked)}"
+
+
+def _points(n=600, dims=4, seed=7):
+    return np.random.default_rng(seed).random((n, dims))
+
+
+class TestTracedSerialJoin:
+    def test_phases_and_timings_from_spans(self):
+        points = _points()
+        tracer = Tracer()
+        with trace.activate(tracer):
+            result = epsilon_kdb_self_join(points, JoinSpec(epsilon=0.25))
+        names = [s["name"] for s in tracer.export()]
+        assert "build" in names
+        assert "self-join-traversal" in names
+        spans = {s["name"]: s for s in tracer.export()}
+        # JoinResult timings are now derived from the spans themselves
+        assert result.build_seconds == pytest.approx(
+            spans["build"]["duration"]
+        )
+        assert result.join_seconds == pytest.approx(
+            spans["self-join-traversal"]["duration"]
+        )
+        assert spans["self-join-traversal"]["attributes"]["pairs"] == len(
+            result.pairs
+        )
+
+
+class TestTracedParallelJoin:
+    def test_crash_retry_produces_single_stitched_trace(self, shm_guard):
+        """The acceptance scenario: crash → failed span, retry, merge."""
+        points = _points(n=3000, dims=3, seed=3)
+        spec = JoinSpec(epsilon=0.2, n_workers=2)
+        untraced = ParallelJoinExecutor(
+            spec, serial_threshold=0
+        ).self_join(points)
+
+        tracer = Tracer()
+        plan = FaultPlan().crash_task(0)
+        with trace.activate(tracer):
+            executor = ParallelJoinExecutor(
+                spec, serial_threshold=0, fault_plan=plan
+            )
+            traced = executor.self_join(points)
+
+        # results are byte-identical with tracing enabled and a fault injected
+        np.testing.assert_array_equal(traced.pairs, untraced.pairs)
+        assert traced.stats.tasks_retried == 1
+
+        spans = tracer.export()
+        by_name = {}
+        for span in spans:
+            by_name.setdefault(span["name"], []).append(span)
+
+        # one trace, one root
+        roots = [s for s in spans if s["parent_id"] is None]
+        assert [r["name"] for r in roots] == ["parallel-self-join"]
+
+        # the failed attempt was recorded parent-side...
+        failed = [
+            s
+            for s in by_name["stripe-task"]
+            if str(s["attributes"].get("outcome", "")).startswith("crashed")
+        ]
+        assert len(failed) == 1
+        assert failed[0]["attributes"]["task"] == 0
+        assert failed[0]["attributes"]["attempt"] == 0
+
+        # ...the successful retry shipped its spans from the worker...
+        retried_ok = [
+            s
+            for s in by_name["stripe-task"]
+            if s["attributes"].get("outcome") == "ok"
+            and s["attributes"]["task"] == 0
+        ]
+        assert len(retried_ok) == 1
+        assert retried_ok[0]["attributes"]["attempt"] == 1
+
+        # ...and the retry itself is an event on the dispatch span
+        dispatch = by_name["dispatch"][0]
+        assert any(e["name"] == "task-retry" for e in dispatch["events"])
+
+        # every ok stripe-task stitched its worker-side children
+        ids = {s["span_id"]: s for s in spans}
+        for task_span in by_name["stripe-task"]:
+            if task_span["attributes"].get("outcome") != "ok":
+                continue
+            children = [
+                s for s in spans if s["parent_id"] == task_span["span_id"]
+            ]
+            assert sorted(c["name"] for c in children) == [
+                "build",
+                "self-join-traversal",
+            ]
+            # worker spans really came from another process
+            assert task_span["pid"] != os.getpid() or task_span[
+                "attributes"
+            ].get("in_parent")
+            assert ids[task_span["parent_id"]]["name"] == "dispatch"
+
+        # the deterministic merge is a span with its dedup accounting
+        merge = by_name["merge"][0]
+        assert merge["attributes"]["pairs"] == len(traced.pairs)
+        assert "duplicate_pairs_merged" in merge["attributes"]
+
+    def test_injected_crash_is_an_event_in_worker_span(self, shm_guard):
+        # In-process mode traces straight into the ambient tracer, so the
+        # injected-fault events land on the (parent-recorded) attempt span.
+        points = _points(n=2500, dims=3, seed=5)
+        spec = JoinSpec(epsilon=0.2, n_workers=2)
+        tracer = Tracer()
+        with trace.activate(tracer):
+            ParallelJoinExecutor(
+                spec,
+                serial_threshold=0,
+                use_processes=False,
+                fault_plan=FaultPlan().crash_task(0),
+                retry_backoff=0.0,
+            ).self_join(points)
+        events = [
+            e["name"]
+            for s in tracer.export()
+            for e in s["events"]
+        ]
+        assert "injected-crash" in events
+        assert "task-retry" in events
+
+    def test_degradation_is_traced(self, shm_guard):
+        points = _points(n=2500, dims=3, seed=9)
+        spec = JoinSpec(epsilon=0.2, n_workers=2)
+        tracer = Tracer()
+        with trace.activate(tracer):
+            result = ParallelJoinExecutor(
+                spec,
+                serial_threshold=0,
+                fault_plan=FaultPlan().fail_pool_creation(),
+            ).self_join(points)
+        assert result.stats.degraded_to_serial
+        root = [s for s in tracer.export() if s["parent_id"] is None][0]
+        assert root["name"] == "parallel-self-join"
+        assert any(
+            e["name"] == "degraded-to-serial" for e in root["events"]
+        )
+
+    def test_tracing_disabled_results_identical(self, shm_guard):
+        points = _points(n=3000, dims=3, seed=11)
+        pairs_plain = similarity_join(points, epsilon=0.2, n_workers=2)
+        tracer = Tracer()
+        with trace.activate(tracer):
+            pairs_traced = similarity_join(points, epsilon=0.2, n_workers=2)
+        np.testing.assert_array_equal(pairs_plain, pairs_traced)
+        assert len(tracer) > 0
+
+
+class TestTracedExternalJoin:
+    def test_pass_structure_and_stripe_spans(self):
+        points = _points(n=900, dims=3, seed=13)
+        tracer = Tracer()
+        with trace.activate(tracer):
+            report = external_self_join(
+                points,
+                JoinSpec(epsilon=0.2),
+                memory_points=300,
+                page_rows=64,
+            )
+        by_name = {}
+        for span in tracer.export():
+            by_name.setdefault(span["name"], []).append(span)
+        for phase in (
+            "load-relation",
+            "domain-pass",
+            "histogram-pass",
+            "partition-pass",
+            "join-pass",
+        ):
+            assert phase in by_name, f"missing {phase} span"
+        stripes = by_name["stripe"]
+        assert len(stripes) == report.stripes
+        join_pass = by_name["join-pass"][0]
+        assert all(
+            s["parent_id"] == join_pass["span_id"] for s in stripes
+        )
+
+    def test_io_fault_recovery_is_annotated(self):
+        points = _points(n=900, dims=3, seed=17)
+        plan = FaultPlan().fail_page_read(2)
+        store = PageStore(page_rows=64, fault_plan=plan)
+        tracer = Tracer()
+        with trace.activate(tracer):
+            report = external_self_join(
+                points,
+                JoinSpec(epsilon=0.2),
+                memory_points=300,
+                store=store,
+            )
+        assert report.stats.storage_retries == 1
+        events = [
+            e for s in tracer.export() for e in s["events"]
+        ]
+        io_events = [e for e in events if e["name"] == "injected-io-fault"]
+        assert len(io_events) == 1
+        assert io_events[0]["attributes"]["read_ordinal"] == 2
+
+
+class TestPageStoreMetrics:
+    def test_store_mirrors_io_into_registry(self):
+        registry = MetricsRegistry()
+        store = PageStore(page_rows=8, metrics=registry)
+        page = store.allocate(np.zeros((8, 2)))
+        store.read_page(page)
+        store.read_page(page)
+        store.write_page(page, np.ones((4, 2)))
+        assert registry.counter("storage.pages_read").value == 2
+        assert registry.counter("storage.pages_written").value == 2
+        assert store.counters.reads == 2
+        assert store.counters.writes == 2

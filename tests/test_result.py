@@ -1,7 +1,6 @@
 """Unit tests for pair sinks and join statistics."""
 
 import numpy as np
-import pytest
 
 from repro.core.result import (
     JoinStats,

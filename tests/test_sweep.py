@@ -1,7 +1,6 @@
 """Unit tests for the band-sweep pair generators."""
 
 import numpy as np
-import pytest
 
 from repro.core.sweep import (
     band_pairs_cross,

@@ -1,6 +1,5 @@
 """Tests for the leaf-threshold auto-tuner."""
 
-import numpy as np
 import pytest
 
 from repro import JoinSpec
