@@ -45,6 +45,7 @@ EXPERIMENTS = [
     "bench_e13_asymmetric",
     "bench_e14_parallel",
     "bench_e15_resilience",
+    "bench_e16_kernels",
 ]
 
 RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")

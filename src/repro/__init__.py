@@ -127,6 +127,8 @@ def similarity_join(
     n_workers: Optional[int] = None,
     task_timeout: Optional[float] = None,
     max_task_retries: Optional[int] = None,
+    cascade: str = "auto",
+    filter_dims: Optional[int] = None,
     return_result: bool = False,
 ):
     """Find all point pairs within ``epsilon`` of each other.
@@ -162,6 +164,13 @@ def similarity_join(
         max_task_retries: pool re-dispatch budget per stripe task before
             the final in-parent attempt.  ``None`` keeps the
             :class:`~repro.core.config.JoinSpec` default.
+        cascade: filter-cascade kernel policy for the distance checks:
+            ``"auto"`` (default; on for d >= 8 when the metric supports
+            it), ``"on"``, or ``"off"``.  Never changes the result, only
+            the work per candidate.
+        filter_dims: number of single-dimension pre-filter stages the
+            cascade runs before the blocked distance reduction
+            (``None``: scale with dimensionality).
         return_result: when true, return the full
             :class:`~repro.core.result.JoinResult` (pairs *and*
             statistics) instead of just the pair array.
@@ -178,7 +187,12 @@ def similarity_join(
             )
         algorithm = "epsilon-kdb-parallel"
     spec_kwargs = dict(
-        epsilon=epsilon, metric=metric, leaf_size=leaf_size, n_workers=n_workers
+        epsilon=epsilon,
+        metric=metric,
+        leaf_size=leaf_size,
+        n_workers=n_workers,
+        cascade=cascade,
+        filter_dims=filter_dims,
     )
     if task_timeout is not None:
         spec_kwargs["task_timeout"] = task_timeout

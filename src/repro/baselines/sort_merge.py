@@ -20,6 +20,7 @@ from typing import Optional
 import numpy as np
 
 from repro.core.config import JoinSpec, validate_points
+from repro.core.kernels import KernelContext, build_kernel_context
 from repro.core.result import JoinResult, JoinStats, PairCollector, PairSink
 from repro.core.sweep import iter_band_pairs_cross, iter_band_pairs_self
 
@@ -52,6 +53,7 @@ def sort_merge_self_join(
     values = points[order, sweep_dim]
     second = _second_dim(sweep_dim, filter_dim, dims) if two_level else None
     second_values = points[order, second] if second is not None else None
+    kernel = build_kernel_context(spec, points, sort_dim=sweep_dim)
     sorted_done = time.perf_counter()
     for pos_a, pos_b in iter_band_pairs_self(values, spec.band_width):
         _check_and_emit(
@@ -63,6 +65,7 @@ def sort_merge_self_join(
             spec,
             sink,
             stats,
+            kernel,
         )
     finished = time.perf_counter()
     result.build_seconds = sorted_done - started
@@ -99,6 +102,9 @@ def sort_merge_join(
     values_r = points_r[order_r, sweep_dim]
     values_s = points_s[order_s, sweep_dim]
     second = _second_dim(sweep_dim, filter_dim, dims) if two_level else None
+    kernel = build_kernel_context(
+        spec, points_r, points_b=points_s, sort_dim=sweep_dim
+    )
     sorted_done = time.perf_counter()
     for pos_a, pos_b in iter_band_pairs_cross(
         values_r, values_s, spec.band_width
@@ -114,7 +120,12 @@ def sort_merge_join(
         if not len(left):
             continue
         stats.distance_computations += len(left)
-        mask = spec.metric.within_rows(points_r, points_s, left, right, spec.epsilon)
+        if kernel is not None:
+            mask = kernel.within_rows(left, right, stats)
+        else:
+            mask = spec.metric.within_rows(
+                points_r, points_s, left, right, spec.epsilon
+            )
         if mask.any():
             sink.emit(left[mask], right[mask])
             stats.pairs_emitted += int(mask.sum())
@@ -145,6 +156,7 @@ def _check_and_emit(
     spec: JoinSpec,
     sink: PairSink,
     stats: JoinStats,
+    kernel: Optional[KernelContext] = None,
 ) -> None:
     if second_values is not None:
         keep = (
@@ -157,7 +169,10 @@ def _check_and_emit(
     left = order[pos_a]
     right = order[pos_b]
     stats.distance_computations += len(left)
-    mask = spec.metric.within_rows(points, points, left, right, spec.epsilon)
+    if kernel is not None:
+        mask = kernel.within_rows(left, right, stats)
+    else:
+        mask = spec.metric.within_rows(points, points, left, right, spec.epsilon)
     if mask.any():
         lo = np.minimum(left[mask], right[mask])
         hi = np.maximum(left[mask], right[mask])

@@ -77,6 +77,19 @@ def _add_common_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--leaf-size", type=int, default=128, help="epsilon-kdB leaf threshold"
     )
+    parser.add_argument(
+        "--cascade",
+        choices=["auto", "on", "off"],
+        default="auto",
+        help="filter-cascade distance kernels: auto (on for d >= 8, "
+        "default), on, or off; never changes the result, only the work",
+    )
+    parser.add_argument(
+        "--filter-dims",
+        type=int,
+        help="single-dimension pre-filter stages the cascade runs before "
+        "the blocked reduction (default: scale with dimensionality)",
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -244,7 +257,11 @@ def _print_stats(stats: JoinStats) -> None:
 def _run_join(args: argparse.Namespace) -> int:
     points = _load_points(args)
     spec = JoinSpec(
-        epsilon=args.epsilon, metric=args.metric, leaf_size=args.leaf_size
+        epsilon=args.epsilon,
+        metric=args.metric,
+        leaf_size=args.leaf_size,
+        cascade=args.cascade,
+        filter_dims=args.filter_dims,
     )
     workers = getattr(args, "workers", None)
     print(
@@ -279,6 +296,8 @@ def _run_join(args: argparse.Namespace) -> int:
                 n_workers=workers,
                 task_timeout=getattr(args, "task_timeout", None),
                 max_task_retries=getattr(args, "max_task_retries", None),
+                cascade=args.cascade,
+                filter_dims=args.filter_dims,
                 return_result=True,
             )
     elapsed = time.perf_counter() - started
@@ -312,7 +331,11 @@ def _run_join(args: argparse.Namespace) -> int:
 def _run_search(args: argparse.Namespace) -> int:
     points = _load_points(args)
     spec = JoinSpec(
-        epsilon=args.epsilon, metric=args.metric, leaf_size=args.leaf_size
+        epsilon=args.epsilon,
+        metric=args.metric,
+        leaf_size=args.leaf_size,
+        cascade=args.cascade,
+        filter_dims=args.filter_dims,
     )
     started = time.perf_counter()
     tree = EpsilonKdbTree.build(points, spec)
@@ -346,7 +369,11 @@ def _run_search(args: argparse.Namespace) -> int:
 def _run_compare(args: argparse.Namespace) -> int:
     points = _load_points(args)
     spec = JoinSpec(
-        epsilon=args.epsilon, metric=args.metric, leaf_size=args.leaf_size
+        epsilon=args.epsilon,
+        metric=args.metric,
+        leaf_size=args.leaf_size,
+        cascade=args.cascade,
+        filter_dims=args.filter_dims,
     )
     table = Table(
         f"all algorithms on {len(points)} points, d={points.shape[1]}, "

@@ -10,6 +10,13 @@ from repro.core.config import JoinSpec
 from repro.core.epsilon_kdb import EpsilonKdbTree, Grid
 from repro.core.external import ExternalJoinReport, external_join, external_self_join
 from repro.core.join import epsilon_kdb_join, epsilon_kdb_self_join
+from repro.core.kernels import (
+    KernelContext,
+    KernelPlan,
+    KernelSource,
+    build_kernel_context,
+    plan_cascade,
+)
 from repro.core.parallel import (
     ParallelJoinExecutor,
     StripePlan,
@@ -26,6 +33,11 @@ __all__ = [
     "EpsilonKdbTree",
     "epsilon_kdb_self_join",
     "epsilon_kdb_join",
+    "KernelContext",
+    "KernelPlan",
+    "KernelSource",
+    "build_kernel_context",
+    "plan_cascade",
     "external_self_join",
     "external_join",
     "ExternalJoinReport",

@@ -19,6 +19,15 @@ from repro.metrics import Metric, get_metric
 #: which experiment E4 reproduces.
 DEFAULT_LEAF_SIZE = 128
 
+#: ``cascade="auto"`` engages the filter-cascade kernels from this
+#: dimensionality up.  Below it the candidate rows are so short that the
+#: cascade's extra passes cost more than the coordinates they skip.
+CASCADE_AUTO_MIN_DIMS = 8
+
+#: Upper bound on auto-selected pre-filter stages; past a few single
+#: dimension masks the surviving rows are cheaper to finish in blocks.
+MAX_FILTER_DIMS = 3
+
 
 @dataclass
 class JoinSpec:
@@ -57,6 +66,17 @@ class JoinSpec:
             task is re-dispatched to the pool before the executor runs
             it one final time in the parent process.  ``0`` still allows
             that final in-parent attempt.
+        cascade: ``"auto"`` (default) engages the filter-cascade
+            distance kernels of :mod:`repro.core.kernels` when the
+            dimensionality is at least ``CASCADE_AUTO_MIN_DIMS`` and the
+            metric supports them; ``"on"`` forces them for any ``d >= 2``;
+            ``"off"`` always uses the monolithic full-row kernel.  The
+            cascade never changes the result, only the work per
+            candidate.
+        filter_dims: number of cheap single-dimension pre-filter stages
+            the cascade runs before the blocked short-circuit reduction;
+            ``None`` picks ``max(1, min(3, d // 8))``, ``0`` disables the
+            pre-filter stages (blocked reduction only).
     """
 
     epsilon: float
@@ -69,6 +89,8 @@ class JoinSpec:
     stripe_overlap: Optional[float] = None
     task_timeout: Optional[float] = None
     max_task_retries: int = 2
+    cascade: str = "auto"
+    filter_dims: Optional[int] = None
 
     def __post_init__(self) -> None:
         if not np.isfinite(self.epsilon) or self.epsilon <= 0:
@@ -109,6 +131,16 @@ class JoinSpec:
                 f"max_task_retries must be >= 0, got {self.max_task_retries!r}"
             )
         self.max_task_retries = int(self.max_task_retries)
+        if self.cascade not in ("auto", "on", "off"):
+            raise InvalidParameterError(
+                f'cascade must be "auto", "on" or "off", got {self.cascade!r}'
+            )
+        if self.filter_dims is not None:
+            if int(self.filter_dims) < 0:
+                raise InvalidParameterError(
+                    f"filter_dims must be >= 0, got {self.filter_dims!r}"
+                )
+            self.filter_dims = int(self.filter_dims)
 
     def resolved_stripe_overlap(self) -> float:
         """The effective boundary-band width for parallel stripes.
@@ -137,6 +169,35 @@ class JoinSpec:
         metrics with small weights allow larger per-coordinate gaps).
         """
         return self.metric.coordinate_bound(self.epsilon)
+
+    def cascade_enabled(self, dims: int) -> bool:
+        """Whether the filter-cascade kernels run for ``dims``-dim data.
+
+        ``"off"`` (or a metric without block-wise accumulation) always
+        disables; ``"on"`` forces the cascade whenever there is more than
+        one dimension to cascade over; ``"auto"`` requires
+        ``dims >= CASCADE_AUTO_MIN_DIMS``, below which the monolithic
+        kernel is already bound by the gather, not the reduction.
+        """
+        if self.cascade == "off":
+            return False
+        if not getattr(self.metric, "supports_cascade", False):
+            return False
+        if dims < 2:
+            return False
+        if self.cascade == "on":
+            return True
+        return dims >= CASCADE_AUTO_MIN_DIMS
+
+    def resolved_filter_dims(self, dims: int) -> int:
+        """Effective pre-filter stage count for ``dims``-dimensional data.
+
+        Always leaves at least one dimension to the reduction stage so
+        the stage structure is well defined for any ``dims >= 2``.
+        """
+        if self.filter_dims is not None:
+            return min(self.filter_dims, dims - 1)
+        return min(max(1, min(MAX_FILTER_DIMS, dims // CASCADE_AUTO_MIN_DIMS)), dims - 1)
 
     def resolved_split_order(self, dims: int) -> np.ndarray:
         """Return the split order as a validated permutation of ``range(dims)``."""

@@ -397,6 +397,22 @@ class EpsilonKdbTree:
             else:
                 stack.extend(node.children.values())
 
+    def split_dims(self) -> tuple:
+        """Dimensions actually split by at least one internal node, sorted.
+
+        The filter-cascade planner demotes these in its selectivity
+        ordering: adjacency already constrains a split dimension to at
+        most two cell widths, so a pre-filter on it removes little.
+        """
+        dims = set()
+        stack: List[Node] = [self.root]
+        while stack:
+            node = stack.pop()
+            if isinstance(node, InternalNode):
+                dims.add(int(node.split_dim))
+                stack.extend(node.children.values())
+        return tuple(sorted(dims))
+
     def describe(self) -> TreeDescription:
         """Return a structural summary of the tree."""
         internal = 0

@@ -19,6 +19,7 @@ import numpy as np
 
 from repro.core.config import JoinSpec, validate_points
 from repro.core.epsilon_kdb import EpsilonKdbTree, Grid, InternalNode, LeafNode
+from repro.core.kernels import KernelContext, KernelSource, build_kernel_context
 from repro.core.result import JoinResult, JoinStats, PairCollector, PairCounter, PairSink
 from repro.core.sweep import band_pairs_cross, band_pairs_self
 from repro.errors import InvalidParameterError
@@ -45,6 +46,7 @@ class _JoinContext:
         "stats",
         "self_mode",
         "adjacency_pruning",
+        "kernel",
     )
 
     def __init__(
@@ -55,6 +57,7 @@ class _JoinContext:
         spec: JoinSpec,
         sink: PairSink,
         self_mode: bool,
+        kernel: Optional[KernelContext] = None,
     ):
         self.points_a = points_a
         self.points_b = points_b
@@ -66,6 +69,7 @@ class _JoinContext:
         self.stats = JoinStats()
         self.self_mode = self_mode
         self.adjacency_pruning = spec.adjacency_pruning
+        self.kernel = kernel
 
     # ------------------------------------------------------------------
     # leaf-level joins
@@ -79,9 +83,12 @@ class _JoinContext:
             return
         left = indices[pos_a]
         right = indices[pos_b]
-        mask = self.metric.within_rows(
-            self.points_a, self.points_a, left, right, self.eps
-        )
+        if self.kernel is not None:
+            mask = self.kernel.within_rows(left, right, self.stats)
+        else:
+            mask = self.metric.within_rows(
+                self.points_a, self.points_a, left, right, self.eps
+            )
         self._emit(left[mask], right[mask])
 
     def leaf_cross(self, flat_a: _Flat, flat_b: _Flat) -> None:
@@ -94,9 +101,12 @@ class _JoinContext:
             return
         left = indices_a[pos_a]
         right = indices_b[pos_b]
-        mask = self.metric.within_rows(
-            self.points_a, self.points_b, left, right, self.eps
-        )
+        if self.kernel is not None:
+            mask = self.kernel.within_rows(left, right, self.stats)
+        else:
+            mask = self.metric.within_rows(
+                self.points_a, self.points_b, left, right, self.eps
+            )
         self._emit(left[mask], right[mask])
 
     def _emit(self, left: np.ndarray, right: np.ndarray) -> None:
@@ -213,6 +223,7 @@ def epsilon_kdb_self_join(
     spec: JoinSpec,
     sink: Optional[PairSink] = None,
     tree: Optional[EpsilonKdbTree] = None,
+    kernel_source: Optional[KernelSource] = None,
 ) -> JoinResult:
     """Self-join: all pairs ``i < j`` with ``dist(points[i], points[j]) <= eps``.
 
@@ -220,7 +231,10 @@ def epsilon_kdb_self_join(
     points and spec is supplied), traverses it with the adjacent-cell
     rule, and returns a :class:`JoinResult`.  Pass a
     :class:`~repro.core.result.PairCounter` as ``sink`` to count without
-    materializing pairs.
+    materializing pairs.  ``kernel_source`` supplies pre-built column
+    stores for the filter-cascade kernels (the parallel executor's
+    zero-copy path); without it the cascade builds its own per join when
+    ``spec.cascade_enabled(d)``.
     """
     points = validate_points(points)
     collect = sink is None
@@ -247,9 +261,17 @@ def epsilon_kdb_self_join(
                     f"(cell width {tree.grid.eps}); rebuild the tree"
                 )
             tree.finalize()
+    kernel = build_kernel_context(
+        spec,
+        points,
+        grid=tree.grid,
+        split_dims=tree.split_dims(),
+        sort_dim=tree.sort_dim,
+        source=kernel_source,
+    )
     with trace.span("self-join-traversal", points=len(points)) as join_span:
         ctx = _JoinContext(
-            points, points, tree.grid, spec, sink, self_mode=True
+            points, points, tree.grid, spec, sink, self_mode=True, kernel=kernel
         )
         _self_join_node(ctx, tree.root)
         join_span.set_attribute("pairs", sink.count)
@@ -268,6 +290,7 @@ def epsilon_kdb_join(
     points_s: np.ndarray,
     spec: JoinSpec,
     sink: Optional[PairSink] = None,
+    kernel_source: Optional[KernelSource] = None,
 ) -> JoinResult:
     """Two-set join: all ``(i, j)`` with ``dist(points_r[i], points_s[j]) <= eps``.
 
@@ -297,8 +320,19 @@ def epsilon_kdb_join(
         grid = Grid.fit_union(points_r, points_s, spec.band_width)
         tree_r = EpsilonKdbTree.build(points_r, spec, grid=grid)
         tree_s = EpsilonKdbTree.build(points_s, spec, grid=grid)
+    kernel = build_kernel_context(
+        spec,
+        points_r,
+        points_b=points_s,
+        grid=grid,
+        split_dims=tuple(set(tree_r.split_dims()) | set(tree_s.split_dims())),
+        sort_dim=tree_r.sort_dim,
+        source=kernel_source,
+    )
     with trace.span("two-set-traversal") as join_span:
-        ctx = _JoinContext(points_r, points_s, grid, spec, sink, self_mode=False)
+        ctx = _JoinContext(
+            points_r, points_s, grid, spec, sink, self_mode=False, kernel=kernel
+        )
         _cross_join(ctx, tree_r.root, tree_s.root)
         join_span.set_attribute("pairs", sink.count)
         join_span.set_attribute("leaf_joins", ctx.stats.leaf_joins)

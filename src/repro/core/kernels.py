@@ -1,0 +1,439 @@
+"""Filter-cascade distance kernels for the leaf-join hot path.
+
+The paper's cost model (and experiments E2/E5) show that once the
+epsilon-kdB tree has pruned by adjacency, the join is dominated by full
+``d``-dimensional distance computations over band-sweep candidates.  The
+monolithic kernel (:meth:`repro.metrics.Metric.within_rows`) gathers all
+``d`` coordinates of every candidate pair and reduces them in one pass;
+at high ``d`` almost all of that work is wasted on pairs that a single
+coordinate already disqualifies.
+
+This module replaces that check with a three-stage cascade, evaluated
+over a structure-of-arrays (column-major) copy of the points so each
+stage touches only the dimensions it needs:
+
+1. **Pre-filter stages** — one to three cheap per-dimension
+   ``|a - b| <= coordinate_bound(eps)`` masks on the most selective
+   dimensions (widest spread, preferring unsplit non-sort dimensions,
+   which adjacency and the band sweep have not constrained yet),
+   compacting the candidate arrays between stages.
+2. **Blocked short-circuit reduction** — the metric's distance key is
+   accumulated over dimension blocks in selectivity order; rows whose
+   partial key already exceeds ``key(eps)`` (plus a conservative
+   rounding slack) are dropped before the next block is gathered.
+3. **Exact final check** — survivors are re-checked with the *same*
+   computation the monolithic kernel performs (natural dimension order,
+   C-contiguous rows), so the emitted mask is bit-identical to
+   ``cascade="off"``: the pre-filters and the slacked short-circuit only
+   ever drop rows whose computed distance key is strictly above the
+   threshold.
+
+One :class:`KernelContext` is built per join (a single ``(d, n)``
+transpose copy plus an ``O(d log d)`` ordering), reused across every
+leaf, and — via :class:`KernelSource` — shared zero-copy with the
+parallel executor's worker processes through the existing shared-memory
+path in :mod:`repro.core.parallel`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.config import JoinSpec
+from repro.core.result import JoinStats
+from repro.errors import InvalidParameterError
+from repro.obs import trace
+
+#: Dimensions accumulated per short-circuit reduction block.
+DEFAULT_BLOCK_DIMS = 8
+
+#: Rows processed per chunk, mirroring ``repro.metrics.lp._ROW_CHUNK``:
+#: candidate lists of any length never gather more than this many rows
+#: per cascade stage.
+_ROW_CHUNK = 262_144
+
+#: Below this many candidate rows the cascade's per-stage staging costs
+#: more than it saves (measured crossover ~512 rows for d in 8..32), so
+#: the exact final check runs directly.  Dense leaves still hand the
+#: cascade candidate lists far above this.
+MIN_CASCADE_ROWS = 512
+
+#: Relative slack applied to pruning thresholds (never to the final
+#: check).  Partial keys are accumulated in a different association
+#: order than the monolithic kernel's reduction, so they can exceed the
+#: monolithic value by a few ulps; pruning only above
+#: ``threshold * (1 + slack)`` guarantees every row the monolithic
+#: kernel would accept reaches the exact final check.  The floor of
+#: 1e-9 is ~a million float64 ulps — far above any realistic
+#: accumulation error, while still tight enough to prune essentially
+#: everything a strict comparison would.
+_MIN_RELATIVE_SLACK = 1e-9
+
+
+def _relative_slack(dtype: np.dtype, dims: int) -> float:
+    """Dtype-aware pruning slack: generous for float32, 1e-9 for float64."""
+    if np.issubdtype(dtype, np.floating):
+        return max(_MIN_RELATIVE_SLACK, float(np.finfo(dtype).eps) * 8 * dims)
+    return _MIN_RELATIVE_SLACK
+
+
+@dataclass(frozen=True)
+class KernelPlan:
+    """Picklable description of one join's cascade configuration.
+
+    ``order`` lists every dimension in selectivity order (pre-filter
+    candidates first, the band-sweep sort dimension last); the first
+    ``n_filters`` entries run as single-dimension pre-filter stages and
+    the rest feed the blocked reduction.
+    """
+
+    order: Tuple[int, ...]
+    n_filters: int
+    block_dims: int = DEFAULT_BLOCK_DIMS
+
+    @property
+    def n_stages(self) -> int:
+        """Pre-filter stages plus the one reduction/final stage."""
+        return self.n_filters + 1
+
+
+@dataclass(frozen=True)
+class KernelSource:
+    """Pre-built column stores for :func:`build_kernel_context`.
+
+    The parallel executor ships one global ``(d, n)`` structure-of-arrays
+    copy per side to every worker through shared memory; a stripe task
+    wraps it in a source whose ``row_map`` translates the stripe-local
+    row indices its tree produces into rows of the global store, so no
+    per-stripe transpose copies are made.
+    """
+
+    cols_a: np.ndarray
+    row_map_a: Optional[np.ndarray] = None
+    cols_b: Optional[np.ndarray] = None
+    row_map_b: Optional[np.ndarray] = None
+
+
+def plan_cascade(
+    spec: JoinSpec,
+    spreads: np.ndarray,
+    split_dims: Sequence[int] = (),
+    sort_dim: Optional[int] = None,
+    block_dims: int = DEFAULT_BLOCK_DIMS,
+) -> KernelPlan:
+    """Choose the dimension ordering and stage split for one join.
+
+    Selectivity heuristic: a pre-filter on dimension ``k`` removes the
+    largest fraction of candidates when the data's spread along ``k`` is
+    widest relative to the filter width (which is the same for every
+    dimension), and when no other structure has constrained ``k`` yet.
+    Dimensions therefore sort: unsplit non-sort dimensions first (widest
+    spread first), then split dimensions (adjacency already bounds them
+    to about two cell widths), then the sort dimension last (the band
+    sweep has fully filtered it).
+    """
+    dims = len(spreads)
+    if dims < 2:
+        raise InvalidParameterError(
+            f"the cascade needs at least 2 dimensions, got {dims}"
+        )
+    split = {int(d) for d in split_dims}
+
+    def rank(k: int):
+        if sort_dim is not None and k == sort_dim:
+            klass = 2
+        elif k in split:
+            klass = 1
+        else:
+            klass = 0
+        return (klass, -float(spreads[k]), k)
+
+    order = tuple(sorted(range(dims), key=rank))
+    n_filters = spec.resolved_filter_dims(dims)
+    return KernelPlan(order=order, n_filters=n_filters, block_dims=block_dims)
+
+
+class KernelContext:
+    """Per-join cascade state: column stores, plan, and thresholds.
+
+    ``within_rows(rows_a, rows_b, stats)`` is a drop-in replacement for
+    ``metric.within_rows(points_a, points_b, rows_a, rows_b, eps)`` with
+    bit-identical output; ``stats`` (optional) receives the per-stage
+    candidate/survivor counters.
+    """
+
+    __slots__ = (
+        "plan",
+        "metric",
+        "eps",
+        "cols_a",
+        "cols_b",
+        "row_map_a",
+        "row_map_b",
+        "exact_key",
+        "prune_key",
+        "filter_bound",
+    )
+
+    def __init__(
+        self,
+        plan: KernelPlan,
+        spec: JoinSpec,
+        cols_a: np.ndarray,
+        cols_b: Optional[np.ndarray] = None,
+        row_map_a: Optional[np.ndarray] = None,
+        row_map_b: Optional[np.ndarray] = None,
+    ):
+        if cols_a.ndim != 2 or cols_a.shape[0] != len(plan.order):
+            raise InvalidParameterError(
+                f"cols_a must be (d, n) with d={len(plan.order)}, "
+                f"got shape {cols_a.shape}"
+            )
+        self.plan = plan
+        self.metric = spec.metric
+        self.eps = spec.epsilon
+        self.cols_a = cols_a
+        self.cols_b = cols_a if cols_b is None else cols_b
+        self.row_map_a = row_map_a
+        self.row_map_b = row_map_a if cols_b is None else row_map_b
+        slack = _relative_slack(cols_a.dtype, len(plan.order))
+        self.exact_key = spec.metric.key(spec.epsilon)
+        self.prune_key = self.exact_key * (1.0 + slack)
+        self.filter_bound = spec.metric.coordinate_bound(spec.epsilon) * (
+            1.0 + slack
+        )
+
+    @property
+    def dims(self) -> int:
+        return len(self.plan.order)
+
+    # ------------------------------------------------------------------
+    def within_rows(
+        self,
+        rows_a: np.ndarray,
+        rows_b: np.ndarray,
+        stats: Optional[JoinStats] = None,
+    ) -> np.ndarray:
+        """Cascaded boolean mask over aligned candidate row pairs."""
+        rows_a = np.asarray(rows_a)
+        rows_b = np.asarray(rows_b)
+        n = rows_a.shape[0]
+        if rows_b.shape[0] != n:
+            raise InvalidParameterError(
+                "row index arrays must have equal length: "
+                f"{n} != {rows_b.shape[0]}"
+            )
+        if stats is not None:
+            stats.cascade_candidates += int(n)
+            if not stats.cascade_survivors:
+                stats.cascade_survivors = [0] * self.plan.n_stages
+        if n < MIN_CASCADE_ROWS:
+            return self._direct(rows_a, rows_b, stats)
+        out = np.empty(n, dtype=bool)
+        for start in range(0, n, _ROW_CHUNK):
+            stop = min(start + _ROW_CHUNK, n)
+            out[start:stop] = self._cascade_chunk(
+                rows_a[start:stop], rows_b[start:stop], stats
+            )
+        return out
+
+    def _direct(
+        self,
+        rows_a: np.ndarray,
+        rows_b: np.ndarray,
+        stats: Optional[JoinStats],
+    ) -> np.ndarray:
+        """Small-batch path: the exact final check with no staging.
+
+        Identical to the monolithic kernel's computation, so the result
+        is trivially exact.  The pre-filter stages record pass-through
+        survivor counts (they did not run, so they dropped nothing),
+        which keeps the per-stage funnel monotone and fixed-length when
+        direct and cascaded batches merge.
+        """
+        if self.row_map_a is not None:
+            rows_a = self.row_map_a[rows_a]
+        if self.row_map_b is not None:
+            rows_b = self.row_map_b[rows_b]
+        diff = np.abs(
+            self._gather_rows(self.cols_a, rows_a)
+            - self._gather_rows(self.cols_b, rows_b)
+        )
+        mask = self.metric._reduce_abs_diff(diff) <= self.exact_key
+        if stats is not None:
+            n = len(rows_a)
+            for stage in range(self.plan.n_filters):
+                stats.cascade_survivors[stage] += n
+            stats.cascade_survivors[-1] += int(np.count_nonzero(mask))
+            stats.coordinates_touched += diff.size
+        return mask
+
+    def _cascade_chunk(
+        self,
+        rows_a: np.ndarray,
+        rows_b: np.ndarray,
+        stats: Optional[JoinStats],
+    ) -> np.ndarray:
+        plan = self.plan
+        n = len(rows_a)
+        if self.row_map_a is not None:
+            rows_a = self.row_map_a[rows_a]
+        if self.row_map_b is not None:
+            rows_b = self.row_map_b[rows_b]
+        emit_events = trace.is_enabled()
+        touched = 0
+        # ``alive`` maps the compacted candidate arrays back to chunk
+        # positions; ``acc`` is the per-row partial distance key.
+        alive = np.arange(n, dtype=np.int64)
+        acc = np.zeros(n, dtype=self.cols_a.dtype)
+        survivors = []
+
+        # Stage 1..n_filters: single-dimension pre-filters.
+        for stage in range(plan.n_filters):
+            dim = plan.order[stage]
+            diff = np.abs(self.cols_a[dim][rows_a] - self.cols_b[dim][rows_b])
+            touched += diff.size
+            keep = np.flatnonzero(diff <= self.filter_bound)
+            rows_a = rows_a[keep]
+            rows_b = rows_b[keep]
+            alive = alive[keep]
+            # The filter dimension's contribution is already computed;
+            # folding it into the accumulator tightens later pruning.
+            acc = self.metric.accumulate_abs_diff(
+                acc[keep], diff[keep][:, None], (dim,)
+            )
+            survivors.append(len(keep))
+            if emit_events:
+                trace.add_event(
+                    "cascade-stage",
+                    stage=stage + 1,
+                    kind="pre-filter",
+                    dim=int(dim),
+                    candidates=int(len(diff)),
+                    survivors=int(len(keep)),
+                )
+
+        # Blocked short-circuit reduction over the remaining dimensions.
+        remaining = plan.order[plan.n_filters:]
+        reduction_in = len(rows_a)
+        for start in range(0, len(remaining), plan.block_dims):
+            if not len(rows_a):
+                break
+            block_dims = remaining[start:start + plan.block_dims]
+            diff = np.abs(
+                self._gather(self.cols_a, block_dims, rows_a)
+                - self._gather(self.cols_b, block_dims, rows_b)
+            )
+            touched += diff.size
+            acc = self.metric.accumulate_abs_diff(acc, diff, block_dims)
+            keep = np.flatnonzero(acc <= self.prune_key)
+            if len(keep) < len(rows_a):
+                rows_a = rows_a[keep]
+                rows_b = rows_b[keep]
+                alive = alive[keep]
+                acc = acc[keep]
+
+        # Exact final check: reproduce the monolithic kernel's
+        # computation (natural dimension order, C-contiguous rows) on
+        # the few survivors, so boundary decisions match bit for bit.
+        mask = np.zeros(n, dtype=bool)
+        final_survivors = 0
+        if len(rows_a):
+            block_a = self._gather_rows(self.cols_a, rows_a)
+            block_b = self._gather_rows(self.cols_b, rows_b)
+            diff = np.abs(block_a - block_b)
+            touched += diff.size
+            exact = self.metric._reduce_abs_diff(diff) <= self.exact_key
+            mask[alive[exact]] = True
+            final_survivors = int(np.count_nonzero(exact))
+        survivors.append(final_survivors)
+        if emit_events:
+            trace.add_event(
+                "cascade-stage",
+                stage=plan.n_filters + 1,
+                kind="reduction",
+                candidates=int(reduction_in),
+                survivors=final_survivors,
+            )
+        if stats is not None:
+            for stage, count in enumerate(survivors):
+                stats.cascade_survivors[stage] += count
+            stats.coordinates_touched += touched
+        return mask
+
+    @staticmethod
+    def _gather(cols: np.ndarray, dims: Sequence[int], rows: np.ndarray) -> np.ndarray:
+        """``(m, b)`` block of the given dimensions for the given rows."""
+        block = np.empty((len(rows), len(dims)), dtype=cols.dtype)
+        for j, dim in enumerate(dims):
+            block[:, j] = cols[dim][rows]
+        return block
+
+    @staticmethod
+    def _gather_rows(cols: np.ndarray, rows: np.ndarray) -> np.ndarray:
+        """``(m, d)`` C-contiguous rows in natural dimension order."""
+        return np.ascontiguousarray(cols[:, rows].T)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<KernelContext d={self.dims} filters={self.plan.n_filters} "
+            f"metric={self.metric.name}>"
+        )
+
+
+def build_kernel_context(
+    spec: JoinSpec,
+    points_a: np.ndarray,
+    points_b: Optional[np.ndarray] = None,
+    grid=None,
+    split_dims: Sequence[int] = (),
+    sort_dim: Optional[int] = None,
+    source: Optional[KernelSource] = None,
+) -> Optional[KernelContext]:
+    """Build the per-join cascade context, or ``None`` when disabled.
+
+    Dimension spreads come from the grid's bounding box when available
+    (already computed at ``Grid.fit`` time), else from the data.  When a
+    :class:`KernelSource` is supplied its column stores are used as-is
+    (the parallel workers' zero-copy path); otherwise one ``(d, n)``
+    transpose copy per side is made here.
+    """
+    dims = points_a.shape[1]
+    if not spec.cascade_enabled(dims):
+        return None
+    with trace.span("kernel-plan", dims=dims) as span:
+        if grid is not None:
+            spreads = np.asarray(grid.hi, dtype=np.float64) - np.asarray(
+                grid.lo, dtype=np.float64
+            )
+        else:
+            lo = points_a.min(axis=0) if len(points_a) else np.zeros(dims)
+            hi = points_a.max(axis=0) if len(points_a) else np.zeros(dims)
+            if points_b is not None and len(points_b):
+                lo = np.minimum(lo, points_b.min(axis=0))
+                hi = np.maximum(hi, points_b.max(axis=0))
+            spreads = hi - lo
+        plan = plan_cascade(
+            spec, spreads, split_dims=split_dims, sort_dim=sort_dim
+        )
+        if source is not None:
+            context = KernelContext(
+                plan,
+                spec,
+                cols_a=source.cols_a,
+                cols_b=source.cols_b,
+                row_map_a=source.row_map_a,
+                row_map_b=source.row_map_b,
+            )
+        else:
+            cols_a = np.ascontiguousarray(points_a.T)
+            cols_b = (
+                np.ascontiguousarray(points_b.T) if points_b is not None else None
+            )
+            context = KernelContext(plan, spec, cols_a=cols_a, cols_b=cols_b)
+        span.set_attribute("filters", plan.n_filters)
+        span.set_attribute("order", list(plan.order))
+    return context

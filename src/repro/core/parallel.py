@@ -45,6 +45,7 @@ import numpy as np
 from repro.core.config import JoinSpec, validate_points
 from repro.core.external import plan_stripes
 from repro.core.join import epsilon_kdb_join, epsilon_kdb_self_join
+from repro.core.kernels import KernelSource
 from repro.core.resilience import DegradeToSerial, FaultPlan
 from repro.core.result import (
     JoinResult,
@@ -197,7 +198,14 @@ def _self_stripe_task(
 ) -> Tuple[np.ndarray, JoinStats, float]:
     started = time.perf_counter()
     points = _WORKER_POINTS["a"][members]
-    local = epsilon_kdb_self_join(points, spec)
+    # The shipped (d, n) column store backs the filter-cascade kernels
+    # zero-copy: the stripe's tree indexes its local point subset, and
+    # ``row_map`` translates those rows into the global store.
+    cols = _WORKER_POINTS.get("a_cols")
+    source = (
+        KernelSource(cols_a=cols, row_map_a=members) if cols is not None else None
+    )
+    local = epsilon_kdb_self_join(points, spec, kernel_source=source)
     pairs = members[local.pairs] if len(local.pairs) else local.pairs
     return pairs, local.stats, time.perf_counter() - started
 
@@ -208,7 +216,18 @@ def _cross_stripe_task(
     started = time.perf_counter()
     points_r = _WORKER_POINTS["r"][members_r]
     points_s = _WORKER_POINTS["s"][members_s]
-    local = epsilon_kdb_join(points_r, points_s, spec)
+    cols_r = _WORKER_POINTS.get("r_cols")
+    cols_s = _WORKER_POINTS.get("s_cols")
+    if cols_r is not None and cols_s is not None:
+        source = KernelSource(
+            cols_a=cols_r,
+            row_map_a=members_r,
+            cols_b=cols_s,
+            row_map_b=members_s,
+        )
+    else:
+        source = None
+    local = epsilon_kdb_join(points_r, points_s, spec, kernel_source=source)
     if len(local.pairs):
         pairs = np.column_stack(
             [members_r[local.pairs[:, 0]], members_s[local.pairs[:, 1]]]
@@ -400,6 +419,10 @@ class ParallelJoinExecutor:
                 if len(members) >= 2
             ]
             segments = {"a": points}
+            if self.spec.cascade_enabled(points.shape[1]):
+                # One (d, n) structure-of-arrays copy, shipped once and
+                # shared by every stripe's cascade kernels.
+                segments["a_cols"] = np.ascontiguousarray(points.T)
             try:
                 outcomes, planned, resilience = self._run(
                     _self_stripe_task, tasks, segments, started
@@ -470,6 +493,9 @@ class ParallelJoinExecutor:
                 if len(members_r) and len(members_s)
             ]
             segments = {"r": points_r, "s": points_s}
+            if self.spec.cascade_enabled(points_r.shape[1]):
+                segments["r_cols"] = np.ascontiguousarray(points_r.T)
+                segments["s_cols"] = np.ascontiguousarray(points_s.T)
             try:
                 outcomes, planned, resilience = self._run(
                     _cross_stripe_task, tasks, segments, started

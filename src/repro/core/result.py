@@ -53,6 +53,16 @@ class JoinStats:
             deliberately injected into this run.
         storage_retries: transient page-read failures the external joins
             retried successfully.
+        cascade_candidates: candidate rows that entered the filter
+            cascade (:mod:`repro.core.kernels`); 0 when the monolithic
+            kernel ran.
+        cascade_survivors: rows still alive after each cascade stage
+            (the pre-filter stages followed by the short-circuit
+            reduction), monotonically non-increasing.  Rendered by
+            :meth:`as_dict` as ``cascade_survivors_stage{N}`` keys.
+        coordinates_touched: individual point coordinates the cascade
+            kernels actually read; the monolithic kernel would have read
+            ``cascade_candidates * d``.
     """
 
     distance_computations: int = 0
@@ -70,6 +80,9 @@ class JoinStats:
     degraded_to_serial: bool = False
     faults_injected: int = 0
     storage_retries: int = 0
+    cascade_candidates: int = 0
+    cascade_survivors: List[int] = field(default_factory=list)
+    coordinates_touched: int = 0
 
     def as_dict(self) -> Dict[str, Any]:
         """Every counter as JSON-ready data, in field order.
@@ -77,11 +90,16 @@ class JoinStats:
         Consumers that render or export stats (the CLI's stat lines and
         ``--stats-json``, :meth:`repro.obs.metrics.MetricsRegistry.ingest_stats`)
         iterate this generically, so new fields added here flow through
-        without touching them.
+        without touching them.  ``cascade_survivors`` expands into one
+        ``cascade_survivors_stage{N}`` integer per stage.
         """
         out: Dict[str, Any] = {}
         for spec in fields(self):
             value = getattr(self, spec.name)
+            if spec.name == "cascade_survivors":
+                for stage, survivors in enumerate(value):
+                    out[f"cascade_survivors_stage{stage + 1}"] = int(survivors)
+                continue
             if isinstance(value, (list, tuple)):
                 value = [float(v) for v in value]
             out[spec.name] = value
@@ -106,6 +124,17 @@ class JoinStats:
         )
         self.faults_injected += other.faults_injected
         self.storage_retries += other.storage_retries
+        self.cascade_candidates += other.cascade_candidates
+        if other.cascade_survivors:
+            # Element-wise sum; zero-pad the shorter list so stripes that
+            # ran with fewer stages (or none) still merge cleanly.
+            if len(self.cascade_survivors) < len(other.cascade_survivors):
+                self.cascade_survivors.extend(
+                    [0] * (len(other.cascade_survivors) - len(self.cascade_survivors))
+                )
+            for stage, survivors in enumerate(other.cascade_survivors):
+                self.cascade_survivors[stage] += survivors
+        self.coordinates_touched += other.coordinates_touched
 
 
 _EMPTY_I64 = np.empty(0, dtype=np.int64)

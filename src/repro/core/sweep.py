@@ -53,7 +53,7 @@ def band_pairs_self(values: np.ndarray, eps: float) -> Tuple[np.ndarray, np.ndar
     if n < 2:
         return _EMPTY.copy(), _EMPTY.copy()
     starts = np.arange(1, n + 1, dtype=np.int64)
-    ends = np.searchsorted(values, values + eps, side="right").astype(np.int64)
+    ends = np.searchsorted(values, values + eps, side="right").astype(np.int64, copy=False)
     return _expand_windows(starts, ends)
 
 
@@ -71,7 +71,7 @@ def iter_band_pairs_self(
     if n < 2:
         return
     starts = np.arange(1, n + 1, dtype=np.int64)
-    ends = np.searchsorted(values, values + eps, side="right").astype(np.int64)
+    ends = np.searchsorted(values, values + eps, side="right").astype(np.int64, copy=False)
     yield from _iter_expand(starts, ends, budget)
 
 
@@ -83,8 +83,8 @@ def iter_band_pairs_cross(
     values_b = np.asarray(values_b)
     if len(values_a) == 0 or len(values_b) == 0:
         return
-    starts = np.searchsorted(values_b, values_a - eps, side="left").astype(np.int64)
-    ends = np.searchsorted(values_b, values_a + eps, side="right").astype(np.int64)
+    starts = np.searchsorted(values_b, values_a - eps, side="left").astype(np.int64, copy=False)
+    ends = np.searchsorted(values_b, values_a + eps, side="right").astype(np.int64, copy=False)
     yield from _iter_expand(starts, ends, budget)
 
 
@@ -92,7 +92,6 @@ def _iter_expand(starts: np.ndarray, ends: np.ndarray, budget: int):
     """Expand windows in row groups whose total pair count fits ``budget``."""
     counts = np.maximum(ends - starts, 0)
     cumulative = np.concatenate([[0], np.cumsum(counts)])
-    total = int(cumulative[-1])
     row = 0
     n = len(starts)
     while row < n:
@@ -103,8 +102,6 @@ def _iter_expand(starts: np.ndarray, ends: np.ndarray, budget: int):
         if len(left):
             yield left + row, right
         row = next_row
-    if total == 0:
-        return
 
 
 def band_pairs_cross(
@@ -119,6 +116,6 @@ def band_pairs_cross(
     values_b = np.asarray(values_b)
     if len(values_a) == 0 or len(values_b) == 0:
         return _EMPTY.copy(), _EMPTY.copy()
-    starts = np.searchsorted(values_b, values_a - eps, side="left").astype(np.int64)
-    ends = np.searchsorted(values_b, values_a + eps, side="right").astype(np.int64)
+    starts = np.searchsorted(values_b, values_a - eps, side="left").astype(np.int64, copy=False)
+    ends = np.searchsorted(values_b, values_a + eps, side="right").astype(np.int64, copy=False)
     return _expand_windows(starts, ends)

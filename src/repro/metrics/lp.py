@@ -16,7 +16,7 @@ squared quantities so no square roots are taken on the hot path.
 
 from __future__ import annotations
 
-from typing import Union
+from typing import Sequence, Union
 
 import numpy as np
 
@@ -40,8 +40,29 @@ class Metric:
     #: Human-readable name; also the lookup key for :func:`get_metric`.
     name: str = "abstract"
 
+    #: Whether :meth:`accumulate_abs_diff` is implemented, i.e. the
+    #: distance key can be built up over dimension blocks in any order.
+    #: The filter-cascade kernels (:mod:`repro.core.kernels`) only engage
+    #: for metrics that set this.
+    supports_cascade: bool = False
+
     def _reduce_abs_diff(self, diff: np.ndarray) -> np.ndarray:
         """Fold ``|x - y|`` along the last axis into a distance key."""
+        raise NotImplementedError
+
+    def accumulate_abs_diff(
+        self, acc: np.ndarray, diff_block: np.ndarray, dims: Sequence[int]
+    ) -> np.ndarray:
+        """Fold a block of ``|x - y|`` columns into a running distance key.
+
+        ``acc`` is the per-row partial key so far (``0`` for an empty
+        prefix), ``diff_block`` is ``(m, b)`` absolute differences for the
+        original dimensions ``dims`` (needed by weighted metrics), and the
+        return value is the updated ``(m,)`` partial key.  Because every
+        L_p key is a dimension-wise sum (or max), partial keys are
+        monotonically non-decreasing — the property the short-circuit
+        kernels rely on to drop rows early.
+        """
         raise NotImplementedError
 
     def key(self, eps: float) -> float:
@@ -154,6 +175,8 @@ class LpMetric(Metric):
     hot path.
     """
 
+    supports_cascade = True
+
     def __init__(self, p: float):
         if not np.isfinite(p) or p < 1:
             raise InvalidParameterError(
@@ -170,6 +193,11 @@ class LpMetric(Metric):
             return np.square(diff).sum(axis=-1)
         return np.power(diff, self.p).sum(axis=-1)
 
+    def accumulate_abs_diff(
+        self, acc: np.ndarray, diff_block: np.ndarray, dims: Sequence[int]
+    ) -> np.ndarray:
+        return acc + self._reduce_abs_diff(diff_block)
+
     def key(self, eps: float) -> float:
         return float(eps) ** self.p
 
@@ -181,9 +209,15 @@ class ChebyshevMetric(Metric):
     """The L-infinity (maximum-coordinate-difference) metric."""
 
     name = "linf"
+    supports_cascade = True
 
     def _reduce_abs_diff(self, diff: np.ndarray) -> np.ndarray:
         return diff.max(axis=-1)
+
+    def accumulate_abs_diff(
+        self, acc: np.ndarray, diff_block: np.ndarray, dims: Sequence[int]
+    ) -> np.ndarray:
+        return np.maximum(acc, diff_block.max(axis=-1))
 
     def key(self, eps: float) -> float:
         return float(eps)
@@ -206,6 +240,8 @@ class WeightedLpMetric(Metric):
     exact even when some weights are below one.
     """
 
+    supports_cascade = True
+
     def __init__(self, p: float, weights):
         weights = np.asarray(weights, dtype=np.float64)
         if weights.ndim != 1 or len(weights) == 0:
@@ -222,6 +258,23 @@ class WeightedLpMetric(Metric):
         self.p = float(p)
         self.weights = weights
         self.name = f"weighted-l{p:g}"
+        self._weight_cache: dict = {weights.dtype: weights}
+
+    def _weights_as(self, dtype: np.dtype) -> np.ndarray:
+        """The weight vector in ``dtype``, so float32 inputs stay float32.
+
+        Multiplying float64 weights into a float32 diff block would
+        silently upcast the whole block (doubling its peak memory); the
+        cast-once-and-cache here keeps the kernels dtype-preserving.
+        Non-float inputs keep the float64 weights (an int diff must
+        upcast to hold the weighted key at all).
+        """
+        if not np.issubdtype(dtype, np.floating):
+            return self.weights
+        cached = self._weight_cache.get(dtype)
+        if cached is None:
+            cached = self._weight_cache[dtype] = self.weights.astype(dtype)
+        return cached
 
     def _reduce_abs_diff(self, diff: np.ndarray) -> np.ndarray:
         if diff.shape[-1] != len(self.weights):
@@ -229,11 +282,22 @@ class WeightedLpMetric(Metric):
                 f"metric has {len(self.weights)} weights but points have "
                 f"{diff.shape[-1]} dimensions"
             )
+        weights = self._weights_as(diff.dtype)
         if self.p == np.inf:
-            return (self.weights * diff).max(axis=-1)
+            return (weights * diff).max(axis=-1)
         if self.p == 2.0:
-            return (self.weights * np.square(diff)).sum(axis=-1)
-        return (self.weights * np.power(diff, self.p)).sum(axis=-1)
+            return (weights * np.square(diff)).sum(axis=-1)
+        return (weights * np.power(diff, self.p)).sum(axis=-1)
+
+    def accumulate_abs_diff(
+        self, acc: np.ndarray, diff_block: np.ndarray, dims: Sequence[int]
+    ) -> np.ndarray:
+        weights = self._weights_as(diff_block.dtype)[np.asarray(dims)]
+        if self.p == np.inf:
+            return np.maximum(acc, (weights * diff_block).max(axis=-1))
+        if self.p == 2.0:
+            return acc + (weights * np.square(diff_block)).sum(axis=-1)
+        return acc + (weights * np.power(diff_block, self.p)).sum(axis=-1)
 
     def key(self, eps: float) -> float:
         if self.p == np.inf:

@@ -166,10 +166,21 @@ class MetricsRegistry:
         Field mapping: ints increment counters, bools set 0/1 gauges,
         floats set gauges, and numeric lists feed histograms — so new
         ``JoinStats`` fields flow through without touching this code.
+        When the dataclass renders itself via ``as_dict`` (as
+        ``JoinStats`` does, expanding per-stage cascade survivor counts
+        into ``cascade_survivors_stage{N}`` keys), that expanded view is
+        ingested instead of the raw fields.
         """
-        for field in dataclasses.fields(stats):
-            value = getattr(stats, field.name)
-            name = prefix + field.name
+        as_dict = getattr(stats, "as_dict", None)
+        if callable(as_dict):
+            items = list(as_dict().items())
+        else:
+            items = [
+                (field.name, getattr(stats, field.name))
+                for field in dataclasses.fields(stats)
+            ]
+        for key, value in items:
+            name = prefix + key
             if isinstance(value, bool):
                 self.gauge(name).set(1.0 if value else 0.0)
             elif isinstance(value, int):

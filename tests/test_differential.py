@@ -147,3 +147,136 @@ def test_extended_matrix(seed, metric, distribution, mode):
 def test_extended_pooled_executor(mode):
     engines = {"epsilon-kdb-parallel-pooled": (_POOLED_SELF, _POOLED_TWO_SET)}
     check_case(1500, 6, 0.35, "l2", "uniform", mode, 21, engines=engines)
+
+
+# ----------------------------------------------------------------------
+# Filter-cascade kernels: cascade on must be byte-identical to cascade off
+# for every metric, on every engine that carries the kernels.
+# ----------------------------------------------------------------------
+CASCADE_METRICS = ["l1", "l2", "linf", 1.5]
+
+
+def _fault_parallel_engine():
+    from repro.core import FaultPlan
+
+    def self_join(points, spec):
+        executor = ParallelJoinExecutor(
+            spec,
+            n_workers=3,
+            serial_threshold=0,
+            use_processes=False,
+            fault_plan=FaultPlan(seed=5).crash_task(0),
+        )
+        return executor.self_join(points)
+
+    def two_set(points_r, points_s, spec):
+        executor = ParallelJoinExecutor(
+            spec,
+            n_workers=3,
+            serial_threshold=0,
+            use_processes=False,
+            fault_plan=FaultPlan(seed=5).crash_task(0),
+        )
+        return executor.join(points_r, points_s)
+
+    return self_join, two_set
+
+
+_FAULT_SELF, _FAULT_TWO_SET = _fault_parallel_engine()
+
+#: Engines that route leaf distance checks through the cascade kernels.
+CASCADE_ENGINES = {
+    "epsilon-kdb": (epsilon_kdb_self_join, epsilon_kdb_join),
+    "epsilon-kdb-parallel": (_PARALLEL_SELF, _PARALLEL_TWO_SET),
+    "epsilon-kdb-parallel-faulty": (_FAULT_SELF, _FAULT_TWO_SET),
+    "sort-merge": (sort_merge_self_join, sort_merge_join),
+}
+
+
+def _metric_id(metric):
+    return metric if isinstance(metric, str) else f"p{metric}"
+
+
+@pytest.mark.parametrize("mode", ["self", "two-set"])
+@pytest.mark.parametrize("metric", CASCADE_METRICS, ids=_metric_id)
+def test_cascade_identical_to_monolithic(metric, mode):
+    """cascade=auto (engaged: d >= 8) vs cascade=off, all engines."""
+    n, d, seed = 220, 12, 31
+    eps = 0.9 if metric == "l1" else 0.45
+    points_r = generate("clusters", n, d, seed)
+    points_s = generate("clusters", n * 3 // 4, d, seed + 1)
+    spec_off = JoinSpec(epsilon=eps, metric=metric, cascade="off")
+    spec_auto = JoinSpec(epsilon=eps, metric=metric, cascade="auto")
+    assert spec_auto.cascade_enabled(d)
+    for name, (self_join, two_set) in CASCADE_ENGINES.items():
+        if mode == "self":
+            baseline = self_join(points_r, spec_off)
+            cascaded = self_join(points_r, spec_auto)
+        else:
+            baseline = two_set(points_r, points_s, spec_off)
+            cascaded = two_set(points_r, points_s, spec_auto)
+        assert_same_pairs(
+            cascaded.pairs,
+            baseline.pairs,
+            f"{name} {mode} cascade vs monolithic {metric}",
+        )
+        assert baseline.stats.cascade_candidates == 0, name
+        stats = cascaded.stats
+        assert stats.cascade_candidates > 0, name
+        survivors = stats.cascade_survivors
+        assert survivors, name
+        assert all(
+            survivors[i] >= survivors[i + 1] for i in range(len(survivors) - 1)
+        ), (name, survivors)
+        assert stats.cascade_candidates >= survivors[0], name
+
+
+@pytest.mark.parametrize("metric", CASCADE_METRICS, ids=_metric_id)
+def test_cascade_forced_on_low_dims_matches_oracle(metric):
+    """cascade=on engages below the auto threshold; still exact."""
+    points = generate("quantized", 150, 4, 17)
+    spec_on = JoinSpec(epsilon=0.4, metric=metric, cascade="on", filter_dims=2)
+    assert spec_on.cascade_enabled(4)
+    expected = oracle_self_pairs(points, JoinSpec(epsilon=0.4, metric=metric))
+    result = epsilon_kdb_self_join(points, spec_on)
+    assert_same_pairs(result.pairs, expected, f"cascade=on {metric} d=4")
+    assert result.stats.cascade_candidates > 0
+
+
+def test_cascade_pooled_executor_agrees():
+    """One real process-pool run with the shared-memory column store."""
+    points = generate("clusters", 500, 10, 41)
+    spec_off = JoinSpec(epsilon=0.5, cascade="off")
+    spec_auto = JoinSpec(epsilon=0.5, cascade="auto")
+    baseline = epsilon_kdb_self_join(points, spec_off)
+    pooled = _POOLED_SELF(points, spec_auto)
+    assert_same_pairs(pooled.pairs, baseline.pairs, "pooled cascade self")
+    assert pooled.stats.cascade_candidates > 0
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize("seed", range(4))
+@pytest.mark.parametrize("metric", CASCADE_METRICS, ids=_metric_id)
+@pytest.mark.parametrize("distribution", ["uniform", "clusters", "quantized"])
+@pytest.mark.parametrize("mode", ["self", "two-set"])
+def test_cascade_extended_matrix(seed, metric, distribution, mode):
+    rng = np.random.default_rng(3000 + seed)
+    n = int(rng.integers(100, 500))
+    d = int(rng.integers(8, 24))
+    eps = float(rng.choice([0.4, 0.8, 1.4]))
+    points_r = generate(distribution, n, d, seed)
+    points_s = generate(distribution, max(1, n * 2 // 3), d, seed + 1)
+    spec_off = JoinSpec(epsilon=eps, metric=metric, cascade="off")
+    spec_auto = JoinSpec(epsilon=eps, metric=metric, cascade="auto")
+    for name, (self_join, two_set) in CASCADE_ENGINES.items():
+        if mode == "self":
+            baseline = self_join(points_r, spec_off)
+            cascaded = self_join(points_r, spec_auto)
+        else:
+            baseline = two_set(points_r, points_s, spec_off)
+            cascaded = two_set(points_r, points_s, spec_auto)
+        assert_same_pairs(
+            cascaded.pairs,
+            baseline.pairs,
+            f"{name} {mode} cascade {metric} {distribution} seed={seed}",
+        )

@@ -4,7 +4,15 @@ import numpy as np
 import pytest
 
 from repro.errors import InvalidParameterError
-from repro.metrics import L1, L2, LINF, LpMetric, get_metric, lp_metric
+from repro.metrics import (
+    L1,
+    L2,
+    LINF,
+    LpMetric,
+    WeightedLpMetric,
+    get_metric,
+    lp_metric,
+)
 
 try:
     from scipy.spatial import distance as sp_distance
@@ -102,6 +110,73 @@ class TestWithinPredicates:
         assert not L1.within_gap(gaps, 0.69)
         assert LINF.within_gap(gaps, 0.4)
         assert not LINF.within_gap(gaps, 0.39)
+
+
+class TestDtypePropagation:
+    """float32 inputs must stay float32 through the kernels: upcasting
+    to float64 would double the peak memory of every gathered block."""
+
+    METRICS = (
+        L1,
+        L2,
+        LINF,
+        lp_metric(2.5),
+        WeightedLpMetric(2, [0.5, 2.0, 1.0, 0.25]),
+        WeightedLpMetric(np.inf, [0.5, 2.0, 1.0, 0.25]),
+    )
+
+    @pytest.mark.parametrize("dtype", [np.float32, np.float64])
+    def test_reduce_preserves_dtype(self, dtype):
+        diff = np.abs(np.random.default_rng(5).normal(size=(20, 4))).astype(dtype)
+        for metric in self.METRICS:
+            assert metric._reduce_abs_diff(diff).dtype == dtype, metric.name
+
+    @pytest.mark.parametrize("dtype", [np.float32, np.float64])
+    def test_accumulate_preserves_dtype(self, dtype):
+        rng = np.random.default_rng(6)
+        diff = np.abs(rng.normal(size=(20, 2))).astype(dtype)
+        acc = np.zeros(20, dtype=dtype)
+        for metric in self.METRICS:
+            out = metric.accumulate_abs_diff(acc, diff, (1, 3))
+            assert out.dtype == dtype, metric.name
+
+    def test_float32_rows_match_float64(self):
+        rng = np.random.default_rng(7)
+        points64 = rng.random((50, 4))
+        points32 = points64.astype(np.float32)
+        rows_a = rng.integers(0, 50, size=300)
+        rows_b = rng.integers(0, 50, size=300)
+        for metric in self.METRICS:
+            # Compare away from the boundary so rounding the coordinates
+            # to float32 cannot legitimately flip a verdict.
+            dist = metric.distance_rows(points64, points64, rows_a, rows_b)
+            eps = float(np.median(dist))
+            safe = np.abs(dist - eps) > 1e-3
+            m64 = metric.within_rows(points64, points64, rows_a, rows_b, eps)
+            m32 = metric.within_rows(points32, points32, rows_a, rows_b, eps)
+            assert (m64[safe] == m32[safe]).all(), metric.name
+
+    def test_float32_block_matches_float64(self):
+        rng = np.random.default_rng(8)
+        block_a = rng.random((15, 4))
+        block_b = rng.random((12, 4))
+        for metric in self.METRICS:
+            m64 = metric.within_block(block_a, block_b, 0.8)
+            m32 = metric.within_block(
+                block_a.astype(np.float32), block_b.astype(np.float32), 0.8
+            )
+            assert (m64 == m32).all(), metric.name
+
+    def test_weight_cache_returns_same_array(self):
+        metric = WeightedLpMetric(2, [1.0, 2.0])
+        first = metric._weights_as(np.dtype(np.float32))
+        second = metric._weights_as(np.dtype(np.float32))
+        assert first is second
+        assert first.dtype == np.float32
+        assert metric._weights_as(np.dtype(np.float64)) is metric.weights
+        # int inputs keep the float64 weights: the weighted key cannot
+        # live in an integer dtype anyway.
+        assert metric._weights_as(np.dtype(np.int64)) is metric.weights
 
 
 class TestResolution:

@@ -327,8 +327,20 @@ class TestMetrics:
         }
         assert snapshot["join.worker_seconds"]["count"] == 2
         # every JoinStats field landed under the prefix
+        # (cascade_survivors expands to per-stage keys; empty here)
         for name in JoinStats.__dataclass_fields__:
+            if name == "cascade_survivors":
+                continue
             assert f"join.{name}" in snapshot
+
+    def test_ingest_stats_expands_cascade_stages(self):
+        stats = JoinStats(cascade_candidates=9, cascade_survivors=[4, 1])
+        registry = MetricsRegistry()
+        registry.ingest_stats(stats)
+        snapshot = registry.as_dict()
+        assert snapshot["join.cascade_candidates"]["value"] == 9
+        assert snapshot["join.cascade_survivors_stage1"]["value"] == 4
+        assert snapshot["join.cascade_survivors_stage2"]["value"] == 1
 
 
 class TestProfilingHooks:

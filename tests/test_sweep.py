@@ -1,6 +1,8 @@
 """Unit tests for the band-sweep pair generators."""
 
 import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.core.sweep import (
     band_pairs_cross,
@@ -123,3 +125,44 @@ class TestChunkedIterators:
     def test_empty_input_yields_nothing(self):
         assert list(iter_band_pairs_self(np.array([]), 0.1)) == []
         assert list(iter_band_pairs_cross(np.array([]), np.array([1.0]), 0.1)) == []
+
+
+_sorted_values = st.lists(
+    st.floats(min_value=0.0, max_value=1.0, allow_nan=False),
+    min_size=0,
+    max_size=50,
+).map(lambda xs: np.sort(np.asarray(xs, dtype=np.float64)))
+
+
+class TestChunkedIteratorProperties:
+    """A budget of 1 forces one chunk per non-empty window — the most
+    adversarial chunking — yet the union of chunks must still be exactly
+    the unchunked pair set."""
+
+    @settings(max_examples=60, deadline=None)
+    @given(values=_sorted_values, eps=st.floats(min_value=0.0, max_value=1.5))
+    def test_self_budget_one_reproduces_oneshot(self, values, eps):
+        expected = as_set(*band_pairs_self(values, eps))
+        collected = []
+        for pos_a, pos_b in iter_band_pairs_self(values, eps, budget=1):
+            assert len(pos_a) == len(pos_b)
+            collected.extend(zip(pos_a.tolist(), pos_b.tolist()))
+        assert len(collected) == len(set(collected))  # no pair twice
+        assert set(collected) == expected
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        values_a=_sorted_values,
+        values_b=_sorted_values,
+        eps=st.floats(min_value=0.0, max_value=1.5),
+    )
+    def test_cross_budget_one_reproduces_oneshot(self, values_a, values_b, eps):
+        expected = as_set(*band_pairs_cross(values_a, values_b, eps))
+        collected = []
+        for pos_a, pos_b in iter_band_pairs_cross(
+            values_a, values_b, eps, budget=1
+        ):
+            assert len(pos_a) == len(pos_b)
+            collected.extend(zip(pos_a.tolist(), pos_b.tolist()))
+        assert len(collected) == len(set(collected))
+        assert set(collected) == expected
