@@ -46,6 +46,7 @@ EXPERIMENTS = [
     "bench_e14_parallel",
     "bench_e15_resilience",
     "bench_e16_kernels",
+    "bench_e17_flat_build",
 ]
 
 RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")

@@ -53,14 +53,17 @@ from repro.core import (
     EpsilonKdbTree,
     ExternalJoinReport,
     FaultPlan,
+    FlatEpsilonKdbTree,
     Grid,
     JoinSpec,
     JoinStats,
     PairCollector,
     PairCounter,
     ParallelJoinExecutor,
+    TreeCache,
     epsilon_kdb_join,
     epsilon_kdb_self_join,
+    epsilon_sweep,
     external_join,
     external_self_join,
     parallel_join,
@@ -129,6 +132,7 @@ def similarity_join(
     max_task_retries: Optional[int] = None,
     cascade: str = "auto",
     filter_dims: Optional[int] = None,
+    build: str = "auto",
     return_result: bool = False,
 ):
     """Find all point pairs within ``epsilon`` of each other.
@@ -171,6 +175,11 @@ def similarity_join(
         filter_dims: number of single-dimension pre-filter stages the
             cascade runs before the blocked distance reduction
             (``None``: scale with dimensionality).
+        build: epsilon-kdB tree construction strategy: ``"auto"``
+            (default, currently the flat build), ``"flat"`` (vectorized
+            radix cell-coding build), or ``"pointer"`` (per-node object
+            build).  Both builds produce byte-identical pairs; only the
+            build cost differs.  Ignored by the baselines.
         return_result: when true, return the full
             :class:`~repro.core.result.JoinResult` (pairs *and*
             statistics) instead of just the pair array.
@@ -193,6 +202,7 @@ def similarity_join(
         n_workers=n_workers,
         cascade=cascade,
         filter_dims=filter_dims,
+        build=build,
     )
     if task_timeout is not None:
         spec_kwargs["task_timeout"] = task_timeout
@@ -222,8 +232,11 @@ __all__ = [
     "JoinSpec",
     "Grid",
     "EpsilonKdbTree",
+    "FlatEpsilonKdbTree",
+    "TreeCache",
     "epsilon_kdb_self_join",
     "epsilon_kdb_join",
+    "epsilon_sweep",
     "external_self_join",
     "external_join",
     "ExternalJoinReport",

@@ -90,6 +90,14 @@ def _add_common_arguments(parser: argparse.ArgumentParser) -> None:
         help="single-dimension pre-filter stages the cascade runs before "
         "the blocked reduction (default: scale with dimensionality)",
     )
+    parser.add_argument(
+        "--build",
+        choices=["auto", "flat", "pointer"],
+        default="auto",
+        help="epsilon-kdB tree construction: flat (vectorized radix "
+        "build), pointer (per-node objects), or auto (default: flat); "
+        "both yield byte-identical pairs",
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -218,6 +226,9 @@ _STAT_LABELS = {
     "node_pairs_visited": "node pairs visited",
     "duplicate_pairs_merged": "boundary dups merged",
     "workers_used": "worker processes",
+    "build_nodes": "tree nodes built",
+    "build_sort_seconds": "build sort time",
+    "structure_cache_hits": "structure cache hits",
 }
 
 #: Fields printed even when zero (the headline numbers of every join).
@@ -236,6 +247,8 @@ def _render_stat(name: str, value) -> str:
         return f"{len(value)} tasks, {format_seconds(total)} total"
     if isinstance(value, int):
         return format_si(value)
+    if isinstance(value, float):
+        return format_seconds(value)
     return str(value)
 
 
@@ -262,12 +275,13 @@ def _run_join(args: argparse.Namespace) -> int:
         leaf_size=args.leaf_size,
         cascade=args.cascade,
         filter_dims=args.filter_dims,
+        build=args.build,
     )
     workers = getattr(args, "workers", None)
     print(
         f"joining {len(points)} points, d={points.shape[1]}, "
         f"eps={spec.epsilon}, metric={spec.metric.name}, "
-        f"algorithm={args.algorithm}"
+        f"algorithm={args.algorithm}, build={spec.resolved_build()}"
         + (f", workers={workers}" if workers else "")
     )
     tracing = bool(
@@ -298,6 +312,7 @@ def _run_join(args: argparse.Namespace) -> int:
                 max_task_retries=getattr(args, "max_task_retries", None),
                 cascade=args.cascade,
                 filter_dims=args.filter_dims,
+                build=args.build,
                 return_result=True,
             )
     elapsed = time.perf_counter() - started
@@ -336,6 +351,7 @@ def _run_search(args: argparse.Namespace) -> int:
         leaf_size=args.leaf_size,
         cascade=args.cascade,
         filter_dims=args.filter_dims,
+        build=args.build,
     )
     started = time.perf_counter()
     tree = EpsilonKdbTree.build(points, spec)
@@ -374,6 +390,7 @@ def _run_compare(args: argparse.Namespace) -> int:
         leaf_size=args.leaf_size,
         cascade=args.cascade,
         filter_dims=args.filter_dims,
+        build=args.build,
     )
     table = Table(
         f"all algorithms on {len(points)} points, d={points.shape[1]}, "

@@ -9,6 +9,7 @@ inspect the structure.
 from repro.core.config import JoinSpec
 from repro.core.epsilon_kdb import EpsilonKdbTree, Grid
 from repro.core.external import ExternalJoinReport, external_join, external_self_join
+from repro.core.flat_build import FlatEpsilonKdbTree, TreeCache
 from repro.core.join import epsilon_kdb_join, epsilon_kdb_self_join
 from repro.core.kernels import (
     KernelContext,
@@ -26,13 +27,17 @@ from repro.core.parallel import (
 )
 from repro.core.resilience import FaultPlan, retry_transient
 from repro.core.result import JoinStats, PairCollector, PairCounter
+from repro.core.sweep import epsilon_sweep
 
 __all__ = [
     "JoinSpec",
     "Grid",
     "EpsilonKdbTree",
+    "FlatEpsilonKdbTree",
+    "TreeCache",
     "epsilon_kdb_self_join",
     "epsilon_kdb_join",
+    "epsilon_sweep",
     "KernelContext",
     "KernelPlan",
     "KernelSource",

@@ -77,6 +77,13 @@ class JoinSpec:
             the cascade runs before the blocked short-circuit reduction;
             ``None`` picks ``max(1, min(3, d // 8))``, ``0`` disables the
             pre-filter stages (blocked reduction only).
+        build: which tree construction the join entry points use.
+            ``"flat"`` is the vectorized radix build
+            (:class:`repro.core.flat_build.FlatEpsilonKdbTree`);
+            ``"pointer"`` is the per-node object build
+            (:class:`repro.core.epsilon_kdb.EpsilonKdbTree`); ``"auto"``
+            (default) currently means ``"flat"``.  Both builds produce
+            the same leaf partition and byte-identical join results.
     """
 
     epsilon: float
@@ -91,6 +98,7 @@ class JoinSpec:
     max_task_retries: int = 2
     cascade: str = "auto"
     filter_dims: Optional[int] = None
+    build: str = "auto"
 
     def __post_init__(self) -> None:
         if not np.isfinite(self.epsilon) or self.epsilon <= 0:
@@ -141,6 +149,14 @@ class JoinSpec:
                     f"filter_dims must be >= 0, got {self.filter_dims!r}"
                 )
             self.filter_dims = int(self.filter_dims)
+        if self.build not in ("auto", "flat", "pointer"):
+            raise InvalidParameterError(
+                f'build must be "auto", "flat" or "pointer", got {self.build!r}'
+            )
+
+    def resolved_build(self) -> str:
+        """The effective tree build strategy (``"flat"`` or ``"pointer"``)."""
+        return "flat" if self.build == "auto" else self.build
 
     def resolved_stripe_overlap(self) -> float:
         """The effective boundary-band width for parallel stripes.

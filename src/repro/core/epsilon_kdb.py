@@ -43,6 +43,23 @@ class Grid:
     eps: float
     n_cells: np.ndarray
 
+    @staticmethod
+    def _validated_bounds(lo: np.ndarray, hi: np.ndarray):
+        """Coerce and validate a bounding box shared by :meth:`fit` and
+        :meth:`fit_union`: float64, 1-D, congruent, finite, ``hi >= lo``."""
+        lo = np.asarray(lo, dtype=np.float64)
+        hi = np.asarray(hi, dtype=np.float64)
+        if lo.shape != hi.shape or lo.ndim != 1:
+            raise InvalidParameterError("grid bounds must be 1-D and congruent")
+        if not (np.isfinite(lo).all() and np.isfinite(hi).all()):
+            raise InvalidParameterError(
+                "grid bounds contain NaN or infinite values; cell counts "
+                "would be undefined"
+            )
+        if np.any(hi < lo):
+            raise InvalidParameterError("grid requires hi >= lo in every dimension")
+        return lo, hi
+
     @classmethod
     def fit(
         cls,
@@ -59,20 +76,12 @@ class Grid:
         points = np.asarray(points, dtype=np.float64)
         if len(points) == 0:
             zeros = np.zeros(points.shape[1] if points.ndim == 2 else 1)
-            lo = zeros if lo is None else np.asarray(lo, dtype=np.float64)
-            hi = zeros.copy() if hi is None else np.asarray(hi, dtype=np.float64)
+            lo = zeros if lo is None else lo
+            hi = zeros.copy() if hi is None else hi
         else:
-            lo = points.min(axis=0) if lo is None else np.asarray(lo, dtype=np.float64)
-            hi = points.max(axis=0) if hi is None else np.asarray(hi, dtype=np.float64)
-        if lo.shape != hi.shape or lo.ndim != 1:
-            raise InvalidParameterError("grid bounds must be 1-D and congruent")
-        if not (np.isfinite(lo).all() and np.isfinite(hi).all()):
-            raise InvalidParameterError(
-                "grid bounds contain NaN or infinite values; cell counts "
-                "would be undefined"
-            )
-        if np.any(hi < lo):
-            raise InvalidParameterError("grid requires hi >= lo in every dimension")
+            lo = points.min(axis=0) if lo is None else lo
+            hi = points.max(axis=0) if hi is None else hi
+        lo, hi = cls._validated_bounds(lo, hi)
         span = hi - lo
         n_cells = np.maximum(1, np.floor(span / float(eps)).astype(np.int64))
         return cls(lo=lo, hi=hi, eps=float(eps), n_cells=n_cells)
@@ -80,8 +89,12 @@ class Grid:
     @classmethod
     def fit_union(cls, first: np.ndarray, second: np.ndarray, eps: float) -> "Grid":
         """Grid covering the union of two point sets, without copying them."""
-        lo = np.minimum(first.min(axis=0), second.min(axis=0))
-        hi = np.maximum(first.max(axis=0), second.max(axis=0))
+        first = np.asarray(first, dtype=np.float64)
+        second = np.asarray(second, dtype=np.float64)
+        lo, hi = cls._validated_bounds(
+            np.minimum(first.min(axis=0), second.min(axis=0)),
+            np.maximum(first.max(axis=0), second.max(axis=0)),
+        )
         return cls.fit(first, eps, lo=lo, hi=hi)
 
     @property

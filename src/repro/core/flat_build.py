@@ -1,0 +1,520 @@
+"""Flat vectorized epsilon-kdB build: radix cell-coding + CSR layout.
+
+The pointer build (:mod:`repro.core.epsilon_kdb`) recurses node by node,
+argsorting each node's cell digits separately and allocating one Python
+object per node.  This module builds the *same* partition in a handful
+of whole-array operations, doing work proportional to the tree's
+*actual* depth rather than to the number of nodes:
+
+1. **radix-sort** — the points are sorted once by the leaf sweep
+   dimension, as a two-pass 16-bit LSD radix argsort over a monotone
+   32-bit quantization of the values (:func:`_value_order`; NumPy's
+   stable sort is several times faster on 16-bit keys than on 64-bit
+   ones).  Every later sort is stable and permutes rows only within
+   their node, so this value order survives to the bottom: leaves come
+   out sorted by the sweep dimension with ties in input order — exactly
+   the order ``EpsilonKdbTree.finalize`` produces — with no final
+   within-leaf sort.
+2. **leaf-partition** — one pass per tree level, touching only rows
+   whose node is still above ``leaf_size``: compute that level's cell
+   digit ``floor(x[:, dim] / eps)``, stable-sort the active rows by a
+   packed ``(node id, digit)`` key (a 16-bit key whenever it fits),
+   mark the positions where a new child node begins, and retire every
+   node that now fits ``leaf_size``.  The loop stops as soon as no
+   oversized node remains, so shallow trees never pay for deep levels.
+3. **csr-layout** — nodes become rows of flat ``int64`` arrays (depth,
+   ``[start, stop)`` row range, cell digit, leaf flag, first child,
+   child count), depth-major, children contiguous and digit-ordered;
+   the per-level digits are gathered into a ``(depth, n)`` matrix over
+   the final permutation so the traversal reads cells by code
+   arithmetic.  Leaves are zero-copy contiguous slices.
+
+The resulting :class:`FlatEpsilonKdbTree` partitions points into exactly
+the same leaves as :meth:`EpsilonKdbTree.build` for the same spec and
+grid (property-tested in ``tests/test_flat_build.py``), and the join
+traversal over it emits the identical pair set.
+
+:class:`TreeCache` adds cross-epsilon structure reuse: a tree built at a
+coarse epsilon answers any finer join (its cells are at least as wide as
+required), so an epsilon sweep over one dataset pays for one sort.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import time
+from collections import OrderedDict
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from repro.core.config import JoinSpec, validate_points
+from repro.core.epsilon_kdb import Grid, TreeDescription
+from repro.errors import InvalidParameterError
+from repro.obs import trace
+
+__all__ = ["FlatEpsilonKdbTree", "TreeCache"]
+
+# Guard for packing (node id, digit) into one int64 radix key; above this
+# the build falls back to a two-key lexsort instead of overflowing.
+_PACKED_KEY_LIMIT = np.int64(2) ** 62
+
+
+def _value_order(values: np.ndarray) -> np.ndarray:
+    """Stable argsort of finite float64 values via 16-bit radix passes.
+
+    NumPy's stable argsort is several times faster on 16-bit keys than
+    on any 64-bit dtype, so the sort runs as a two-pass LSD radix over a
+    monotone 32-bit quantization of the values: stable-sort by the low
+    16 bits, then by the high 16 bits.  Distinct values that collide in
+    the same 32-bit bucket (a handful per hundred thousand rows) are
+    repaired afterwards with an exact within-bucket sort, so the result
+    matches ``np.argsort(values, kind="stable")`` bit for bit.
+    """
+    n = len(values)
+    if n == 0:
+        return np.empty(0, dtype=np.int64)
+    vmin = values.min()
+    span = values.max() - vmin
+    if span <= 0:  # all values equal: stable order is input order
+        return np.arange(n, dtype=np.int64)
+    # Monotone nondecreasing in the value, and span * scale cannot
+    # round above uint32 range (|rounding| < 1 ulp per operation).
+    scale = 4294967295.0 / span
+    quant = ((values - vmin) * scale).astype(np.uint32)
+    low = np.argsort(quant.astype(np.uint16), kind="stable")
+    high = (quant >> np.uint32(16))[low].astype(np.uint16)
+    order = low[np.argsort(high, kind="stable")]
+    bucket = quant[order]
+    ties = np.flatnonzero(bucket[1:] == bucket[:-1])
+    if len(ties):
+        # Consecutive tie positions form runs of equal buckets; rows in
+        # a run are in input order (stability), so one exact stable sort
+        # per run restores the true (value, input index) order.
+        run_break = np.flatnonzero(np.diff(ties) > 1)
+        starts = ties[np.concatenate([[0], run_break + 1])]
+        stops = ties[np.concatenate([run_break, [len(ties) - 1]])] + 2
+        for start, stop in zip(starts, stops):
+            rows = order[start:stop]
+            order[start:stop] = rows[np.argsort(values[rows], kind="stable")]
+    return order
+
+
+class FlatEpsilonKdbTree:
+    """An epsilon-kdB tree as flat arrays over a permuted point array.
+
+    Attributes:
+        points_flat: ``(n, d)`` C-contiguous copy of the input points in
+            leaf-contiguous order; row ``r`` is input row ``perm[r]``.
+        perm: ``(n,)`` int64 permutation mapping flat rows back to the
+            caller's point indices.
+        digits: ``(levels, n)`` int64 cell digits of the flat rows, one
+            row per usable split level (``level_dims`` names the split
+            dimension of each level).
+        sort_values: ``(n,)`` contiguous sort-dimension coordinates of
+            the flat rows; ascending within every leaf.
+        node_depth / node_start / node_stop / node_digit / node_leaf /
+        node_first_child / node_n_children: the CSR node table, one
+            entry per node, depth-major with the root at index 0.
+            Children of a node are the contiguous id range
+            ``[first_child, first_child + n_children)`` in ascending
+            digit order; leaves have ``n_children == 0``.
+        build_sort_seconds: wall-clock spent in the stable radix
+            argsorts (the dominant build cost; surfaced in
+            ``JoinStats``).
+    """
+
+    def __init__(
+        self,
+        points: np.ndarray,
+        spec: JoinSpec,
+        grid: Grid,
+        perm: np.ndarray,
+        digits: np.ndarray,
+        node_table: Dict[str, np.ndarray],
+        build_sort_seconds: float = 0.0,
+        points_flat: Optional[np.ndarray] = None,
+    ):
+        self.points = points
+        self.spec = spec
+        self.grid = grid
+        self.split_order = spec.resolved_split_order(points.shape[1])
+        self.sort_dim = spec.resolved_sort_dim(points.shape[1])
+        self.level_dims = np.array(
+            [dim for dim in self.split_order if grid.n_cells[dim] > 1],
+            dtype=np.int64,
+        )
+        self.perm = perm
+        self.points_flat = (
+            np.ascontiguousarray(points[perm]) if points_flat is None else points_flat
+        )
+        self.digits = digits
+        self.sort_values = np.ascontiguousarray(self.points_flat[:, self.sort_dim])
+        self.node_depth = node_table["depth"]
+        self.node_start = node_table["start"]
+        self.node_stop = node_table["stop"]
+        self.node_digit = node_table["digit"]
+        self.node_leaf = node_table["leaf"]
+        self.node_first_child = node_table["first_child"]
+        self.node_n_children = node_table["n_children"]
+        self.build_sort_seconds = float(build_sort_seconds)
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def build(
+        cls,
+        points: np.ndarray,
+        spec: JoinSpec,
+        grid: Optional[Grid] = None,
+    ) -> "FlatEpsilonKdbTree":
+        """Vectorized bulk build; same partition as the pointer build."""
+        points = validate_points(points)
+        if grid is None:
+            grid = Grid.fit(points, spec.band_width)
+        else:
+            grid.validate(points)
+        n = len(points)
+        split_order = spec.resolved_split_order(points.shape[1])
+        level_dims = [int(dim) for dim in split_order if grid.n_cells[dim] > 1]
+        levels = len(level_dims)
+
+        sort_seconds = 0.0
+        with trace.span("radix-sort", points=n):
+            # One stable sort by the leaf sweep dimension.  All later
+            # sorts are stable and permute rows only within their node,
+            # so this order survives to the leaves: ascending value,
+            # ties in input order — the pointer build's finalized order.
+            started = time.perf_counter()
+            order = _value_order(
+                np.ascontiguousarray(
+                    points[:, spec.resolved_sort_dim(points.shape[1])]
+                )
+            )
+            sort_seconds += time.perf_counter() - started
+
+        # Per-position partition labels over the *final* permutation
+        # (node starts never move once created: every sort below is a
+        # permutation within existing nodes).  ``change_depth[p]`` is
+        # the shallowest level at which the row at position p diverges
+        # from the row at p-1 (0 for position 0, ``levels + 1`` when it
+        # never does); ``leaf_depth[p]`` is the depth at which the
+        # pointer build stops splitting that row's node.
+        change_depth = np.full(n, levels + 1, dtype=np.int64)
+        leaf_depth = np.zeros(n, dtype=np.int64)
+        boundary = np.zeros(n, dtype=bool)
+        if n:
+            change_depth[0] = 0
+            boundary[0] = True
+        codes_rows = []
+        with trace.span("leaf-partition", points=n, levels=levels):
+            # Positions of rows whose node is still above leaf_size;
+            # everything else has settled and is never touched again.
+            active = (
+                np.arange(n, dtype=np.int64)
+                if levels and n > spec.leaf_size
+                else np.empty(0, dtype=np.int64)
+            )
+            depth = 0
+            while len(active) and depth < levels:
+                dim = level_dims[depth]
+                # Full-column digits: settled rows need this level's
+                # digit too when a deeper neighbor probes them.
+                codes_full = grid.cell_of(points[:, dim], dim)
+                codes_rows.append(codes_full)
+                suborder = order[active]
+                digit = codes_full[suborder]
+                starts_here = boundary[active]
+                node = np.cumsum(starts_here) - 1
+                n_cells = np.int64(grid.n_cells[dim])
+                n_keys = (node[-1] + 1) * n_cells
+                started = time.perf_counter()
+                if n_keys <= np.int64(1) << 16:
+                    # (node, digit) fits a 16-bit key: NumPy's stable
+                    # argsort is ~10x faster on uint16 than on int64.
+                    key = (node * n_cells + digit).astype(np.uint16)
+                    refine = np.argsort(key, kind="stable")
+                elif n_keys < _PACKED_KEY_LIMIT:
+                    refine = np.argsort(node * n_cells + digit, kind="stable")
+                else:  # pragma: no cover - needs astronomically fine grids
+                    refine = np.lexsort((digit, node))
+                sort_seconds += time.perf_counter() - started
+                suborder = suborder[refine]
+                order[active] = suborder
+                digit = digit[refine]
+                diverged = np.empty(len(active), dtype=bool)
+                diverged[0] = True
+                diverged[1:] = digit[1:] != digit[:-1]
+                fresh = diverged & ~starts_here
+                if fresh.any():
+                    opened = active[fresh]
+                    boundary[opened] = True
+                    change_depth[opened] = depth + 1
+                starts_here |= diverged
+                child_start = np.flatnonzero(starts_here)
+                child_sizes = np.diff(np.append(child_start, len(active)))
+                depth += 1
+                fits = child_sizes <= spec.leaf_size
+                if fits.any():
+                    settled = np.repeat(fits, child_sizes)
+                    leaf_depth[active[settled]] = depth
+                    active = active[~settled]
+            if len(active):
+                # Splittable dimensions exhausted: oversized leaves.
+                leaf_depth[active] = levels
+
+        with trace.span("csr-layout"):
+            perm = order
+            points_flat = np.take(points, perm, axis=0)
+            digits = np.empty((len(codes_rows), n), dtype=np.int64)
+            for pos, codes_full in enumerate(codes_rows):
+                digits[pos] = codes_full[perm]
+            node_table = cls._node_table(digits, change_depth, leaf_depth, n)
+
+        return cls(
+            points,
+            spec,
+            grid,
+            perm,
+            digits,
+            node_table,
+            build_sort_seconds=sort_seconds,
+            points_flat=points_flat,
+        )
+
+    def ensure_digit_levels(self, count: int) -> None:
+        """Extend ``digits`` to at least ``count`` rows.
+
+        The build computes digit rows only down to this tree's own
+        depth.  A two-set join reads a leaf's digits at the *other*
+        tree's internal depths, which may be deeper — append the missing
+        levels (plain ``cell_of`` over the already-permuted rows; no
+        sorting involved).
+        """
+        count = min(int(count), len(self.level_dims))
+        have = len(self.digits)
+        if count <= have:
+            return
+        extra = np.empty((count - have, len(self.perm)), dtype=np.int64)
+        for pos in range(have, count):
+            dim = int(self.level_dims[pos])
+            extra[pos - have] = self.grid.cell_of(self.points_flat[:, dim], dim)
+        self.digits = np.vstack([self.digits, extra])
+
+    @staticmethod
+    def _node_table(
+        codes_sorted: np.ndarray,
+        change_depth: np.ndarray,
+        leaf_depth: np.ndarray,
+        n: int,
+    ) -> Dict[str, np.ndarray]:
+        """Depth-major CSR node arrays from the partition labels."""
+        max_depth = int(leaf_depth.max()) if n else 0
+        starts_by_depth = [np.zeros(1, dtype=np.int64)]
+        stops_by_depth = [np.full(1, n, dtype=np.int64)]
+        digit_by_depth = [np.zeros(1, dtype=np.int64)]
+        leaf_by_depth = [np.array([max_depth == 0])]
+        for depth in range(1, max_depth + 1):
+            idx = np.flatnonzero(leaf_depth >= depth)
+            is_start = np.empty(len(idx), dtype=bool)
+            is_start[0] = True
+            is_start[1:] = (idx[1:] != idx[:-1] + 1) | (
+                change_depth[idx[1:]] <= depth
+            )
+            start_pos = np.flatnonzero(is_start)
+            starts = idx[start_pos]
+            ends_pos = np.append(start_pos[1:] - 1, len(idx) - 1)
+            stops = idx[ends_pos] + 1
+            starts_by_depth.append(starts)
+            stops_by_depth.append(stops)
+            digit_by_depth.append(codes_sorted[depth - 1, starts])
+            leaf_by_depth.append(leaf_depth[starts] == depth)
+        counts = [len(starts) for starts in starts_by_depth]
+        offsets = np.concatenate([[0], np.cumsum(counts)]).astype(np.int64)
+        total = int(offsets[-1])
+        first_child = np.full(total, -1, dtype=np.int64)
+        n_children = np.zeros(total, dtype=np.int64)
+        for depth in range(len(counts) - 1):
+            child_starts = starts_by_depth[depth + 1]
+            lo = np.searchsorted(child_starts, starts_by_depth[depth])
+            hi = np.searchsorted(child_starts, stops_by_depth[depth])
+            row = slice(int(offsets[depth]), int(offsets[depth]) + counts[depth])
+            n_children[row] = hi - lo
+            linked = offsets[depth + 1] + lo
+            linked[hi == lo] = -1
+            first_child[row] = linked
+        return {
+            "depth": np.concatenate(
+                [
+                    np.full(counts[depth], depth, dtype=np.int64)
+                    for depth in range(len(counts))
+                ]
+            ),
+            "start": np.concatenate(starts_by_depth),
+            "stop": np.concatenate(stops_by_depth),
+            "digit": np.concatenate(digit_by_depth),
+            "leaf": np.concatenate(leaf_by_depth),
+            "first_child": first_child,
+            "n_children": n_children,
+        }
+
+    # ------------------------------------------------------------------
+    # shipping (shared-memory transport for the parallel executor)
+    # ------------------------------------------------------------------
+    def packed_nodes(self) -> np.ndarray:
+        """Node table as one ``(7, n_nodes)`` int64 array for shipping."""
+        return np.vstack(
+            [
+                self.node_depth,
+                self.node_start,
+                self.node_stop,
+                self.node_digit,
+                self.node_leaf.astype(np.int64),
+                self.node_first_child,
+                self.node_n_children,
+            ]
+        )
+
+    @classmethod
+    def from_arrays(
+        cls,
+        points_flat: np.ndarray,
+        perm: np.ndarray,
+        digits: np.ndarray,
+        packed_nodes: np.ndarray,
+        spec: JoinSpec,
+        grid: Grid,
+    ) -> "FlatEpsilonKdbTree":
+        """Reconstruct a tree from shipped arrays (no copies, no sort)."""
+        node_table = {
+            "depth": packed_nodes[0],
+            "start": packed_nodes[1],
+            "stop": packed_nodes[2],
+            "digit": packed_nodes[3],
+            "leaf": packed_nodes[4] != 0,
+            "first_child": packed_nodes[5],
+            "n_children": packed_nodes[6],
+        }
+        return cls(
+            points_flat,
+            spec,
+            grid,
+            perm,
+            digits,
+            node_table,
+            points_flat=points_flat,
+        )
+
+    # ------------------------------------------------------------------
+    # inspection
+    # ------------------------------------------------------------------
+    @property
+    def n_nodes(self) -> int:
+        return int(len(self.node_depth))
+
+    @property
+    def n_leaves(self) -> int:
+        return int(self.node_leaf.sum())
+
+    def leaf_slices(self):
+        """Yield every leaf's ``(start, stop)`` flat-row range."""
+        for node in np.flatnonzero(self.node_leaf):
+            yield int(self.node_start[node]), int(self.node_stop[node])
+
+    def split_dims(self) -> tuple:
+        """Dimensions actually split by at least one internal node, sorted."""
+        internal = ~self.node_leaf
+        if not internal.any():
+            return ()
+        depths = np.unique(self.node_depth[internal])
+        return tuple(sorted(int(self.level_dims[d]) for d in depths))
+
+    def describe(self) -> TreeDescription:
+        """Structural summary; matches the pointer build's exactly."""
+        leaf_sizes = (self.node_stop - self.node_start)[self.node_leaf]
+        return TreeDescription(
+            points=int(len(self.perm)),
+            dims=int(self.points_flat.shape[1]) if self.points_flat.ndim == 2 else 0,
+            internal_nodes=int((~self.node_leaf).sum()),
+            leaves=self.n_leaves,
+            max_depth=int(self.node_depth.max()) if self.n_nodes else 0,
+            max_leaf_size=int(leaf_sizes.max()) if len(leaf_sizes) else 0,
+            split_dims_used=len(self.split_dims()),
+        )
+
+    def __len__(self) -> int:
+        return int(len(self.perm))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<FlatEpsilonKdbTree points={len(self.perm)} nodes={self.n_nodes} "
+            f"leaves={self.n_leaves}>"
+        )
+
+
+def _fingerprint(points: np.ndarray) -> str:
+    """Content hash of a point array (shape-qualified)."""
+    digest = hashlib.blake2b(digest_size=16)
+    digest.update(repr(points.shape).encode())
+    digest.update(np.ascontiguousarray(points).tobytes())
+    return digest.hexdigest()
+
+
+class TreeCache:
+    """LRU cache of flat trees for cross-epsilon structure reuse.
+
+    Keyed on (data fingerprint, metric, leaf threshold, split order,
+    sort dimension) — everything that shapes the structure *except*
+    epsilon.  A cached tree built at a coarse epsilon is reused verbatim
+    for any finer join, because every cached cell is at least as wide as
+    the finer join requires (the same rule that lets a pre-built tree be
+    passed to ``epsilon_kdb_self_join``).  A request coarser than the
+    cached tree rebuilds and replaces the entry.
+    """
+
+    def __init__(self, max_entries: int = 4):
+        if int(max_entries) < 1:
+            raise InvalidParameterError(
+                f"max_entries must be >= 1, got {max_entries!r}"
+            )
+        self.max_entries = int(max_entries)
+        self._entries: "OrderedDict[tuple, FlatEpsilonKdbTree]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def _key(self, points: np.ndarray, spec: JoinSpec) -> tuple:
+        dims = points.shape[1]
+        return (
+            _fingerprint(points),
+            spec.metric.name,
+            spec.leaf_size,
+            tuple(int(d) for d in spec.resolved_split_order(dims)),
+            spec.resolved_sort_dim(dims),
+        )
+
+    def get_or_build(
+        self, points: np.ndarray, spec: JoinSpec
+    ) -> Tuple[FlatEpsilonKdbTree, bool]:
+        """Return ``(tree, was_hit)`` for this (points, spec) request."""
+        points = validate_points(points)
+        key = self._key(points, spec)
+        cached = self._entries.get(key)
+        if (
+            cached is not None
+            and spec.epsilon <= cached.spec.epsilon
+            and spec.band_width <= cached.grid.eps
+        ):
+            self._entries.move_to_end(key)
+            self.hits += 1
+            return cached, True
+        self.misses += 1
+        tree = FlatEpsilonKdbTree.build(points, spec)
+        self._entries[key] = tree
+        self._entries.move_to_end(key)
+        while len(self._entries) > self.max_entries:
+            self._entries.popitem(last=False)
+        return tree, False

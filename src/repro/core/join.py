@@ -19,6 +19,7 @@ import numpy as np
 
 from repro.core.config import JoinSpec, validate_points
 from repro.core.epsilon_kdb import EpsilonKdbTree, Grid, InternalNode, LeafNode
+from repro.core.flat_build import FlatEpsilonKdbTree, TreeCache
 from repro.core.kernels import KernelContext, KernelSource, build_kernel_context
 from repro.core.result import JoinResult, JoinStats, PairCollector, PairCounter, PairSink
 from repro.core.sweep import band_pairs_cross, band_pairs_self
@@ -47,6 +48,8 @@ class _JoinContext:
         "self_mode",
         "adjacency_pruning",
         "kernel",
+        "perm_a",
+        "perm_b",
     )
 
     def __init__(
@@ -58,6 +61,8 @@ class _JoinContext:
         sink: PairSink,
         self_mode: bool,
         kernel: Optional[KernelContext] = None,
+        perm_a: Optional[np.ndarray] = None,
+        perm_b: Optional[np.ndarray] = None,
     ):
         self.points_a = points_a
         self.points_b = points_b
@@ -70,6 +75,10 @@ class _JoinContext:
         self.self_mode = self_mode
         self.adjacency_pruning = spec.adjacency_pruning
         self.kernel = kernel
+        # Flat trees traverse permuted row ids; the perms translate them
+        # back to caller indices at emit time (None = identity).
+        self.perm_a = perm_a
+        self.perm_b = perm_b
 
     # ------------------------------------------------------------------
     # leaf-level joins
@@ -112,6 +121,10 @@ class _JoinContext:
     def _emit(self, left: np.ndarray, right: np.ndarray) -> None:
         if not len(left):
             return
+        if self.perm_a is not None:
+            left = self.perm_a[left]
+        if self.perm_b is not None:
+            right = self.perm_b[right]
         if self.self_mode:
             lo = np.minimum(left, right)
             hi = np.maximum(left, right)
@@ -216,25 +229,307 @@ def _leaf_vs_internal(
 
 
 # ----------------------------------------------------------------------
+# flat-tree traversal
+# ----------------------------------------------------------------------
+# The flat traversal mirrors the pointer traversal call for call (same
+# node-pair visits, same leaf joins, same pruning decisions) over the
+# CSR node table of a FlatEpsilonKdbTree.  Row ids are positions in the
+# tree's leaf-contiguous permuted array, so leaves are zero-copy slices;
+# ``_JoinContext.perm_a/perm_b`` translate back to caller indices.
+_FlatNode = Union[int, _Flat]
+
+
+def _flat_leaf(tree: FlatEpsilonKdbTree, node: int) -> _Flat:
+    start = int(tree.node_start[node])
+    stop = int(tree.node_stop[node])
+    return (
+        np.arange(start, stop, dtype=np.int64),
+        tree.sort_values[start:stop],
+    )
+
+
+def _flat_resolve(tree: FlatEpsilonKdbTree, node: _FlatNode) -> _FlatNode:
+    """Convert leaf node ids to the flat (rows, values) form."""
+    if isinstance(node, tuple):
+        return node
+    if tree.node_leaf[node]:
+        return _flat_leaf(tree, node)
+    return int(node)
+
+
+def flat_self_join(ctx: _JoinContext, tree: FlatEpsilonKdbTree, node: int) -> None:
+    resolved = _flat_resolve(tree, node)
+    ctx.stats.node_pairs_visited += 1
+    if isinstance(resolved, tuple):
+        ctx.leaf_self(resolved)
+        return
+    first = int(tree.node_first_child[resolved])
+    count = int(tree.node_n_children[resolved])
+    digits = tree.node_digit
+    for child in range(first, first + count):
+        flat_self_join(ctx, tree, child)
+        if ctx.adjacency_pruning:
+            if child + 1 < first + count and digits[child + 1] == digits[child] + 1:
+                flat_cross_join(ctx, tree, child, tree, child + 1)
+        else:
+            for other in range(child + 1, first + count):
+                flat_cross_join(ctx, tree, child, tree, other)
+
+
+def flat_cross_join(
+    ctx: _JoinContext,
+    tree_a: FlatEpsilonKdbTree,
+    a: _FlatNode,
+    tree_b: FlatEpsilonKdbTree,
+    b: _FlatNode,
+) -> None:
+    a = _flat_resolve(tree_a, a)
+    b = _flat_resolve(tree_b, b)
+    ctx.stats.node_pairs_visited += 1
+    a_leaf = isinstance(a, tuple)
+    b_leaf = isinstance(b, tuple)
+    if a_leaf and (not a[0].size):
+        return
+    if b_leaf and (not b[0].size):
+        return
+    if a_leaf and b_leaf:
+        ctx.leaf_cross(a, b)
+    elif not a_leaf and not b_leaf:
+        dim_a = int(tree_a.level_dims[tree_a.node_depth[a]])
+        dim_b = int(tree_b.level_dims[tree_b.node_depth[b]])
+        if dim_a != dim_b:
+            raise InvalidParameterError(
+                "cross-joined internal nodes disagree on split dimension; "
+                "the two trees were not built with a shared grid and order"
+            )
+        a_first = int(tree_a.node_first_child[a])
+        a_count = int(tree_a.node_n_children[a])
+        b_first = int(tree_b.node_first_child[b])
+        b_count = int(tree_b.node_n_children[b])
+        b_digits = tree_b.node_digit[b_first:b_first + b_count]
+        for child_a in range(a_first, a_first + a_count):
+            if ctx.adjacency_pruning:
+                digit = tree_a.node_digit[child_a]
+                lo = int(np.searchsorted(b_digits, digit - 1))
+                hi = int(np.searchsorted(b_digits, digit + 1, side="right"))
+                targets = range(b_first + lo, b_first + hi)
+            else:
+                targets = range(b_first, b_first + b_count)
+            for child_b in targets:
+                flat_cross_join(ctx, tree_a, child_a, tree_b, child_b)
+    elif a_leaf:
+        _flat_leaf_vs_internal(ctx, tree_a, a, tree_b, b, leaf_on_left=True)
+    else:
+        _flat_leaf_vs_internal(ctx, tree_b, b, tree_a, a, leaf_on_left=False)
+
+
+def _flat_leaf_vs_internal(
+    ctx: _JoinContext,
+    frag_tree: FlatEpsilonKdbTree,
+    flat: _Flat,
+    node_tree: FlatEpsilonKdbTree,
+    internal: int,
+    leaf_on_left: bool,
+) -> None:
+    """Flat analogue of :func:`_leaf_vs_internal`.
+
+    The fragment's cells along the internal node's split level come from
+    the fragment tree's precomputed digit row — code arithmetic instead
+    of a ``cell_of`` recomputation; both trees share the grid, so the
+    digit rows align level for level.
+    """
+    rows, values = flat
+    depth = int(node_tree.node_depth[internal])
+    cells = frag_tree.digits[depth][rows]
+    first = int(node_tree.node_first_child[internal])
+    count = int(node_tree.node_n_children[internal])
+    for child in range(first, first + count):
+        if ctx.adjacency_pruning:
+            mask = np.abs(cells - node_tree.node_digit[child]) <= 1
+            if not mask.any():
+                continue
+            fragment: _Flat = (rows[mask], values[mask])
+        else:
+            fragment = flat
+        if leaf_on_left:
+            flat_cross_join(ctx, frag_tree, fragment, node_tree, child)
+        else:
+            flat_cross_join(ctx, node_tree, child, frag_tree, fragment)
+
+
+def _flat_self_join_range(
+    tree: FlatEpsilonKdbTree,
+    spec: JoinSpec,
+    child_lo: int,
+    child_hi: int,
+    sink: PairSink,
+    kernel: Optional[KernelContext] = None,
+) -> JoinStats:
+    """Self-join one contiguous range of the root's children.
+
+    Task ``[child_lo, child_hi)`` covers each child's own self-join plus
+    its cross with the right-adjacent sibling (which may fall in the
+    next range — crosses belong to the left child's owner).  Ranges that
+    partition ``[0, n_children)`` therefore partition the serial root
+    visit exactly: every pair is found by exactly one task, so the
+    parallel merge sees no duplicates.  Two children whose cells are not
+    adjacent cannot hold a qualifying pair (the gap between their cells
+    exceeds the per-coordinate bound), so skipping non-adjacent crosses
+    is exact even with ``adjacency_pruning`` off.
+    """
+    ctx = _JoinContext(
+        tree.points_flat,
+        tree.points_flat,
+        tree.grid,
+        spec,
+        sink,
+        self_mode=True,
+        kernel=kernel,
+        perm_a=tree.perm,
+        perm_b=tree.perm,
+    )
+    first = int(tree.node_first_child[0])
+    count = int(tree.node_n_children[0])
+    digits = tree.node_digit
+    for child in range(first + child_lo, first + child_hi):
+        flat_self_join(ctx, tree, child)
+        if child + 1 < first + count and (
+            not ctx.adjacency_pruning or digits[child + 1] == digits[child] + 1
+        ):
+            flat_cross_join(ctx, tree, child, tree, child + 1)
+    return ctx.stats
+
+
+def _flat_cross_join_range(
+    tree_r: FlatEpsilonKdbTree,
+    tree_s: FlatEpsilonKdbTree,
+    spec: JoinSpec,
+    cell_lo: int,
+    cell_hi: int,
+    sink: PairSink,
+    kernel: Optional[KernelContext] = None,
+) -> JoinStats:
+    """Two-set join over one half-open range of root cells.
+
+    The task owning cell ``g`` joins ``(R_g, S_g)``, ``(R_g, S_{g+1})``
+    and ``(R_{g+1}, S_g)`` — every adjacent child pair assigned to the
+    *smaller* of its two cells, so cell ranges that partition the cell
+    axis partition the adjacent pairs exactly.  Non-adjacent cells
+    cannot hold qualifying pairs (see :func:`_flat_self_join_range`).
+    """
+    ctx = _JoinContext(
+        tree_r.points_flat,
+        tree_s.points_flat,
+        tree_r.grid,
+        spec,
+        sink,
+        self_mode=False,
+        kernel=kernel,
+        perm_a=tree_r.perm,
+        perm_b=tree_s.perm,
+    )
+    r_first = int(tree_r.node_first_child[0])
+    r_count = int(tree_r.node_n_children[0])
+    s_first = int(tree_s.node_first_child[0])
+    s_count = int(tree_s.node_n_children[0])
+    r_digits = tree_r.node_digit[r_first:r_first + r_count]
+    s_digits = tree_s.node_digit[s_first:s_first + s_count]
+
+    def child_at(digits: np.ndarray, first: int, cell: int) -> Optional[int]:
+        pos = int(np.searchsorted(digits, cell))
+        if pos < len(digits) and digits[pos] == cell:
+            return first + pos
+        return None
+
+    cells = np.union1d(r_digits, s_digits)
+    for cell in cells[(cells >= cell_lo) & (cells < cell_hi)]:
+        cell = int(cell)
+        r_here = child_at(r_digits, r_first, cell)
+        s_here = child_at(s_digits, s_first, cell)
+        r_next = child_at(r_digits, r_first, cell + 1)
+        s_next = child_at(s_digits, s_first, cell + 1)
+        if r_here is not None and s_here is not None:
+            flat_cross_join(ctx, tree_r, r_here, tree_s, s_here)
+        if r_here is not None and s_next is not None:
+            flat_cross_join(ctx, tree_r, r_here, tree_s, s_next)
+        if r_next is not None and s_here is not None:
+            flat_cross_join(ctx, tree_r, r_next, tree_s, s_here)
+    return ctx.stats
+
+
+def _check_tree_reuse(spec: JoinSpec, tree_epsilon: float, cell_width: float) -> None:
+    """Reject reuse of a tree built for a smaller epsilon.
+
+    A tree built for a larger epsilon remains valid for any smaller
+    threshold: its cells are at least tree-epsilon wide, so the
+    adjacent-cell rule still over-approximates the spec-epsilon
+    predicate.  The reverse would silently drop pairs.
+    """
+    if spec.epsilon > tree_epsilon or spec.band_width > cell_width:
+        raise InvalidParameterError(
+            f"join epsilon {spec.epsilon} (band {spec.band_width}) "
+            f"exceeds the tree's build epsilon {tree_epsilon} "
+            f"(cell width {cell_width}); rebuild the tree"
+        )
+
+
+def _flat_kernel_source(
+    tree_a: FlatEpsilonKdbTree,
+    source: Optional[KernelSource],
+    tree_b: Optional[FlatEpsilonKdbTree] = None,
+) -> Optional[KernelSource]:
+    """Recompose a caller's kernel source for flat (permuted) row ids.
+
+    The traversal hands the kernel flat rows; composing each side's
+    ``row_map`` with the tree's permutation makes the caller's column
+    stores (built over the original row space) address them correctly.
+    """
+    if source is None:
+        return None
+
+    def composed(row_map: Optional[np.ndarray], perm: np.ndarray) -> np.ndarray:
+        if row_map is None:
+            return perm
+        return np.asarray(row_map)[perm]
+
+    row_map_a = composed(source.row_map_a, tree_a.perm)
+    if tree_b is None:
+        return KernelSource(cols_a=source.cols_a, row_map_a=row_map_a)
+    row_map_b = composed(source.row_map_b, tree_b.perm)
+    cols_b = source.cols_a if source.cols_b is None else source.cols_b
+    return KernelSource(
+        cols_a=source.cols_a,
+        row_map_a=row_map_a,
+        cols_b=cols_b,
+        row_map_b=row_map_b,
+    )
+
+
+# ----------------------------------------------------------------------
 # public entry points
 # ----------------------------------------------------------------------
 def epsilon_kdb_self_join(
     points: np.ndarray,
     spec: JoinSpec,
     sink: Optional[PairSink] = None,
-    tree: Optional[EpsilonKdbTree] = None,
+    tree: Optional[Union[EpsilonKdbTree, FlatEpsilonKdbTree]] = None,
     kernel_source: Optional[KernelSource] = None,
+    structure_cache: Optional[TreeCache] = None,
 ) -> JoinResult:
     """Self-join: all pairs ``i < j`` with ``dist(points[i], points[j]) <= eps``.
 
     Builds an epsilon-kdB tree (unless a pre-built ``tree`` over the same
     points and spec is supplied), traverses it with the adjacent-cell
-    rule, and returns a :class:`JoinResult`.  Pass a
+    rule, and returns a :class:`JoinResult`.  ``spec.build`` selects the
+    flat vectorized build (the default) or the pointer build; a pre-built
+    ``tree`` of either kind routes to its own traversal.  Pass a
     :class:`~repro.core.result.PairCounter` as ``sink`` to count without
     materializing pairs.  ``kernel_source`` supplies pre-built column
     stores for the filter-cascade kernels (the parallel executor's
     zero-copy path); without it the cascade builds its own per join when
-    ``spec.cascade_enabled(d)``.
+    ``spec.cascade_enabled(d)``.  ``structure_cache`` (a
+    :class:`~repro.core.flat_build.TreeCache`) reuses a flat tree built
+    at a coarser epsilon over the same data instead of re-sorting.
     """
     points = validate_points(points)
     collect = sink is None
@@ -243,39 +538,71 @@ def epsilon_kdb_self_join(
     result = JoinResult()
     if len(points) < 2:
         return result
+    flat_tree: Optional[FlatEpsilonKdbTree] = None
+    cache_hit = False
+    built_here = False
     with trace.span(
         "build", points=len(points), dims=points.shape[1], epsilon=spec.epsilon
     ) as build_span:
-        if tree is None:
-            tree = EpsilonKdbTree.build(points, spec)
-        else:
-            # A tree built for a larger epsilon remains valid for any
-            # smaller threshold: its cells are at least tree-epsilon wide,
-            # so the adjacent-cell rule still over-approximates the
-            # spec-epsilon predicate.  The reverse would silently drop
-            # pairs, so it is rejected.
-            if spec.epsilon > tree.spec.epsilon or spec.band_width > tree.grid.eps:
-                raise InvalidParameterError(
-                    f"join epsilon {spec.epsilon} (band {spec.band_width}) "
-                    f"exceeds the tree's build epsilon {tree.spec.epsilon} "
-                    f"(cell width {tree.grid.eps}); rebuild the tree"
-                )
+        if isinstance(tree, FlatEpsilonKdbTree):
+            _check_tree_reuse(spec, tree.spec.epsilon, tree.grid.eps)
+            flat_tree = tree
+        elif tree is not None:
+            _check_tree_reuse(spec, tree.spec.epsilon, tree.grid.eps)
             tree.finalize()
-    kernel = build_kernel_context(
-        spec,
-        points,
-        grid=tree.grid,
-        split_dims=tree.split_dims(),
-        sort_dim=tree.sort_dim,
-        source=kernel_source,
-    )
-    with trace.span("self-join-traversal", points=len(points)) as join_span:
-        ctx = _JoinContext(
-            points, points, tree.grid, spec, sink, self_mode=True, kernel=kernel
+        elif structure_cache is not None:
+            flat_tree, cache_hit = structure_cache.get_or_build(points, spec)
+            built_here = not cache_hit
+        elif spec.resolved_build() == "flat":
+            flat_tree = FlatEpsilonKdbTree.build(points, spec)
+            built_here = True
+        else:
+            tree = EpsilonKdbTree.build(points, spec)
+    if flat_tree is not None:
+        kernel = build_kernel_context(
+            spec,
+            flat_tree.points_flat,
+            grid=flat_tree.grid,
+            split_dims=flat_tree.split_dims(),
+            sort_dim=flat_tree.sort_dim,
+            source=_flat_kernel_source(flat_tree, kernel_source),
         )
-        _self_join_node(ctx, tree.root)
-        join_span.set_attribute("pairs", sink.count)
-        join_span.set_attribute("leaf_joins", ctx.stats.leaf_joins)
+        with trace.span("self-join-traversal", points=len(points)) as join_span:
+            ctx = _JoinContext(
+                flat_tree.points_flat,
+                flat_tree.points_flat,
+                flat_tree.grid,
+                spec,
+                sink,
+                self_mode=True,
+                kernel=kernel,
+                perm_a=flat_tree.perm,
+                perm_b=flat_tree.perm,
+            )
+            flat_self_join(ctx, flat_tree, 0)
+            join_span.set_attribute("pairs", sink.count)
+            join_span.set_attribute("leaf_joins", ctx.stats.leaf_joins)
+        ctx.stats.build_nodes = flat_tree.n_nodes
+        ctx.stats.build_sort_seconds = (
+            flat_tree.build_sort_seconds if built_here else 0.0
+        )
+        ctx.stats.structure_cache_hits = 1 if cache_hit else 0
+    else:
+        kernel = build_kernel_context(
+            spec,
+            points,
+            grid=tree.grid,
+            split_dims=tree.split_dims(),
+            sort_dim=tree.sort_dim,
+            source=kernel_source,
+        )
+        with trace.span("self-join-traversal", points=len(points)) as join_span:
+            ctx = _JoinContext(
+                points, points, tree.grid, spec, sink, self_mode=True, kernel=kernel
+            )
+            _self_join_node(ctx, tree.root)
+            join_span.set_attribute("pairs", sink.count)
+            join_span.set_attribute("leaf_joins", ctx.stats.leaf_joins)
     result.stats = ctx.stats
     result.stats.pairs_emitted = sink.count
     result.build_seconds = build_span.duration
@@ -310,6 +637,7 @@ def epsilon_kdb_join(
     result = JoinResult()
     if len(points_r) == 0 or len(points_s) == 0:
         return result
+    flat = spec.resolved_build() == "flat"
     with trace.span(
         "build",
         points_r=len(points_r),
@@ -318,25 +646,65 @@ def epsilon_kdb_join(
         epsilon=spec.epsilon,
     ) as build_span:
         grid = Grid.fit_union(points_r, points_s, spec.band_width)
-        tree_r = EpsilonKdbTree.build(points_r, spec, grid=grid)
-        tree_s = EpsilonKdbTree.build(points_s, spec, grid=grid)
-    kernel = build_kernel_context(
-        spec,
-        points_r,
-        points_b=points_s,
-        grid=grid,
-        split_dims=tuple(set(tree_r.split_dims()) | set(tree_s.split_dims())),
-        sort_dim=tree_r.sort_dim,
-        source=kernel_source,
-    )
-    with trace.span("two-set-traversal") as join_span:
-        ctx = _JoinContext(
-            points_r, points_s, grid, spec, sink, self_mode=False, kernel=kernel
+        if flat:
+            tree_r = FlatEpsilonKdbTree.build(points_r, spec, grid=grid)
+            tree_s = FlatEpsilonKdbTree.build(points_s, spec, grid=grid)
+            # A leaf in one tree reads its digits at the other tree's
+            # internal depths, which may exceed its own depth.
+            shared_levels = max(len(tree_r.digits), len(tree_s.digits))
+            tree_r.ensure_digit_levels(shared_levels)
+            tree_s.ensure_digit_levels(shared_levels)
+        else:
+            tree_r = EpsilonKdbTree.build(points_r, spec, grid=grid)
+            tree_s = EpsilonKdbTree.build(points_s, spec, grid=grid)
+    split_dims = tuple(set(tree_r.split_dims()) | set(tree_s.split_dims()))
+    if flat:
+        kernel = build_kernel_context(
+            spec,
+            tree_r.points_flat,
+            points_b=tree_s.points_flat,
+            grid=grid,
+            split_dims=split_dims,
+            sort_dim=tree_r.sort_dim,
+            source=_flat_kernel_source(tree_r, kernel_source, tree_b=tree_s),
         )
-        _cross_join(ctx, tree_r.root, tree_s.root)
+    else:
+        kernel = build_kernel_context(
+            spec,
+            points_r,
+            points_b=points_s,
+            grid=grid,
+            split_dims=split_dims,
+            sort_dim=tree_r.sort_dim,
+            source=kernel_source,
+        )
+    with trace.span("two-set-traversal") as join_span:
+        if flat:
+            ctx = _JoinContext(
+                tree_r.points_flat,
+                tree_s.points_flat,
+                grid,
+                spec,
+                sink,
+                self_mode=False,
+                kernel=kernel,
+                perm_a=tree_r.perm,
+                perm_b=tree_s.perm,
+            )
+            flat_cross_join(ctx, tree_r, 0, tree_s, 0)
+        else:
+            ctx = _JoinContext(
+                points_r, points_s, grid, spec, sink, self_mode=False, kernel=kernel
+            )
+            _cross_join(ctx, tree_r.root, tree_s.root)
         join_span.set_attribute("pairs", sink.count)
         join_span.set_attribute("leaf_joins", ctx.stats.leaf_joins)
     result.stats = ctx.stats
+    if flat:
+        result.stats.build_nodes = tree_r.n_nodes + tree_s.n_nodes
+        result.stats.build_sort_seconds = (
+            tree_r.build_sort_seconds + tree_s.build_sort_seconds
+        )
     result.stats.pairs_emitted = sink.count
     result.build_seconds = build_span.duration
     result.join_seconds = join_span.duration

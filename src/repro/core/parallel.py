@@ -43,13 +43,21 @@ from typing import Dict, List, Optional, Tuple
 import numpy as np
 
 from repro.core.config import JoinSpec, validate_points
+from repro.core.epsilon_kdb import Grid
 from repro.core.external import plan_stripes
-from repro.core.join import epsilon_kdb_join, epsilon_kdb_self_join
-from repro.core.kernels import KernelSource
+from repro.core.flat_build import FlatEpsilonKdbTree
+from repro.core.join import (
+    _flat_cross_join_range,
+    _flat_self_join_range,
+    epsilon_kdb_join,
+    epsilon_kdb_self_join,
+)
+from repro.core.kernels import KernelSource, build_kernel_context
 from repro.core.resilience import DegradeToSerial, FaultPlan
 from repro.core.result import (
     JoinResult,
     JoinStats,
+    PairCollector,
     PairSink,
     canonicalize_self_pairs,
     canonicalize_two_set_pairs,
@@ -185,12 +193,14 @@ _WORKER_POINTS: Dict[str, np.ndarray] = {}
 _WORKER_SEGMENTS: List[shared_memory.SharedMemory] = []
 
 
-def _init_worker(segments: Dict[str, Tuple[str, Tuple[int, int]]]) -> None:
+def _init_worker(segments: Dict[str, Tuple[str, Tuple[int, ...], str]]) -> None:
     _WORKER_POINTS.clear()
-    for side, (name, shape) in segments.items():
+    for side, (name, shape, dtype) in segments.items():
         shm = shared_memory.SharedMemory(name=name)
         _WORKER_SEGMENTS.append(shm)
-        _WORKER_POINTS[side] = np.ndarray(shape, dtype=np.float64, buffer=shm.buf)
+        _WORKER_POINTS[side] = np.ndarray(
+            shape, dtype=np.dtype(dtype), buffer=shm.buf
+        )
 
 
 def _self_stripe_task(
@@ -235,6 +245,96 @@ def _cross_stripe_task(
     else:
         pairs = local.pairs
     return pairs, local.stats, time.perf_counter() - started
+
+
+# Upper bound of the last two-set flat task's cell range; absorbs any
+# floating-point disagreement between the stripe plan's cell count and
+# the grid's.
+_CELL_RANGE_END = 2 ** 62
+
+
+def _worker_flat_tree(prefix: str, spec: JoinSpec, grid: Grid) -> FlatEpsilonKdbTree:
+    """Reassemble a shipped flat tree from this worker's shared segments."""
+    return FlatEpsilonKdbTree.from_arrays(
+        _WORKER_POINTS[prefix],
+        _WORKER_POINTS[prefix + "_perm"],
+        _WORKER_POINTS[prefix + "_digits"],
+        _WORKER_POINTS[prefix + "_nodes"],
+        spec,
+        grid,
+    )
+
+
+def _flat_self_stripe_task(
+    spec: JoinSpec, child_lo: int, child_hi: int
+) -> Tuple[np.ndarray, JoinStats, float]:
+    """Flat-mode self stripe task: join one range of root children.
+
+    The tree is not rebuilt: its permuted point array, digit matrix and
+    CSR node table arrive through shared memory, and the grid is refit
+    from the data (min/max are permutation-invariant, so it is identical
+    to the parent's).  The shipped flat column store backs the cascade
+    kernels with no row translation at all — flat rows *are* kernel rows.
+    """
+    started = time.perf_counter()
+    with trace.span("build", children=child_hi - child_lo):
+        points_flat = _WORKER_POINTS["a"]
+        grid = Grid.fit(points_flat, spec.band_width)
+        tree = _worker_flat_tree("a", spec, grid)
+        cols = _WORKER_POINTS.get("a_cols")
+        source = KernelSource(cols_a=cols) if cols is not None else None
+        kernel = build_kernel_context(
+            spec,
+            points_flat,
+            grid=grid,
+            split_dims=tree.split_dims(),
+            sort_dim=tree.sort_dim,
+            source=source,
+        )
+    collector = PairCollector()
+    with trace.span("self-join-traversal", points=len(points_flat)) as join_span:
+        stats = _flat_self_join_range(
+            tree, spec, child_lo, child_hi, collector, kernel
+        )
+        join_span.set_attribute("pairs", collector.count)
+        join_span.set_attribute("leaf_joins", stats.leaf_joins)
+    return collector.pairs(), stats, time.perf_counter() - started
+
+
+def _flat_cross_stripe_task(
+    spec: JoinSpec, cell_lo: int, cell_hi: int
+) -> Tuple[np.ndarray, JoinStats, float]:
+    """Flat-mode two-set stripe task: join one range of root cells."""
+    started = time.perf_counter()
+    with trace.span("build", cell_lo=cell_lo):
+        points_r = _WORKER_POINTS["r"]
+        points_s = _WORKER_POINTS["s"]
+        grid = Grid.fit_union(points_r, points_s, spec.band_width)
+        tree_r = _worker_flat_tree("r", spec, grid)
+        tree_s = _worker_flat_tree("s", spec, grid)
+        cols_r = _WORKER_POINTS.get("r_cols")
+        cols_s = _WORKER_POINTS.get("s_cols")
+        if cols_r is not None and cols_s is not None:
+            source = KernelSource(cols_a=cols_r, cols_b=cols_s)
+        else:
+            source = None
+        kernel = build_kernel_context(
+            spec,
+            points_r,
+            points_b=points_s,
+            grid=grid,
+            split_dims=tuple(set(tree_r.split_dims()) | set(tree_s.split_dims())),
+            sort_dim=tree_r.sort_dim,
+            source=source,
+        )
+    collector = PairCollector()
+    with trace.span("two-set-traversal") as join_span:
+        stats = _flat_cross_join_range(
+            tree_r, tree_s, spec, cell_lo, cell_hi, collector, kernel
+        )
+        join_span.set_attribute("pairs", collector.count)
+        join_span.set_attribute("leaf_joins", stats.leaf_joins)
+    return collector.pairs(), stats, time.perf_counter() - started
 
 
 def _guarded_task(
@@ -284,7 +384,7 @@ def _guarded_task(
 def _export_shared(array: np.ndarray) -> shared_memory.SharedMemory:
     shm = shared_memory.SharedMemory(create=True, size=max(1, array.nbytes))
     try:
-        view = np.ndarray(array.shape, dtype=np.float64, buffer=shm.buf)
+        view = np.ndarray(array.shape, dtype=array.dtype, buffer=shm.buf)
         view[:] = array
     except BaseException:
         shm.close()
@@ -413,6 +513,8 @@ class ParallelJoinExecutor:
                 return self._serial(
                     lambda: epsilon_kdb_self_join(points, self.spec, sink=sink)
                 )
+            if self.spec.resolved_build() == "flat":
+                return self._flat_self(points, dim, plan, sink, started)
             tasks = [
                 (members,)
                 for members in plan.task_indices(points[:, dim])
@@ -485,6 +587,8 @@ class ParallelJoinExecutor:
                 return self._serial(
                     lambda: epsilon_kdb_join(points_r, points_s, self.spec, sink=sink)
                 )
+            if self.spec.resolved_build() == "flat":
+                return self._flat_cross(points_r, points_s, plan, sink, started)
             tasks = [
                 (members_r, members_s)
                 for members_r, members_s in zip(
@@ -510,6 +614,176 @@ class ParallelJoinExecutor:
             return self._merge(
                 outcomes, planned, plan, sink, canonicalize_two_set_pairs, resilience
             )
+
+    # ------------------------------------------------------------------
+    # flat-build mode
+    # ------------------------------------------------------------------
+    def _flat_self(self, points, dim, plan, sink, started) -> JoinResult:
+        """Parallel self-join over one globally built flat tree.
+
+        One vectorized build in the parent; workers receive the permuted
+        array, digit matrix and CSR node table through shared memory and
+        traverse disjoint root-child ranges (each child plus its cross
+        with the right-adjacent sibling), so the stripe tasks partition
+        the serial traversal exactly — no boundary bands, no duplicate
+        pairs, and no per-task index-list shipping.
+        """
+        with trace.span(
+            "build", points=len(points), dims=points.shape[1], epsilon=self.spec.epsilon
+        ):
+            tree = FlatEpsilonKdbTree.build(points, self.spec)
+
+        def stamp(result: JoinResult) -> JoinResult:
+            result.stats.build_nodes = tree.n_nodes
+            result.stats.build_sort_seconds = tree.build_sort_seconds
+            result.stats.structure_cache_hits = 0
+            return result
+
+        first = int(tree.node_first_child[0])
+        count = int(tree.node_n_children[0])
+        partitionable = (
+            count >= 2
+            and len(tree.level_dims)
+            and int(tree.level_dims[0]) == dim
+        )
+        if not partitionable:
+            trace.add_event("serial-fallback", reason="flat root not partitionable")
+            return stamp(
+                self._serial(
+                    lambda: epsilon_kdb_self_join(
+                        points, self.spec, sink=sink, tree=tree
+                    )
+                )
+            )
+        child_digits = tree.node_digit[first:first + count]
+        bounds = (
+            [0]
+            + [
+                int(np.searchsorted(child_digits, stop))
+                for _, stop in plan.spans[:-1]
+            ]
+            + [count]
+        )
+        tasks = [
+            (lo, hi) for lo, hi in zip(bounds[:-1], bounds[1:]) if hi > lo
+        ]
+        segments = {
+            "a": tree.points_flat,
+            "a_perm": tree.perm,
+            "a_digits": tree.digits,
+            "a_nodes": tree.packed_nodes(),
+        }
+        if self.spec.cascade_enabled(points.shape[1]):
+            segments["a_cols"] = np.ascontiguousarray(tree.points_flat.T)
+        try:
+            outcomes, planned, resilience = self._run(
+                _flat_self_stripe_task, tasks, segments, started
+            )
+        except DegradeToSerial as signal:
+            return stamp(
+                self._degraded_serial(
+                    lambda: epsilon_kdb_self_join(
+                        points, self.spec, sink=sink, tree=tree
+                    ),
+                    signal,
+                )
+            )
+        return stamp(
+            self._merge(
+                outcomes, planned, plan, sink, canonicalize_self_pairs, resilience
+            )
+        )
+
+    def _flat_cross(self, points_r, points_s, plan, sink, started) -> JoinResult:
+        """Parallel two-set join over two globally built flat trees.
+
+        Tasks own half-open root-cell ranges; the task owning cell ``g``
+        joins ``(R_g, S_g)``, ``(R_g, S_{g+1})`` and ``(R_{g+1}, S_g)``,
+        which partitions the adjacent child pairs exactly.
+        """
+        with trace.span(
+            "build",
+            points_r=len(points_r),
+            points_s=len(points_s),
+            dims=points_r.shape[1],
+            epsilon=self.spec.epsilon,
+        ):
+            grid = Grid.fit_union(points_r, points_s, self.spec.band_width)
+            tree_r = FlatEpsilonKdbTree.build(points_r, self.spec, grid=grid)
+            tree_s = FlatEpsilonKdbTree.build(points_s, self.spec, grid=grid)
+            # Each tree's digits must cover the other tree's depths
+            # before the digit matrices are shipped to the workers.
+            shared_levels = max(len(tree_r.digits), len(tree_s.digits))
+            tree_r.ensure_digit_levels(shared_levels)
+            tree_s.ensure_digit_levels(shared_levels)
+
+        def stamp(result: JoinResult) -> JoinResult:
+            result.stats.build_nodes = tree_r.n_nodes + tree_s.n_nodes
+            result.stats.build_sort_seconds = (
+                tree_r.build_sort_seconds + tree_s.build_sort_seconds
+            )
+            result.stats.structure_cache_hits = 0
+            return result
+
+        partitionable = (
+            int(tree_r.node_n_children[0]) >= 1
+            and int(tree_s.node_n_children[0]) >= 1
+            and len(tree_r.level_dims)
+            and int(tree_r.level_dims[0]) == plan.dim
+        )
+        if not partitionable:
+            trace.add_event("serial-fallback", reason="flat root not partitionable")
+            return stamp(
+                self._serial(
+                    lambda: epsilon_kdb_join(
+                        points_r, points_s, self.spec, sink=sink
+                    )
+                )
+            )
+        r_first = int(tree_r.node_first_child[0])
+        s_first = int(tree_s.node_first_child[0])
+        occupied = np.union1d(
+            tree_r.node_digit[r_first:r_first + int(tree_r.node_n_children[0])],
+            tree_s.node_digit[s_first:s_first + int(tree_s.node_n_children[0])],
+        )
+        tasks = []
+        for index, (start, stop) in enumerate(plan.spans):
+            cell_hi = _CELL_RANGE_END if index == plan.n_stripes - 1 else int(stop)
+            lo = int(np.searchsorted(occupied, start))
+            hi = int(np.searchsorted(occupied, cell_hi))
+            if hi > lo:
+                tasks.append((int(start), cell_hi))
+        segments = {
+            "r": tree_r.points_flat,
+            "r_perm": tree_r.perm,
+            "r_digits": tree_r.digits,
+            "r_nodes": tree_r.packed_nodes(),
+            "s": tree_s.points_flat,
+            "s_perm": tree_s.perm,
+            "s_digits": tree_s.digits,
+            "s_nodes": tree_s.packed_nodes(),
+        }
+        if self.spec.cascade_enabled(points_r.shape[1]):
+            segments["r_cols"] = np.ascontiguousarray(tree_r.points_flat.T)
+            segments["s_cols"] = np.ascontiguousarray(tree_s.points_flat.T)
+        try:
+            outcomes, planned, resilience = self._run(
+                _flat_cross_stripe_task, tasks, segments, started
+            )
+        except DegradeToSerial as signal:
+            return stamp(
+                self._degraded_serial(
+                    lambda: epsilon_kdb_join(
+                        points_r, points_s, self.spec, sink=sink
+                    ),
+                    signal,
+                )
+            )
+        return stamp(
+            self._merge(
+                outcomes, planned, plan, sink, canonicalize_two_set_pairs, resilience
+            )
+        )
 
     # ------------------------------------------------------------------
     def _serial(self, run) -> JoinResult:
@@ -561,7 +835,12 @@ class ParallelJoinExecutor:
                 for side, array in arrays.items():
                     shms[side] = _export_shared(array)
                 segments = {
-                    side: (shms[side].name, arrays[side].shape) for side in arrays
+                    side: (
+                        shms[side].name,
+                        arrays[side].shape,
+                        arrays[side].dtype.str,
+                    )
+                    for side in arrays
                 }
                 ship_span.set_attribute(
                     "bytes", int(sum(a.nbytes for a in arrays.values()))

@@ -63,6 +63,12 @@ class JoinStats:
         coordinates_touched: individual point coordinates the cascade
             kernels actually read; the monolithic kernel would have read
             ``cascade_candidates * d``.
+        build_nodes: nodes in the epsilon-kdB tree(s) built for this
+            join; filled in by the flat build (0 on the pointer path).
+        build_sort_seconds: wall-clock the flat build spent in its
+            ``lexsort`` calls, the dominant build cost.
+        structure_cache_hits: tree builds satisfied from a
+            :class:`~repro.core.flat_build.TreeCache` instead of sorting.
     """
 
     distance_computations: int = 0
@@ -83,6 +89,9 @@ class JoinStats:
     cascade_candidates: int = 0
     cascade_survivors: List[int] = field(default_factory=list)
     coordinates_touched: int = 0
+    build_nodes: int = 0
+    build_sort_seconds: float = 0.0
+    structure_cache_hits: int = 0
 
     def as_dict(self) -> Dict[str, Any]:
         """Every counter as JSON-ready data, in field order.
@@ -135,6 +144,9 @@ class JoinStats:
             for stage, survivors in enumerate(other.cascade_survivors):
                 self.cascade_survivors[stage] += survivors
         self.coordinates_touched += other.coordinates_touched
+        self.build_nodes += other.build_nodes
+        self.build_sort_seconds += other.build_sort_seconds
+        self.structure_cache_hits += other.structure_cache_hits
 
 
 _EMPTY_I64 = np.empty(0, dtype=np.int64)

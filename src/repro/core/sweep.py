@@ -1,4 +1,4 @@
-"""Vectorized band-sweep primitives.
+"""Vectorized band-sweep primitives and epsilon sweeps.
 
 Both the epsilon-kdB leaf joins and the sort-merge baseline reduce to the
 same primitive: given values sorted along one dimension, enumerate every
@@ -6,11 +6,15 @@ pair whose difference along that dimension is at most ``eps``.  The
 functions here generate those candidate position pairs without a Python
 loop, using the classic repeat/cumsum trick to expand variable-length
 windows.
+
+:func:`epsilon_sweep` runs one self-join per threshold over a shared
+:class:`~repro.core.flat_build.TreeCache`, so a sweep pays for a single
+flat build instead of one per epsilon.
 """
 
 from __future__ import annotations
 
-from typing import Tuple
+from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -119,3 +123,38 @@ def band_pairs_cross(
     starts = np.searchsorted(values_b, values_a - eps, side="left").astype(np.int64, copy=False)
     ends = np.searchsorted(values_b, values_a + eps, side="right").astype(np.int64, copy=False)
     return _expand_windows(starts, ends)
+
+
+def epsilon_sweep(
+    points: np.ndarray,
+    epsilons: Sequence[float],
+    cache=None,
+    **spec_kwargs,
+) -> List:
+    """Self-join ``points`` at every threshold, reusing one flat tree.
+
+    Thresholds are processed in descending order so the first (coarsest)
+    build satisfies every later request from the cache — a tree built at
+    a larger epsilon answers any smaller one exactly (its cells are at
+    least as wide as required).  Results are returned in the order the
+    ``epsilons`` were given; each carries ``structure_cache_hits`` in
+    its stats.  ``spec_kwargs`` are forwarded to
+    :class:`~repro.core.config.JoinSpec` (metric, leaf_size, ...);
+    ``cache`` accepts a pre-populated
+    :class:`~repro.core.flat_build.TreeCache` to share across sweeps.
+    """
+    # Imported here: join (and flat_build via join) import this module.
+    from repro.core.config import JoinSpec
+    from repro.core.flat_build import TreeCache
+    from repro.core.join import epsilon_kdb_self_join
+
+    if cache is None:
+        cache = TreeCache()
+    order = sorted(
+        range(len(epsilons)), key=lambda i: -float(epsilons[i])
+    )
+    results: List[Optional[object]] = [None] * len(epsilons)
+    for index in order:
+        spec = JoinSpec(epsilon=float(epsilons[index]), **spec_kwargs)
+        results[index] = epsilon_kdb_self_join(points, spec, structure_cache=cache)
+    return results

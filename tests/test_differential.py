@@ -2,14 +2,16 @@
 
 A seed-driven workload generator sweeps (n, d, epsilon, metric,
 distribution, self vs two-set) and asserts that every join engine —
-serial epsilon-kdB, the stripe-parallel executor, the grid, sort-merge
-and R-tree baselines — returns exactly the brute-force oracle's
-canonical pair set.  A fixed small matrix runs in tier-1; the extended
+serial epsilon-kdB on both the flat and the pointer build, the
+stripe-parallel executor, the grid, sort-merge and R-tree baselines —
+returns exactly the brute-force oracle's canonical pair set.  A fixed small matrix runs in tier-1; the extended
 matrix (larger inputs, more seeds, the pooled executor) runs under
 ``-m slow``.
 """
 
 from __future__ import annotations
+
+from dataclasses import replace
 
 import numpy as np
 import pytest
@@ -54,9 +56,30 @@ def _parallel_engine(use_processes: bool, n_workers: int = 3):
 _PARALLEL_SELF, _PARALLEL_TWO_SET = _parallel_engine(use_processes=False)
 _POOLED_SELF, _POOLED_TWO_SET = _parallel_engine(use_processes=True)
 
+
+def _pointer_build_engine():
+    """The serial engine forced onto the pointer build.
+
+    The default spec resolves ``build="auto"`` to the flat build, so the
+    matrix pits the two builds against each other (and the oracle) on
+    every case.
+    """
+
+    def self_join(points, spec):
+        return epsilon_kdb_self_join(points, replace(spec, build="pointer"))
+
+    def two_set(points_r, points_s, spec):
+        return epsilon_kdb_join(points_r, points_s, replace(spec, build="pointer"))
+
+    return self_join, two_set
+
+
+_POINTER_SELF, _POINTER_TWO_SET = _pointer_build_engine()
+
 #: engine name -> (self_join(points, spec), join(r, s, spec)).
 ENGINES = {
     "epsilon-kdb": (epsilon_kdb_self_join, epsilon_kdb_join),
+    "epsilon-kdb-pointer": (_POINTER_SELF, _POINTER_TWO_SET),
     "epsilon-kdb-parallel": (_PARALLEL_SELF, _PARALLEL_TWO_SET),
     "grid": (grid_self_join, grid_join),
     "sort-merge": (sort_merge_self_join, sort_merge_join),

@@ -77,6 +77,53 @@ class TestGrid:
         with pytest.raises(InvalidParameterError):
             Grid.fit(np.zeros((1, 1)), eps=0.1, lo=np.array([1.0]), hi=np.array([0.0]))
 
+    def test_single_point_degenerates_to_one_cell(self):
+        grid = Grid.fit(np.array([[0.3, -1.5, 7.0]]), eps=0.2)
+        assert grid.n_cells.tolist() == [1, 1, 1]
+        assert grid.cell_of(np.array([0.3]), 0)[0] == 0
+        grid.validate(np.array([[0.3, -1.5, 7.0]]))
+
+    def test_constant_dimension_gets_one_cell(self):
+        rng = np.random.default_rng(7)
+        points = rng.random((100, 3))
+        points[:, 1] = 0.25  # zero span in dim 1
+        grid = Grid.fit(points, eps=0.1)
+        assert grid.n_cells[1] == 1
+        assert grid.n_cells[0] > 1 and grid.n_cells[2] > 1
+        assert (grid.cell_of(points[:, 1], 1) == 0).all()
+
+    def test_mixed_dtype_bounds_coerced_to_float64(self):
+        grid = Grid.fit(
+            np.array([[0, 0], [5, 5]], dtype=np.int32),
+            eps=0.5,
+            lo=np.array([0, 0], dtype=np.int64),
+            hi=np.array([5.0, 5.0], dtype=np.float32),
+        )
+        assert grid.lo.dtype == np.float64 and grid.hi.dtype == np.float64
+        assert grid.n_cells.tolist() == [10, 10]
+
+    def test_fit_union_mixed_dtypes(self):
+        grid = Grid.fit_union(
+            np.array([[0, 1]], dtype=np.int32),
+            np.array([[2.5, -0.5]], dtype=np.float32),
+            eps=0.5,
+        )
+        assert grid.lo.dtype == np.float64 and grid.hi.dtype == np.float64
+        assert np.allclose(grid.lo, [0.0, -0.5])
+        assert np.allclose(grid.hi, [2.5, 1.0])
+
+    def test_fit_union_rejects_non_finite(self):
+        with pytest.raises(InvalidParameterError):
+            Grid.fit_union(
+                np.array([[0.0, np.nan]]), np.array([[1.0, 1.0]]), eps=0.5
+            )
+
+    def test_fit_rejects_mismatched_bounds(self):
+        with pytest.raises(InvalidParameterError):
+            Grid.fit(
+                np.zeros((2, 2)), eps=0.1, lo=np.zeros(2), hi=np.ones(3)
+            )
+
 
 def leaf_point_count(tree):
     return sum(leaf.size for leaf in tree.iter_leaves())

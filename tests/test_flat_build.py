@@ -1,0 +1,384 @@
+"""Tests for the flat vectorized epsilon-kdB build and its TreeCache.
+
+The contract under test: the flat build (radix cell-coding + stable
+whole-array sorts + CSR leaf layout) produces the *same leaf partition* as the
+pointer build and **byte-identical** join output through every engine —
+serial, parallel (in-process and pooled, including under injected
+faults), and external-memory.  Plus the cross-epsilon structure reuse of
+:class:`~repro.core.flat_build.TreeCache` / :func:`repro.epsilon_sweep`.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import JoinSpec, epsilon_sweep, similarity_join
+from repro.core.epsilon_kdb import EpsilonKdbTree, Grid
+from repro.core.external import external_self_join
+from repro.core.flat_build import FlatEpsilonKdbTree, TreeCache
+from repro.core.join import epsilon_kdb_join, epsilon_kdb_self_join
+from repro.core.parallel import ParallelJoinExecutor
+from repro.core.resilience import FaultPlan
+from repro.core.result import JoinStats
+from repro.errors import InvalidParameterError
+from repro.obs import MetricsRegistry
+
+
+def _spec(build, **kwargs):
+    kwargs.setdefault("epsilon", 0.25)
+    return JoinSpec(build=build, **kwargs)
+
+
+def _pair_bytes(result):
+    return result.pairs.tobytes()
+
+
+# ----------------------------------------------------------------------
+# leaf partition equivalence
+# ----------------------------------------------------------------------
+def _pointer_leaf_sets(points, spec):
+    tree = EpsilonKdbTree.build(points, spec)
+    return sorted(
+        (sorted(leaf.indices.tolist()) for leaf in tree.iter_leaves()),
+        key=lambda ids: (len(ids), ids),
+    )
+
+
+def _flat_leaf_sets(points, spec):
+    tree = FlatEpsilonKdbTree.build(points, spec)
+    return sorted(
+        (sorted(tree.perm[start:stop].tolist()) for start, stop in tree.leaf_slices()),
+        key=lambda ids: (len(ids), ids),
+    )
+
+
+class TestLeafPartition:
+    def test_describe_matches_pointer(self, small_clusters):
+        spec = JoinSpec(epsilon=0.2, leaf_size=32)
+        flat = FlatEpsilonKdbTree.build(small_clusters, spec)
+        pointer = EpsilonKdbTree.build(small_clusters, spec)
+        assert flat.describe() == pointer.describe()
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        n=st.integers(min_value=0, max_value=80),
+        d=st.integers(min_value=1, max_value=6),
+        eps=st.sampled_from([0.0625, 0.125, 0.25, 0.5, 1.0]),
+        leaf_size=st.sampled_from([1, 2, 4, 16]),
+        seed=st.integers(min_value=0, max_value=2**31 - 1),
+    )
+    def test_flat_leaf_partition_equals_pointer(self, n, d, eps, leaf_size, seed):
+        # Quantized coordinates so cell-boundary ties occur constantly.
+        points = (
+            np.random.default_rng(seed).integers(0, 17, size=(n, d)).astype(np.float64)
+            / 16.0
+        )
+        spec = JoinSpec(epsilon=eps, leaf_size=leaf_size)
+        assert _flat_leaf_sets(points, spec) == _pointer_leaf_sets(points, spec)
+
+    def test_leaves_partition_the_input(self, small_uniform):
+        tree = FlatEpsilonKdbTree.build(small_uniform, JoinSpec(epsilon=0.1))
+        rows = np.concatenate(
+            [tree.perm[start:stop] for start, stop in tree.leaf_slices()]
+        )
+        assert sorted(rows.tolist()) == list(range(len(small_uniform)))
+
+    def test_packed_nodes_round_trip(self, small_uniform):
+        spec = JoinSpec(epsilon=0.15, leaf_size=64)
+        tree = FlatEpsilonKdbTree.build(small_uniform, spec)
+        clone = FlatEpsilonKdbTree.from_arrays(
+            tree.points_flat,
+            tree.perm,
+            tree.digits,
+            tree.packed_nodes(),
+            spec,
+            tree.grid,
+        )
+        assert clone.describe() == tree.describe()
+        assert clone.n_nodes == tree.n_nodes
+        result_a = epsilon_kdb_self_join(small_uniform, spec, tree=tree)
+        result_b = epsilon_kdb_self_join(small_uniform, spec, tree=clone)
+        assert _pair_bytes(result_a) == _pair_bytes(result_b)
+
+
+# ----------------------------------------------------------------------
+# byte-identical output across engines
+# ----------------------------------------------------------------------
+class TestSerialEquivalence:
+    @pytest.mark.parametrize("metric", ["l1", "l2", "linf"])
+    def test_self_join_identical(self, metric, small_clusters):
+        flat = epsilon_kdb_self_join(small_clusters, _spec("flat", metric=metric))
+        pointer = epsilon_kdb_self_join(small_clusters, _spec("pointer", metric=metric))
+        assert len(flat.pairs) > 0
+        assert _pair_bytes(flat) == _pair_bytes(pointer)
+
+    def test_two_set_join_identical(self, rng):
+        r = rng.random((700, 6))
+        s = rng.random((800, 6)) * 1.1 - 0.05
+        flat = epsilon_kdb_join(r, s, _spec("flat"))
+        pointer = epsilon_kdb_join(r, s, _spec("pointer"))
+        assert len(flat.pairs) > 0
+        assert _pair_bytes(flat) == _pair_bytes(pointer)
+
+    def test_auto_resolves_to_flat(self):
+        assert JoinSpec(epsilon=0.1).resolved_build() == "flat"
+        assert JoinSpec(epsilon=0.1, build="pointer").resolved_build() == "pointer"
+
+    def test_invalid_build_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            JoinSpec(epsilon=0.1, build="fancy")
+
+    def test_pruning_off_identical(self, small_uniform):
+        flat = epsilon_kdb_self_join(
+            small_uniform, _spec("flat", adjacency_pruning=False)
+        )
+        pointer = epsilon_kdb_self_join(
+            small_uniform, _spec("pointer", adjacency_pruning=False)
+        )
+        assert _pair_bytes(flat) == _pair_bytes(pointer)
+
+    def test_custom_split_order_and_sort_dim(self, small_uniform):
+        kwargs = dict(split_order=[3, 1, 0, 2, 7, 6, 5, 4], sort_dim=2)
+        flat = epsilon_kdb_self_join(small_uniform, _spec("flat", **kwargs))
+        pointer = epsilon_kdb_self_join(small_uniform, _spec("pointer", **kwargs))
+        assert _pair_bytes(flat) == _pair_bytes(pointer)
+
+    def test_build_stats_populated(self, small_uniform):
+        result = epsilon_kdb_self_join(small_uniform, _spec("flat"))
+        assert result.stats.build_nodes > 0
+        assert result.stats.build_sort_seconds > 0.0
+        assert result.stats.structure_cache_hits == 0
+        pointer = epsilon_kdb_self_join(small_uniform, _spec("pointer"))
+        assert pointer.stats.build_nodes == 0
+
+    def test_traversal_stats_match_pointer(self, small_clusters):
+        flat = epsilon_kdb_self_join(small_clusters, _spec("flat"))
+        pointer = epsilon_kdb_self_join(small_clusters, _spec("pointer"))
+        assert flat.stats.node_pairs_visited == pointer.stats.node_pairs_visited
+        assert flat.stats.leaf_joins == pointer.stats.leaf_joins
+        assert (
+            flat.stats.distance_computations == pointer.stats.distance_computations
+        )
+
+    def test_empty_and_tiny_inputs(self):
+        spec = _spec("flat")
+        assert epsilon_kdb_self_join(np.empty((0, 3)), spec).count == 0
+        assert epsilon_kdb_self_join(np.zeros((1, 3)), spec).count == 0
+        two = epsilon_kdb_self_join(np.zeros((2, 3)), spec)
+        assert two.count == 1
+
+
+class TestEngineEquivalence:
+    def test_parallel_in_process_identical(self, small_clusters):
+        spec = _spec("flat", n_workers=3)
+        serial = epsilon_kdb_self_join(small_clusters, _spec("pointer"))
+        result = ParallelJoinExecutor(
+            spec, use_processes=False, serial_threshold=0
+        ).self_join(small_clusters)
+        assert _pair_bytes(result) == _pair_bytes(serial)
+        assert result.stats.duplicate_pairs_merged == 0
+        assert result.stats.build_nodes > 0
+
+    def test_parallel_pooled_identical(self, small_clusters):
+        spec = _spec("flat", n_workers=2)
+        serial = epsilon_kdb_self_join(small_clusters, _spec("pointer"))
+        result = ParallelJoinExecutor(spec, serial_threshold=0).self_join(
+            small_clusters
+        )
+        assert _pair_bytes(result) == _pair_bytes(serial)
+
+    def test_parallel_two_set_identical(self, rng):
+        r = rng.random((600, 5))
+        s = rng.random((500, 5))
+        serial = epsilon_kdb_join(r, s, _spec("pointer"))
+        result = ParallelJoinExecutor(
+            _spec("flat", n_workers=3), use_processes=False, serial_threshold=0
+        ).join(r, s)
+        assert _pair_bytes(result) == _pair_bytes(serial)
+
+    def test_parallel_fault_injection_identical(self, small_clusters):
+        spec = _spec("flat", n_workers=3)
+        serial = epsilon_kdb_self_join(small_clusters, _spec("pointer"))
+        plan = FaultPlan(seed=7).crash_task(0).crash_task(2)
+        result = ParallelJoinExecutor(
+            spec,
+            use_processes=False,
+            serial_threshold=0,
+            retry_backoff=0.0,
+            fault_plan=plan,
+        ).self_join(small_clusters)
+        assert _pair_bytes(result) == _pair_bytes(serial)
+        assert result.stats.tasks_retried > 0
+
+    def test_pointer_mode_through_parallel(self, small_clusters):
+        spec = _spec("pointer", n_workers=3)
+        serial = epsilon_kdb_self_join(small_clusters, _spec("pointer"))
+        result = ParallelJoinExecutor(
+            spec, use_processes=False, serial_threshold=0
+        ).self_join(small_clusters)
+        assert _pair_bytes(result) == _pair_bytes(serial)
+
+    def test_external_identical(self, small_clusters):
+        serial = epsilon_kdb_self_join(small_clusters, _spec("pointer"))
+        flat = external_self_join(small_clusters, _spec("flat"), memory_points=400)
+        pointer = external_self_join(
+            small_clusters, _spec("pointer"), memory_points=400
+        )
+        expected = np.unique(serial.pairs, axis=0)
+        assert np.array_equal(np.unique(flat.pairs, axis=0), expected)
+        assert flat.pairs.tobytes() == pointer.pairs.tobytes()
+
+    def test_similarity_join_kwarg(self, small_uniform):
+        flat = similarity_join(small_uniform, epsilon=0.2, build="flat")
+        pointer = similarity_join(small_uniform, epsilon=0.2, build="pointer")
+        assert np.array_equal(flat, pointer)
+
+
+# ----------------------------------------------------------------------
+# prebuilt trees and the structure cache
+# ----------------------------------------------------------------------
+class TestTreeReuse:
+    def test_prebuilt_flat_tree_reused(self, small_uniform):
+        spec = _spec("flat", epsilon=0.2)
+        tree = FlatEpsilonKdbTree.build(small_uniform, spec)
+        fresh = epsilon_kdb_self_join(small_uniform, spec)
+        reused = epsilon_kdb_self_join(small_uniform, spec, tree=tree)
+        assert _pair_bytes(fresh) == _pair_bytes(reused)
+        # The sort happened when the caller built the tree, not here.
+        assert reused.stats.build_sort_seconds == 0.0
+
+    def test_prebuilt_tree_smaller_epsilon_ok(self, small_uniform):
+        tree = FlatEpsilonKdbTree.build(small_uniform, _spec("flat", epsilon=0.3))
+        narrower = _spec("flat", epsilon=0.2)
+        reused = epsilon_kdb_self_join(small_uniform, narrower, tree=tree)
+        fresh = epsilon_kdb_self_join(small_uniform, narrower)
+        assert _pair_bytes(reused) == _pair_bytes(fresh)
+
+    def test_prebuilt_tree_larger_epsilon_rejected(self, small_uniform):
+        tree = FlatEpsilonKdbTree.build(small_uniform, _spec("flat", epsilon=0.1))
+        with pytest.raises(InvalidParameterError, match="rebuild the tree"):
+            epsilon_kdb_self_join(small_uniform, _spec("flat", epsilon=0.2), tree=tree)
+
+    def test_cache_hit_on_smaller_epsilon(self, small_uniform):
+        cache = TreeCache()
+        first = epsilon_kdb_self_join(
+            small_uniform, _spec("flat", epsilon=0.3), structure_cache=cache
+        )
+        second = epsilon_kdb_self_join(
+            small_uniform, _spec("flat", epsilon=0.2), structure_cache=cache
+        )
+        assert first.stats.structure_cache_hits == 0
+        assert second.stats.structure_cache_hits == 1
+        assert second.stats.build_sort_seconds == 0.0
+        assert cache.hits == 1 and cache.misses == 1
+        fresh = epsilon_kdb_self_join(small_uniform, _spec("flat", epsilon=0.2))
+        assert _pair_bytes(second) == _pair_bytes(fresh)
+
+    def test_cache_rebuilds_on_larger_epsilon(self, small_uniform):
+        cache = TreeCache()
+        epsilon_kdb_self_join(
+            small_uniform, _spec("flat", epsilon=0.1), structure_cache=cache
+        )
+        result = epsilon_kdb_self_join(
+            small_uniform, _spec("flat", epsilon=0.3), structure_cache=cache
+        )
+        assert result.stats.structure_cache_hits == 0
+        assert cache.misses == 2
+        fresh = epsilon_kdb_self_join(small_uniform, _spec("flat", epsilon=0.3))
+        assert _pair_bytes(result) == _pair_bytes(fresh)
+
+    def test_cache_misses_on_different_data(self, rng):
+        cache = TreeCache()
+        a = rng.random((300, 4))
+        b = rng.random((300, 4))
+        epsilon_kdb_self_join(a, _spec("flat", epsilon=0.3), structure_cache=cache)
+        result = epsilon_kdb_self_join(
+            b, _spec("flat", epsilon=0.2), structure_cache=cache
+        )
+        assert result.stats.structure_cache_hits == 0
+        assert len(cache) == 2
+
+    def test_cache_lru_eviction(self, rng):
+        cache = TreeCache(max_entries=2)
+        sets = [rng.random((100, 3)) for _ in range(3)]
+        for points in sets:
+            cache.get_or_build(points, JoinSpec(epsilon=0.2))
+        assert len(cache) == 2
+        # The first set was evicted: requesting it again is a miss.
+        _, hit = cache.get_or_build(sets[0], JoinSpec(epsilon=0.2))
+        assert not hit
+
+    def test_cache_validates_max_entries(self):
+        with pytest.raises(InvalidParameterError):
+            TreeCache(max_entries=0)
+
+    def test_epsilon_sweep_reuses_structure(self, small_uniform):
+        cache = TreeCache()
+        epsilons = [0.15, 0.3, 0.2]
+        results = epsilon_sweep(small_uniform, epsilons, cache=cache)
+        hits = [r.stats.structure_cache_hits for r in results]
+        assert sum(hits) == 2  # all but the coarsest build hit the cache
+        assert hits[1] == 0  # the largest epsilon pays the one build
+        for eps, result in zip(epsilons, results):
+            fresh = epsilon_kdb_self_join(small_uniform, _spec("flat", epsilon=eps))
+            assert _pair_bytes(result) == _pair_bytes(fresh)
+
+    def test_epsilon_sweep_less_build_time_than_solo(self, small_clusters):
+        epsilons = [0.1, 0.15, 0.2, 0.25]
+        swept = epsilon_sweep(small_clusters, epsilons)
+        solo = [
+            epsilon_kdb_self_join(small_clusters, _spec("flat", epsilon=eps))
+            for eps in epsilons
+        ]
+        assert sum(r.stats.build_sort_seconds for r in swept) < sum(
+            r.stats.build_sort_seconds for r in solo
+        )
+
+
+# ----------------------------------------------------------------------
+# stats plumbing (CLI renderer + metrics ingestion)
+# ----------------------------------------------------------------------
+class TestStatsPlumbing:
+    def test_as_dict_round_trips_build_counters(self):
+        stats = JoinStats(
+            build_nodes=42, build_sort_seconds=0.5, structure_cache_hits=3
+        )
+        data = stats.as_dict()
+        assert data["build_nodes"] == 42
+        assert data["build_sort_seconds"] == 0.5
+        assert data["structure_cache_hits"] == 3
+
+    def test_merge_accumulates_build_counters(self):
+        a = JoinStats(build_nodes=10, build_sort_seconds=0.25, structure_cache_hits=1)
+        b = JoinStats(build_nodes=5, build_sort_seconds=0.5, structure_cache_hits=2)
+        a.merge(b)
+        assert a.build_nodes == 15
+        assert a.build_sort_seconds == 0.75
+        assert a.structure_cache_hits == 3
+
+    def test_metrics_ingest_build_counters(self):
+        registry = MetricsRegistry()
+        stats = JoinStats(
+            build_nodes=7, build_sort_seconds=0.125, structure_cache_hits=2
+        )
+        registry.ingest_stats(stats)
+        assert registry.counter("join.build_nodes").value == 7
+        assert registry.gauge("join.build_sort_seconds").value == 0.125
+        assert registry.counter("join.structure_cache_hits").value == 2
+
+    def test_cli_renders_build_counters(self, capsys):
+        from repro.cli import _print_stats
+
+        _print_stats(
+            JoinStats(
+                pairs_emitted=1,
+                build_nodes=1500,
+                build_sort_seconds=0.25,
+                structure_cache_hits=2,
+            )
+        )
+        out = capsys.readouterr().out
+        assert "tree nodes built:" in out and "1.5k" in out
+        assert "build sort time:" in out and "250" in out
+        assert "structure cache hits:" in out
