@@ -47,6 +47,7 @@ EXPERIMENTS = [
     "bench_e15_resilience",
     "bench_e16_kernels",
     "bench_e17_flat_build",
+    "bench_e18_incremental",
 ]
 
 RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")

@@ -55,12 +55,17 @@ from repro.core import (
     FaultPlan,
     FlatEpsilonKdbTree,
     Grid,
+    IncrementalJoin,
+    JoinResult,
+    JoinSizeSketch,
     JoinSpec,
     JoinStats,
     PairCollector,
     PairCounter,
     ParallelJoinExecutor,
     TreeCache,
+    UpdateDelta,
+    apply_update_stream,
     epsilon_kdb_join,
     epsilon_kdb_self_join,
     epsilon_sweep,
@@ -68,6 +73,7 @@ from repro.core import (
     external_self_join,
     parallel_join,
     parallel_self_join,
+    subtract_pairs,
 )
 from repro.errors import (
     DomainError,
@@ -133,6 +139,8 @@ def similarity_join(
     cascade: str = "auto",
     filter_dims: Optional[int] = None,
     build: str = "auto",
+    updates: Optional[Sequence] = None,
+    delta_threshold: Optional[int] = None,
     return_result: bool = False,
 ):
     """Find all point pairs within ``epsilon`` of each other.
@@ -180,6 +188,19 @@ def similarity_join(
             radix cell-coding build), or ``"pointer"`` (per-node object
             build).  Both builds produce byte-identical pairs; only the
             build cost differs.  Ignored by the baselines.
+        updates: optional sequence of ``("insert", points)`` /
+            ``("delete", ids)`` operations (or the equivalent ``{"op":
+            ...}`` mappings) applied *after* ``points`` through an
+            :class:`~repro.core.incremental.IncrementalJoin` session.
+            ``points`` seeds the session with ids ``0..n-1``; inserted
+            batches continue the id sequence.  The returned pairs are
+            the surviving *id* pairs — byte-identical to a from-scratch
+            join over the surviving points mapped to their ids.  Only
+            the ``epsilon-kdb`` algorithms support updates; incompatible
+            with ``points2``.
+        delta_threshold: delta-buffer compaction trigger for the update
+            session (``None``: scale with the base size).  Only
+            meaningful with ``updates``.
         return_result: when true, return the full
             :class:`~repro.core.result.JoinResult` (pairs *and*
             statistics) instead of just the pair array.
@@ -208,7 +229,34 @@ def similarity_join(
         spec_kwargs["task_timeout"] = task_timeout
     if max_task_retries is not None:
         spec_kwargs["max_task_retries"] = max_task_retries
+    if delta_threshold is not None:
+        spec_kwargs["delta_threshold"] = delta_threshold
     spec = JoinSpec(**spec_kwargs)
+    if updates is not None:
+        if points2 is not None:
+            raise InvalidParameterError(
+                "updates are only supported for self-join sessions, "
+                "not two-set joins"
+            )
+        if algorithm not in ("epsilon-kdb", "epsilon-kdb-parallel"):
+            raise InvalidParameterError(
+                "updates are only supported by the epsilon-kdb algorithms, "
+                f"not {algorithm!r}"
+            )
+        session = IncrementalJoin(
+            spec,
+            engine="parallel" if algorithm == "epsilon-kdb-parallel" else "serial",
+        )
+        stream = list(updates)
+        points = np.asarray(points, dtype=np.float64)
+        if len(points):
+            stream.insert(0, ("insert", points))
+        added, retracted = apply_update_stream(session, stream)
+        pairs = subtract_pairs(added, retracted)
+        if not return_result:
+            return pairs
+        result = JoinResult(stats=session.stats, pairs=pairs)
+        return result
     registry = _SELF_JOIN_ALGORITHMS if points2 is None else _TWO_SET_ALGORITHMS
     try:
         runner = registry[algorithm]
@@ -247,6 +295,12 @@ __all__ = [
     "PairCollector",
     "PairCounter",
     "JoinStats",
+    "JoinResult",
+    "IncrementalJoin",
+    "JoinSizeSketch",
+    "UpdateDelta",
+    "apply_update_stream",
+    "subtract_pairs",
     # observability
     "Tracer",
     "MetricsRegistry",

@@ -1,10 +1,13 @@
 """Command-line interface: ``python -m repro`` / ``repro-join``.
 
-Three subcommands:
+Four subcommands:
 
 * ``join`` (the default when flags are given directly) — run one
   similarity join on a generated workload or a ``.npy``/``.csv`` file
   and print the result statistics.
+* ``join-stream`` — feed a JSONL update stream (insert/delete batches)
+  through an incremental join session and report the emitted deltas
+  per batch (see docs/streaming.md).
 * ``compare`` — run *every* implemented algorithm on the same workload
   and print the comparison table, a one-command version of the paper's
   head-to-head experiments.
@@ -23,10 +26,20 @@ from typing import Optional, Sequence
 
 import numpy as np
 
-from repro import ALGORITHMS, EpsilonKdbTree, JoinSpec, PairCounter, similarity_join
+from repro import (
+    ALGORITHMS,
+    EpsilonKdbTree,
+    IncrementalJoin,
+    JoinSpec,
+    PairCounter,
+    similarity_join,
+    subtract_pairs,
+)
 from repro import _SELF_JOIN_ALGORITHMS as SELF_JOIN_REGISTRY
 from repro.analysis import Table, format_seconds, format_si
+from repro.core.incremental import normalize_update
 from repro.core.result import JoinStats
+from repro.errors import InvalidParameterError
 from repro.datasets import (
     color_histograms,
     gaussian_clusters,
@@ -177,6 +190,66 @@ def build_parser() -> argparse.ArgumentParser:
         help="sample RSS during the join; the peak attaches to the trace",
     )
 
+    stream = subparsers.add_parser(
+        "join-stream",
+        help="run an incremental join session over a JSONL update stream",
+    )
+    _add_common_arguments(stream)
+    stream.add_argument(
+        "--updates",
+        required=True,
+        metavar="PATH",
+        help="JSONL update stream, one batch per line: "
+        '{"op": "insert", "points": [[...], ...]} or '
+        '{"op": "delete", "ids": [...]}; "-" reads stdin',
+    )
+    stream.add_argument(
+        "--no-initial",
+        action="store_true",
+        help="start from an empty session instead of seeding it with the "
+        "generated/loaded workload (ids then start at 0 with the first "
+        "inserted batch)",
+    )
+    stream.add_argument(
+        "--delta-threshold",
+        type=int,
+        help="delta-buffer size that triggers automatic compaction "
+        "(default: scale with the base size)",
+    )
+    stream.add_argument(
+        "--workers",
+        type=int,
+        help="route the batch-vs-base probes through the stripe-parallel "
+        "executor with this many workers (results are identical)",
+    )
+    stream.add_argument(
+        "--output",
+        help="write the surviving (m, 2) id-pair array to this .npy file",
+    )
+    stream.add_argument(
+        "--stats-json",
+        metavar="PATH",
+        help="dump the session's cumulative JoinStats as JSON to PATH",
+    )
+    stream.add_argument(
+        "--trace",
+        metavar="PATH",
+        help="record a structured trace of the session (delta-join, "
+        "compact and estimate spans) and write it to PATH",
+    )
+    stream.add_argument(
+        "--trace-format",
+        choices=["jsonl", "chrome"],
+        default="jsonl",
+        help="trace file format: jsonl (one span per line) or chrome "
+        "(trace_event JSON)",
+    )
+    stream.add_argument(
+        "--trace-summary",
+        action="store_true",
+        help="print the phase-breakdown tree of the traced session",
+    )
+
     compare = subparsers.add_parser(
         "compare", help="run every algorithm on the same workload"
     )
@@ -229,6 +302,10 @@ _STAT_LABELS = {
     "build_nodes": "tree nodes built",
     "build_sort_seconds": "build sort time",
     "structure_cache_hits": "structure cache hits",
+    "updates_applied": "update batches applied",
+    "delta_size": "delta buffer size",
+    "pairs_retracted": "pairs retracted",
+    "estimated_join_size": "estimated join size",
 }
 
 #: Fields printed even when zero (the headline numbers of every join).
@@ -238,6 +315,9 @@ _ALWAYS_SHOWN = {"pairs_emitted", "distance_computations", "node_pairs_visited"}
 def _render_stat(name: str, value) -> str:
     if name == "degraded_to_serial":
         return "yes (pool unusable; results exact)"
+    if name == "estimated_join_size":
+        # A pair-count estimate, not a duration like the other floats.
+        return format_si(int(round(value)))
     if name == "workers_used":
         return str(value) if value else "serial path"
     if isinstance(value, bool):
@@ -324,6 +404,122 @@ def _run_join(args: argparse.Namespace) -> int:
     if args.stats_json:
         with open(args.stats_json, "w") as handle:
             json.dump(result.stats.as_dict(), handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"wrote stats to {args.stats_json}")
+    if tracer is not None:
+        spans = tracer.export()
+        if args.trace:
+            if args.trace_format == "chrome":
+                write_chrome_trace(spans, args.trace)
+            else:
+                write_jsonl(spans, args.trace)
+            print(
+                f"wrote {len(spans)} trace spans to {args.trace} "
+                f"({args.trace_format})"
+            )
+        if args.trace_summary:
+            print()
+            print(format_tree(spans))
+    return 0
+
+
+def _iter_update_lines(path: str):
+    """Yield parsed JSONL updates from a file path or stdin (``-``)."""
+    handle = sys.stdin if path == "-" else open(path)
+    try:
+        for lineno, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                row = json.loads(line)
+            except json.JSONDecodeError as exc:
+                raise InvalidParameterError(
+                    f"{path}:{lineno}: invalid JSON: {exc}"
+                ) from exc
+            yield lineno, row
+    finally:
+        if handle is not sys.stdin:
+            handle.close()
+
+
+def _run_join_stream(args: argparse.Namespace) -> int:
+    spec = JoinSpec(
+        epsilon=args.epsilon,
+        metric=args.metric,
+        leaf_size=args.leaf_size,
+        cascade=args.cascade,
+        filter_dims=args.filter_dims,
+        build=args.build,
+        delta_threshold=args.delta_threshold,
+    )
+    workers = args.workers
+    session = IncrementalJoin(
+        spec,
+        engine="parallel" if workers and workers > 1 else "serial",
+        n_workers=workers,
+    )
+    tracing = bool(args.trace or args.trace_summary)
+    tracer = Tracer() if tracing else None
+    added = []
+    retracted = []
+
+    def apply(label: str, op: str, payload) -> None:
+        if op == "insert":
+            delta = session.insert(np.asarray(payload, dtype=np.float64))
+            if len(delta.added):
+                added.append(delta.added)
+            ids = (
+                f"(ids {delta.ids[0]}..{delta.ids[-1]}) " if len(delta.ids) else ""
+            )
+            print(
+                f"[{label}] insert {len(delta.ids)} points {ids}"
+                f"+{len(delta.added)} pairs, delta {session.delta_size}, "
+                f"est {format_si(int(round(session.estimated_join_size)))}"
+            )
+        else:
+            delta = session.delete(payload)
+            if len(delta.retracted):
+                retracted.append(delta.retracted)
+            print(
+                f"[{label}] delete {len(delta.ids)} ids: "
+                f"-{len(delta.retracted)} pairs, "
+                f"est {format_si(int(round(session.estimated_join_size)))}"
+            )
+
+    started = time.perf_counter()
+    with ExitStack() as stack:
+        if tracer is not None:
+            stack.enter_context(trace.activate(tracer))
+        if not args.no_initial:
+            points = _load_points(args)
+            print(
+                f"seeding session with {len(points)} points, "
+                f"d={points.shape[1]}, eps={spec.epsilon}, "
+                f"metric={spec.metric.name}"
+            )
+            apply("seed", "insert", points)
+        for lineno, row in _iter_update_lines(args.updates):
+            op, payload = normalize_update(row)
+            apply(str(lineno), op, payload)
+    elapsed = time.perf_counter() - started
+    empty = np.empty((0, 2), dtype=np.int64)
+    pairs = subtract_pairs(
+        np.concatenate(added) if added else empty,
+        np.concatenate(retracted) if retracted else empty,
+    )
+    print(
+        f"{session.stats.updates_applied} batches: {len(pairs)} surviving "
+        f"pairs over {session.n_live} live points"
+    )
+    _print_stats(session.stats)
+    print(f"wall clock: {format_seconds(elapsed)}")
+    if args.output:
+        save_pairs(args.output, pairs)
+        print(f"wrote pairs to {args.output}")
+    if args.stats_json:
+        with open(args.stats_json, "w") as handle:
+            json.dump(session.stats.as_dict(), handle, indent=2, sort_keys=True)
             handle.write("\n")
         print(f"wrote stats to {args.stats_json}")
     if tracer is not None:
@@ -432,6 +628,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return _run_search(args)
     if args.command == "join":
         return _run_join(args)
+    if args.command == "join-stream":
+        return _run_join_stream(args)
     build_parser().print_help()
     return 2
 

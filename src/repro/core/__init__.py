@@ -10,6 +10,13 @@ from repro.core.config import JoinSpec
 from repro.core.epsilon_kdb import EpsilonKdbTree, Grid
 from repro.core.external import ExternalJoinReport, external_join, external_self_join
 from repro.core.flat_build import FlatEpsilonKdbTree, TreeCache
+from repro.core.incremental import (
+    IncrementalJoin,
+    JoinSizeSketch,
+    UpdateDelta,
+    apply_update_stream,
+    subtract_pairs,
+)
 from repro.core.join import epsilon_kdb_join, epsilon_kdb_self_join
 from repro.core.kernels import (
     KernelContext,
@@ -26,7 +33,7 @@ from repro.core.parallel import (
     plan_parallel_stripes,
 )
 from repro.core.resilience import FaultPlan, retry_transient
-from repro.core.result import JoinStats, PairCollector, PairCounter
+from repro.core.result import JoinResult, JoinStats, PairCollector, PairCounter
 from repro.core.sweep import epsilon_sweep
 
 __all__ = [
@@ -38,6 +45,11 @@ __all__ = [
     "epsilon_kdb_self_join",
     "epsilon_kdb_join",
     "epsilon_sweep",
+    "IncrementalJoin",
+    "JoinSizeSketch",
+    "UpdateDelta",
+    "apply_update_stream",
+    "subtract_pairs",
     "KernelContext",
     "KernelPlan",
     "KernelSource",
@@ -56,4 +68,5 @@ __all__ = [
     "PairCollector",
     "PairCounter",
     "JoinStats",
+    "JoinResult",
 ]

@@ -28,6 +28,14 @@ CASCADE_AUTO_MIN_DIMS = 8
 #: dimension masks the surviving rows are cheaper to finish in blocks.
 MAX_FILTER_DIMS = 3
 
+#: Floor of the auto-selected delta-buffer compaction threshold; below
+#: this the probe joins are so cheap that compacting is pure overhead.
+MIN_DELTA_THRESHOLD = 256
+
+#: Default bucket-count exponent of the streaming join-size sketch
+#: (``2**12`` = 4096 buckets, 32 KiB of int64 counters).
+DEFAULT_SKETCH_BITS = 12
+
 
 @dataclass
 class JoinSpec:
@@ -84,6 +92,14 @@ class JoinSpec:
             (:class:`repro.core.epsilon_kdb.EpsilonKdbTree`); ``"auto"``
             (default) currently means ``"flat"``.  Both builds produce
             the same leaf partition and byte-identical join results.
+        delta_threshold: live delta-buffer rows at which an
+            :class:`~repro.core.incremental.IncrementalJoin` session
+            compacts automatically.  ``None`` (default) scales with the
+            base structure: ``max(MIN_DELTA_THRESHOLD, base_size // 8)``.
+            Ignored by the batch entry points.
+        sketch_bits: bucket-count exponent of the session's streaming
+            join-size sketch (``2**sketch_bits`` buckets); larger values
+            reduce hash-collision bias at a linear memory cost.
     """
 
     epsilon: float
@@ -99,6 +115,8 @@ class JoinSpec:
     cascade: str = "auto"
     filter_dims: Optional[int] = None
     build: str = "auto"
+    delta_threshold: Optional[int] = None
+    sketch_bits: int = DEFAULT_SKETCH_BITS
 
     def __post_init__(self) -> None:
         if not np.isfinite(self.epsilon) or self.epsilon <= 0:
@@ -153,10 +171,32 @@ class JoinSpec:
             raise InvalidParameterError(
                 f'build must be "auto", "flat" or "pointer", got {self.build!r}'
             )
+        if self.delta_threshold is not None:
+            if int(self.delta_threshold) < 1:
+                raise InvalidParameterError(
+                    f"delta_threshold must be >= 1, got {self.delta_threshold!r}"
+                )
+            self.delta_threshold = int(self.delta_threshold)
+        if not 4 <= int(self.sketch_bits) <= 24:
+            raise InvalidParameterError(
+                f"sketch_bits must be in [4, 24], got {self.sketch_bits!r}"
+            )
+        self.sketch_bits = int(self.sketch_bits)
 
     def resolved_build(self) -> str:
         """The effective tree build strategy (``"flat"`` or ``"pointer"``)."""
         return "flat" if self.build == "auto" else self.build
+
+    def resolved_delta_threshold(self, base_size: int) -> int:
+        """Delta-buffer size that triggers compaction, given the base size.
+
+        The auto heuristic keeps the delta a small fraction of the base
+        so probe joins stay cheap relative to a rebuild, with a floor so
+        tiny sessions are not compacting after every batch.
+        """
+        if self.delta_threshold is not None:
+            return self.delta_threshold
+        return max(MIN_DELTA_THRESHOLD, int(base_size) // 8)
 
     def resolved_stripe_overlap(self) -> float:
         """The effective boundary-band width for parallel stripes.

@@ -1,0 +1,692 @@
+"""Incremental streaming similarity joins over a mutable point set.
+
+The batch entry points answer one join over a frozen array; a live
+serving system instead sees a *stream* of updates and wants the result
+pairs each update adds or removes, without rebuilding the structure per
+batch ("Dynamic Enumeration of Similarity Joins", PAPERS.md).
+
+:class:`IncrementalJoin` keeps the classic LSM shape:
+
+* a **base** structure — a :class:`~repro.core.flat_build.FlatEpsilonKdbTree`
+  over the points at the last compaction, with a tombstone bit per row;
+* a **delta buffer** — points inserted since, joined by brute tree
+  probes rather than indexed.
+
+``insert(points)`` emits exactly the pairs the batch creates, as three
+disjoint sub-joins through the existing cascade kernels: within the
+batch (self-join), batch vs the live delta (two-set join), and batch vs
+the base via a shared-grid probe of the base tree (the batch tree is
+built on the *base grid*, so :func:`~repro.core.join.flat_cross_join`
+applies unchanged).  ``delete(ids)`` is symmetric and emits the pairs it
+retracts.  When the delta outgrows ``spec.resolved_delta_threshold`` (or
+on an explicit :meth:`~IncrementalJoin.compact`), live rows are merged
+into a fresh base tree through the shared
+:class:`~repro.core.flat_build.TreeCache`; the swap happens only after
+the build succeeds, so an injected :class:`~repro.errors.TransientIoError`
+mid-compaction leaves the session state untouched.
+
+The correctness contract — enforced by the stateful hypothesis suite and
+the differential matrix — is exact enumeration: after any prefix of any
+update stream, the accumulated emitted pairs minus the retracted pairs
+are byte-identical to a from-scratch batch join over the surviving
+points.
+
+:class:`JoinSizeSketch` adds the one-pass size estimator of Rafiei &
+Deng (PAPERS.md): points hash by their randomly-shifted epsilon-cell
+into ``2**sketch_bits`` counters, whose collision count yields an
+unbiased estimate of the number of same-cell pairs — a constant-factor
+proxy for the join size, cheap enough to maintain per update batch.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.core.config import JoinSpec, validate_points
+from repro.core.flat_build import FlatEpsilonKdbTree, TreeCache
+from repro.core.join import (
+    _JoinContext,
+    epsilon_kdb_join,
+    epsilon_kdb_self_join,
+    flat_cross_join,
+)
+from repro.core.kernels import build_kernel_context
+from repro.core.resilience import FaultPlan, retry_transient
+from repro.core.result import JoinResult, JoinStats, PairCollector
+from repro.errors import InvalidParameterError, TransientIoError
+from repro.obs import trace
+
+#: Transient-failure retry budget for the compaction build.
+DEFAULT_IO_RETRIES = 2
+
+#: Seed of the sketch's random shift and hash multipliers; fixed so two
+#: sessions over the same stream report the same estimates.
+DEFAULT_SKETCH_SEED = 0x5EED
+
+_EMPTY_IDS = np.empty(0, dtype=np.int64)
+_EMPTY_PAIRS = np.empty((0, 2), dtype=np.int64)
+
+
+def _canonical_id_pairs(left: np.ndarray, right: np.ndarray) -> np.ndarray:
+    """Orient id pairs ``lo < hi`` and sort lexicographically."""
+    lo = np.minimum(left, right)
+    hi = np.maximum(left, right)
+    pairs = np.column_stack([lo, hi]).astype(np.int64, copy=False)
+    if len(pairs):
+        pairs = pairs[np.lexsort((pairs[:, 1], pairs[:, 0]))]
+    return pairs
+
+
+def subtract_pairs(pairs: np.ndarray, remove: np.ndarray) -> np.ndarray:
+    """Canonical set difference of two duplicate-free pair arrays.
+
+    ``remove`` must be a subset of ``pairs`` (the session guarantees a
+    retracted pair was emitted before, and emitted exactly once — ids
+    are never reused).  Stacking ``pairs`` with two copies of ``remove``
+    makes every removed row appear three times and every kept row once,
+    so one ``np.unique`` pass both filters and canonicalizes.
+    """
+    pairs = np.asarray(pairs, dtype=np.int64).reshape(-1, 2)
+    remove = np.asarray(remove, dtype=np.int64).reshape(-1, 2)
+    stacked = np.concatenate([pairs, remove, remove])
+    uniq, counts = np.unique(stacked, axis=0, return_counts=True)
+    return uniq[counts == 1]
+
+
+class JoinSizeSketch:
+    """One-pass estimator of the self-join size of a dynamic point set.
+
+    Each point hashes by its cell in a randomly shifted grid of width
+    ``cell_width`` (the spec's per-coordinate band) into one of
+    ``2**bits`` counters.  The sketch maintains ``n`` and the number of
+    same-bucket pairs ``S`` incrementally under both inserts and
+    deletes; :meth:`estimate` removes the expected hash-collision mass,
+    giving an unbiased estimate of the number of *same-cell* pairs.
+    Two points within distance ``epsilon`` land in the same shifted cell
+    with probability ``prod_k(1 - |x_k - y_k| / w)`` — a constant factor
+    of the join size for a fixed dimensionality, which is all admission
+    control needs (the documented empirical bound is measured by
+    benchmark E18).
+    """
+
+    def __init__(
+        self,
+        cell_width: float,
+        bits: int = 12,
+        seed: int = DEFAULT_SKETCH_SEED,
+    ):
+        if not np.isfinite(cell_width) or cell_width <= 0:
+            raise InvalidParameterError(
+                f"cell_width must be a positive finite number, got {cell_width!r}"
+            )
+        self.cell_width = float(cell_width)
+        self.n_buckets = 1 << int(bits)
+        self._seed = int(seed)
+        self._shift: Optional[np.ndarray] = None
+        self._mults: Optional[np.ndarray] = None
+        self.counts = np.zeros(self.n_buckets, dtype=np.int64)
+        self.n = 0
+        self._same_bucket_pairs = 0
+
+    def _buckets(self, points: np.ndarray) -> np.ndarray:
+        points = np.asarray(points, dtype=np.float64)
+        d = points.shape[1]
+        if self._shift is None:
+            rng = np.random.default_rng(self._seed)
+            self._shift = rng.uniform(0.0, self.cell_width, size=d)
+            self._mults = rng.integers(1, 2**62, size=d, dtype=np.int64) | 1
+        elif len(self._shift) != d:
+            raise InvalidParameterError(
+                f"sketch was built for {len(self._shift)}-dimensional points, got {d}"
+            )
+        cells = np.floor((points + self._shift) / self.cell_width).astype(np.int64)
+        with np.errstate(over="ignore"):
+            h = (cells * self._mults).sum(axis=1, dtype=np.int64)
+            h = h * np.int64(-7046029254386353131)  # 64-bit Fibonacci mix
+            h ^= h >> np.int64(32)
+        return h & np.int64(self.n_buckets - 1)
+
+    def add(self, points: np.ndarray) -> None:
+        buckets = self._buckets(points)
+        delta = np.bincount(buckets, minlength=self.n_buckets)
+        self._same_bucket_pairs += int(
+            (self.counts * delta).sum() + (delta * (delta - 1) // 2).sum()
+        )
+        self.counts += delta
+        self.n += len(buckets)
+
+    def remove(self, points: np.ndarray) -> None:
+        """Inverse of :meth:`add` for points previously added."""
+        buckets = self._buckets(points)
+        delta = np.bincount(buckets, minlength=self.n_buckets)
+        self.counts -= delta
+        if (self.counts < 0).any():
+            self.counts += delta
+            raise InvalidParameterError(
+                "sketch.remove() saw points that were never added"
+            )
+        self._same_bucket_pairs -= int(
+            (self.counts * delta).sum() + (delta * (delta - 1) // 2).sum()
+        )
+        self.n -= len(buckets)
+
+    def estimate(self) -> float:
+        """Unbiased estimate of the same-cell pair count (clamped at 0)."""
+        if self.n < 2:
+            return 0.0
+        buckets = float(self.n_buckets)
+        total_pairs = self.n * (self.n - 1) / 2.0
+        unbiased = (self._same_bucket_pairs - total_pairs / buckets) / (
+            1.0 - 1.0 / buckets
+        )
+        return max(0.0, unbiased)
+
+
+@dataclass
+class UpdateDelta:
+    """Result of one ``insert``/``delete`` batch.
+
+    Attributes:
+        ids: ids assigned to the batch (insert) or removed (delete).
+        added: canonical ``(k, 2)`` id pairs the batch created.
+        retracted: canonical ``(k, 2)`` id pairs the batch removed.
+    """
+
+    ids: np.ndarray = field(default_factory=lambda: _EMPTY_IDS.copy())
+    added: np.ndarray = field(default_factory=lambda: _EMPTY_PAIRS.copy())
+    retracted: np.ndarray = field(default_factory=lambda: _EMPTY_PAIRS.copy())
+
+
+class IncrementalJoin:
+    """A long-lived self-join session over a mutable point set.
+
+    Points carry monotonically increasing int64 ids assigned by
+    :meth:`insert` (never reused); all emitted pairs are id pairs with
+    ``lo < hi``, lexicographically sorted.  See the module docstring for
+    the base/delta architecture and the exactness contract.
+
+    Args:
+        spec: join parameters; ``spec.delta_threshold`` (via
+            :meth:`~repro.core.config.JoinSpec.resolved_delta_threshold`)
+            sets the auto-compaction trigger and ``spec.sketch_bits``
+            sizes the join-size sketch.
+        engine: ``"serial"`` (default) runs every sub-join in process;
+            ``"parallel"`` routes the batch-vs-base probe (the dominant
+            cost) through
+            :class:`~repro.core.parallel.ParallelJoinExecutor`.  Both
+            engines emit byte-identical deltas.
+        structure_cache: a shared
+            :class:`~repro.core.flat_build.TreeCache` reused across
+            compactions (and across sessions); ``None`` creates a
+            private one.
+        fault_plan: a :class:`~repro.core.resilience.FaultPlan` whose
+            ``io_fault`` sites fire once per compaction *attempt*
+            (ordinals count attempts, so a retried compaction consumes
+            the next ordinal).
+        io_retries: transient-failure retry budget per compaction.
+        use_processes / n_workers: forwarded to the parallel executor.
+    """
+
+    def __init__(
+        self,
+        spec: JoinSpec,
+        *,
+        engine: str = "serial",
+        structure_cache: Optional[TreeCache] = None,
+        fault_plan: Optional[FaultPlan] = None,
+        io_retries: int = DEFAULT_IO_RETRIES,
+        use_processes: bool = True,
+        n_workers: Optional[int] = None,
+    ):
+        if engine not in ("serial", "parallel"):
+            raise InvalidParameterError(
+                f'engine must be "serial" or "parallel", got {engine!r}'
+            )
+        if int(io_retries) < 0:
+            raise InvalidParameterError(
+                f"io_retries must be >= 0, got {io_retries!r}"
+            )
+        self.spec = spec
+        self.engine = engine
+        self.stats = JoinStats()
+        self._cache = TreeCache() if structure_cache is None else structure_cache
+        self._fault_plan = fault_plan
+        self._io_retries = int(io_retries)
+        self._use_processes = use_processes
+        self._n_workers = n_workers
+        self._executor = None
+        self._dims: Optional[int] = None
+        self._sketch: Optional[JoinSizeSketch] = None
+        self._next_id = 0
+        self._compact_attempts = 0
+        self._base_points = np.empty((0, 0), dtype=np.float64)
+        self._base_ids = _EMPTY_IDS.copy()
+        self._base_alive = np.empty(0, dtype=bool)
+        self._base_tree: Optional[FlatEpsilonKdbTree] = None
+        self._delta_points = np.empty((0, 0), dtype=np.float64)
+        self._delta_ids = _EMPTY_IDS.copy()
+        self._delta_alive = np.empty(0, dtype=bool)
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+    @property
+    def n_live(self) -> int:
+        return int(self._base_alive.sum()) + int(self._delta_alive.sum())
+
+    @property
+    def delta_size(self) -> int:
+        """Live rows currently in the delta buffer."""
+        return int(self._delta_alive.sum())
+
+    @property
+    def estimated_join_size(self) -> float:
+        return self._sketch.estimate() if self._sketch is not None else 0.0
+
+    def live_ids(self) -> np.ndarray:
+        """Ids of the surviving points, ascending."""
+        return np.sort(
+            np.concatenate(
+                [self._base_ids[self._base_alive], self._delta_ids[self._delta_alive]]
+            )
+        )
+
+    def live_points(self) -> np.ndarray:
+        """Surviving points in ascending id order (oracle ordering)."""
+        ids = np.concatenate(
+            [self._base_ids[self._base_alive], self._delta_ids[self._delta_alive]]
+        )
+        points = np.concatenate(
+            [
+                self._base_points[self._base_alive].reshape(-1, self._dims or 0),
+                self._delta_points[self._delta_alive].reshape(-1, self._dims or 0),
+            ]
+        )
+        return points[np.argsort(ids)]
+
+    def __len__(self) -> int:
+        return self.n_live
+
+    # ------------------------------------------------------------------
+    # updates
+    # ------------------------------------------------------------------
+    def insert(self, points: np.ndarray) -> UpdateDelta:
+        """Add a batch; return its ids and the pairs it created."""
+        points = validate_points(points)
+        if self._dims is None:
+            self._dims = points.shape[1]
+            self._base_points = np.empty((0, self._dims), dtype=np.float64)
+            self._delta_points = np.empty((0, self._dims), dtype=np.float64)
+            self._sketch = JoinSizeSketch(
+                self.spec.band_width, bits=self.spec.sketch_bits
+            )
+        elif points.shape[1] != self._dims:
+            raise InvalidParameterError(
+                f"session holds {self._dims}-dimensional points, "
+                f"got a batch with {points.shape[1]}"
+            )
+        n_new = len(points)
+        ids = np.arange(self._next_id, self._next_id + n_new, dtype=np.int64)
+        parts: List[np.ndarray] = []
+        with trace.span(
+            "delta-join",
+            op="insert",
+            batch=n_new,
+            delta=self.delta_size,
+            base=int(self._base_alive.sum()),
+        ) as span:
+            if n_new >= 2:
+                result = self._absorb(epsilon_kdb_self_join(points, self.spec))
+                if len(result.pairs):
+                    parts.append(ids[result.pairs])
+            delta_live = self._delta_alive.nonzero()[0]
+            if n_new and len(delta_live):
+                result = self._absorb(
+                    epsilon_kdb_join(
+                        points, self._delta_points[delta_live], self.spec
+                    )
+                )
+                if len(result.pairs):
+                    parts.append(
+                        np.column_stack(
+                            [
+                                ids[result.pairs[:, 0]],
+                                self._delta_ids[delta_live[result.pairs[:, 1]]],
+                            ]
+                        )
+                    )
+            if n_new:
+                left, right = self._probe_base(points)
+                if len(left):
+                    keep = self._base_alive[right]
+                    parts.append(
+                        np.column_stack(
+                            [ids[left[keep]], self._base_ids[right[keep]]]
+                        )
+                    )
+            added = self._combine(parts)
+            span.set_attribute("pairs_added", len(added))
+        with trace.span("estimate", op="insert", points=n_new):
+            if n_new:
+                self._sketch.add(points)
+            self.stats.estimated_join_size = self._sketch.estimate()
+        self._delta_points = np.concatenate([self._delta_points, points])
+        self._delta_ids = np.concatenate([self._delta_ids, ids])
+        self._delta_alive = np.concatenate(
+            [self._delta_alive, np.ones(n_new, dtype=bool)]
+        )
+        self._next_id += n_new
+        self.stats.updates_applied += 1
+        self.stats.pairs_emitted += len(added)
+        threshold = self.spec.resolved_delta_threshold(len(self._base_points))
+        if self.delta_size > threshold:
+            self.compact()
+        self.stats.delta_size = self.delta_size
+        return UpdateDelta(ids=ids, added=added)
+
+    def delete(self, ids: Union[Sequence[int], np.ndarray]) -> UpdateDelta:
+        """Remove points by id; return the pairs that retracts."""
+        ids = np.asarray(ids, dtype=np.int64).ravel()
+        if len(np.unique(ids)) != len(ids):
+            raise InvalidParameterError("delete() ids contain duplicates")
+        side, row = self._locate(ids)
+        if (side < 0).any():
+            missing = ids[side < 0][0]
+            raise InvalidParameterError(f"unknown point id {int(missing)}")
+        alive = np.zeros(len(ids), dtype=bool)
+        alive[side == 0] = self._base_alive[row[side == 0]]
+        alive[side == 1] = self._delta_alive[row[side == 1]]
+        if not alive.all():
+            dead = ids[~alive][0]
+            raise InvalidParameterError(f"point id {int(dead)} is already deleted")
+        base_rows = row[side == 0]
+        delta_rows = row[side == 1]
+        removed_points = np.concatenate(
+            [self._base_points[base_rows], self._delta_points[delta_rows]]
+        )
+        removed_ids = np.concatenate(
+            [self._base_ids[base_rows], self._delta_ids[delta_rows]]
+        )
+        # Tombstone first so the probes below only see survivors.
+        self._base_alive[base_rows] = False
+        self._delta_alive[delta_rows] = False
+        parts: List[np.ndarray] = []
+        with trace.span(
+            "delta-join",
+            op="delete",
+            batch=len(ids),
+            delta=self.delta_size,
+            base=int(self._base_alive.sum()),
+        ) as span:
+            if len(removed_points) >= 2:
+                result = self._absorb(
+                    epsilon_kdb_self_join(removed_points, self.spec)
+                )
+                if len(result.pairs):
+                    parts.append(removed_ids[result.pairs])
+            delta_live = self._delta_alive.nonzero()[0]
+            if len(delta_live):
+                result = self._absorb(
+                    epsilon_kdb_join(
+                        removed_points, self._delta_points[delta_live], self.spec
+                    )
+                )
+                if len(result.pairs):
+                    parts.append(
+                        np.column_stack(
+                            [
+                                removed_ids[result.pairs[:, 0]],
+                                self._delta_ids[delta_live[result.pairs[:, 1]]],
+                            ]
+                        )
+                    )
+            left, right = self._probe_base(removed_points)
+            if len(left):
+                keep = self._base_alive[right]
+                parts.append(
+                    np.column_stack(
+                        [removed_ids[left[keep]], self._base_ids[right[keep]]]
+                    )
+                )
+            retracted = self._combine(parts)
+            span.set_attribute("pairs_retracted", len(retracted))
+        with trace.span("estimate", op="delete", points=len(ids)):
+            self._sketch.remove(removed_points)
+            self.stats.estimated_join_size = self._sketch.estimate()
+        self.stats.updates_applied += 1
+        self.stats.pairs_retracted += len(retracted)
+        self.stats.delta_size = self.delta_size
+        return UpdateDelta(ids=np.sort(ids), retracted=retracted)
+
+    def compact(self) -> None:
+        """Merge live rows into a fresh base tree (atomic on failure).
+
+        The new base is built *before* any session state changes, so a
+        :class:`~repro.errors.TransientIoError` that exhausts the retry
+        budget propagates with the session exactly as it was.
+        """
+        live_base = int(self._base_alive.sum())
+        dead_base = len(self._base_alive) - live_base
+        if self.delta_size == 0 and dead_base == 0 and (
+            self._base_tree is not None or live_base == 0
+        ):
+            return  # nothing to fold in
+        with trace.span(
+            "compact", base=live_base, delta=self.delta_size, tombstones=dead_base
+        ) as span:
+            new_points = np.ascontiguousarray(
+                np.concatenate(
+                    [
+                        self._base_points[self._base_alive],
+                        self._delta_points[self._delta_alive],
+                    ]
+                )
+            )
+            new_ids = np.concatenate(
+                [self._base_ids[self._base_alive], self._delta_ids[self._delta_alive]]
+            )
+            tree: Optional[FlatEpsilonKdbTree] = None
+            cache_hit = False
+            if len(new_points):
+                tree, cache_hit = retry_transient(
+                    lambda: self._build_base(new_points),
+                    self._io_retries,
+                    on_retry=self._count_retry,
+                )
+            # Point of no return: every failure path has already raised.
+            self._base_points = new_points
+            self._base_ids = new_ids
+            self._base_alive = np.ones(len(new_points), dtype=bool)
+            self._base_tree = tree
+            self._delta_points = np.empty(
+                (0, self._dims or 0), dtype=np.float64
+            )
+            self._delta_ids = _EMPTY_IDS.copy()
+            self._delta_alive = np.empty(0, dtype=bool)
+            self.stats.compactions += 1
+            self.stats.delta_size = 0
+            if cache_hit:
+                self.stats.structure_cache_hits += 1
+            elif tree is not None:
+                self.stats.build_nodes += tree.n_nodes
+                self.stats.build_sort_seconds += tree.build_sort_seconds
+            span.set_attribute("cache_hit", cache_hit)
+
+    # ------------------------------------------------------------------
+    # internals
+    # ------------------------------------------------------------------
+    def _build_base(self, new_points: np.ndarray):
+        """One compaction build attempt (a fault-injection site)."""
+        attempt = self._compact_attempts
+        self._compact_attempts += 1
+        if self._fault_plan is not None and self._fault_plan.io_fault(attempt):
+            self.stats.faults_injected += 1
+            raise TransientIoError(
+                f"injected compaction fault (attempt ordinal {attempt})"
+            )
+        return self._cache.get_or_build(new_points, self.spec)
+
+    def _count_retry(self, attempt: int) -> None:
+        self.stats.storage_retries += 1
+
+    def _locate(self, ids: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+        """Map ids to (side, row): side 0 = base, 1 = delta, -1 = unknown."""
+        side = np.full(len(ids), -1, dtype=np.int8)
+        row = np.zeros(len(ids), dtype=np.int64)
+        for which, id_array in ((0, self._base_ids), (1, self._delta_ids)):
+            if not len(id_array):
+                continue
+            pos = np.searchsorted(id_array, ids)
+            pos_clipped = np.minimum(pos, len(id_array) - 1)
+            found = id_array[pos_clipped] == ids
+            side[found] = which
+            row[found] = pos_clipped[found]
+        return side, row
+
+    def _probe_base(self, query: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+        """Join a query batch against *all* base rows (caller filters alive).
+
+        Returns aligned ``(query_index, base_row)`` arrays.  The fast
+        path builds the batch's tree on the base grid and reuses the
+        synchronized flat traversal; it is only sound when the batch
+        lies inside the base bounding box (``Grid.cell_of`` clips, which
+        would silently break the adjacent-cell rule), so out-of-box
+        batches — and the parallel engine — take the two-set entry
+        point, which refits a union grid.
+        """
+        tree_b = self._base_tree
+        if tree_b is None or not len(query):
+            return _EMPTY_IDS.copy(), _EMPTY_IDS.copy()
+        grid = tree_b.grid
+        out_of_box = bool(
+            np.any(query < grid.lo[np.newaxis, :])
+            or np.any(query > grid.hi[np.newaxis, :])
+        )
+        if self.engine == "parallel":
+            result = self._absorb(
+                self._get_executor().join(query, self._base_points)
+            )
+            return result.pairs[:, 0], result.pairs[:, 1]
+        if out_of_box:
+            result = self._absorb(
+                epsilon_kdb_join(query, self._base_points, self.spec)
+            )
+            return result.pairs[:, 0], result.pairs[:, 1]
+        spec = self.spec
+        tree_q = FlatEpsilonKdbTree.build(query, spec, grid=grid)
+        shared_levels = max(len(tree_q.digits), len(tree_b.digits))
+        tree_q.ensure_digit_levels(shared_levels)
+        tree_b.ensure_digit_levels(shared_levels)
+        split_dims = tuple(set(tree_q.split_dims()) | set(tree_b.split_dims()))
+        kernel = build_kernel_context(
+            spec,
+            tree_q.points_flat,
+            points_b=tree_b.points_flat,
+            grid=grid,
+            split_dims=split_dims,
+            sort_dim=tree_q.sort_dim,
+        )
+        sink = PairCollector()
+        ctx = _JoinContext(
+            tree_q.points_flat,
+            tree_b.points_flat,
+            grid,
+            spec,
+            sink,
+            self_mode=False,
+            kernel=kernel,
+            perm_a=tree_q.perm,
+            perm_b=tree_b.perm,
+        )
+        flat_cross_join(ctx, tree_q, 0, tree_b, 0)
+        ctx.stats.build_nodes = tree_q.n_nodes
+        ctx.stats.build_sort_seconds = tree_q.build_sort_seconds
+        self._absorb(JoinResult(stats=ctx.stats))
+        return sink.arrays()
+
+    def _get_executor(self):
+        if self._executor is None:
+            # Imported here: parallel imports the join module tree.
+            from repro.core.parallel import ParallelJoinExecutor
+
+            self._executor = ParallelJoinExecutor(
+                self.spec,
+                n_workers=self._n_workers,
+                use_processes=self._use_processes,
+            )
+        return self._executor
+
+    def _absorb(self, result: JoinResult) -> JoinResult:
+        """Fold a sub-join's counters into the session stats.
+
+        ``pairs_emitted`` is zeroed first: sub-joins count raw
+        (pre-tombstone-filter) pairs, while the session counts the
+        canonical deltas it actually reports.
+        """
+        stats = result.stats
+        stats.pairs_emitted = 0
+        self.stats.merge(stats)
+        return result
+
+    @staticmethod
+    def _combine(parts: List[np.ndarray]) -> np.ndarray:
+        if not parts:
+            return _EMPTY_PAIRS.copy()
+        stacked = np.concatenate(parts)
+        return _canonical_id_pairs(stacked[:, 0], stacked[:, 1])
+
+
+def normalize_update(update) -> Tuple[str, object]:
+    """Coerce one update to ``(op, payload)``.
+
+    Accepts ``("insert", points)`` / ``("delete", ids)`` pairs and
+    ``{"op": "insert", "points": ...}`` / ``{"op": "delete", "ids": ...}``
+    mappings (the CLI's JSONL row shape).
+    """
+    if isinstance(update, dict):
+        op = update.get("op")
+        if op == "insert":
+            if "points" not in update:
+                raise InvalidParameterError('insert update requires a "points" key')
+            return "insert", update["points"]
+        if op == "delete":
+            if "ids" not in update:
+                raise InvalidParameterError('delete update requires an "ids" key')
+            return "delete", update["ids"]
+        raise InvalidParameterError(
+            f'update "op" must be "insert" or "delete", got {op!r}'
+        )
+    if isinstance(update, (tuple, list)) and len(update) == 2:
+        op, payload = update
+        if op in ("insert", "delete"):
+            return op, payload
+    raise InvalidParameterError(
+        "each update must be ('insert', points), ('delete', ids) or the "
+        f"equivalent mapping, got {update!r}"
+    )
+
+
+def apply_update_stream(
+    session: IncrementalJoin, updates: Sequence
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Apply a sequence of updates; return accumulated (added, retracted)."""
+    added: List[np.ndarray] = []
+    retracted: List[np.ndarray] = []
+    for update in updates:
+        op, payload = normalize_update(update)
+        if op == "insert":
+            delta = session.insert(np.asarray(payload, dtype=np.float64))
+        else:
+            delta = session.delete(payload)
+        if len(delta.added):
+            added.append(delta.added)
+        if len(delta.retracted):
+            retracted.append(delta.retracted)
+    added_all = np.concatenate(added) if added else _EMPTY_PAIRS.copy()
+    retracted_all = (
+        np.concatenate(retracted) if retracted else _EMPTY_PAIRS.copy()
+    )
+    return added_all, retracted_all

@@ -69,6 +69,18 @@ class JoinStats:
             ``lexsort`` calls, the dominant build cost.
         structure_cache_hits: tree builds satisfied from a
             :class:`~repro.core.flat_build.TreeCache` instead of sorting.
+        updates_applied: insert/delete batches an incremental session
+            applied (:mod:`repro.core.incremental`); 0 for batch joins.
+        delta_size: live rows currently in the incremental session's
+            delta buffer (a gauge: ``merge`` keeps the maximum observed).
+        compactions: delta-buffer merges the incremental session ran
+            (automatic threshold triggers and explicit ``compact()``).
+        pairs_retracted: pairs un-reported by ``delete()`` calls; the
+            session's net result size is
+            ``pairs_emitted - pairs_retracted``.
+        estimated_join_size: one-pass sketch estimate of the self-join
+            size over the session's live points (a gauge: ``merge``
+            keeps the maximum observed).
     """
 
     distance_computations: int = 0
@@ -92,6 +104,11 @@ class JoinStats:
     build_nodes: int = 0
     build_sort_seconds: float = 0.0
     structure_cache_hits: int = 0
+    updates_applied: int = 0
+    delta_size: int = 0
+    compactions: int = 0
+    pairs_retracted: int = 0
+    estimated_join_size: float = 0.0
 
     def as_dict(self) -> Dict[str, Any]:
         """Every counter as JSON-ready data, in field order.
@@ -147,6 +164,13 @@ class JoinStats:
         self.build_nodes += other.build_nodes
         self.build_sort_seconds += other.build_sort_seconds
         self.structure_cache_hits += other.structure_cache_hits
+        self.updates_applied += other.updates_applied
+        self.delta_size = max(self.delta_size, other.delta_size)
+        self.compactions += other.compactions
+        self.pairs_retracted += other.pairs_retracted
+        self.estimated_join_size = max(
+            self.estimated_join_size, other.estimated_join_size
+        )
 
 
 _EMPTY_I64 = np.empty(0, dtype=np.int64)

@@ -129,16 +129,22 @@ def epsilon_sweep(
     points: np.ndarray,
     epsilons: Sequence[float],
     cache=None,
+    return_stats: bool = False,
     **spec_kwargs,
-) -> List:
+):
     """Self-join ``points`` at every threshold, reusing one flat tree.
 
     Thresholds are processed in descending order so the first (coarsest)
     build satisfies every later request from the cache — a tree built at
     a larger epsilon answers any smaller one exactly (its cells are at
     least as wide as required).  Results are returned in the order the
-    ``epsilons`` were given; each carries ``structure_cache_hits`` in
-    its stats.  ``spec_kwargs`` are forwarded to
+    ``epsilons`` were given; each carries its *own* per-epsilon counters
+    (``structure_cache_hits`` is 0 or 1 per result — which joins reused
+    the structure, not just how many).  With ``return_stats=True`` the
+    return value is ``(results, aggregate)`` where ``aggregate`` is the
+    merged :class:`~repro.core.result.JoinStats` of the whole sweep; the
+    per-epsilon ``structure_cache_hits`` sum to the aggregate's (and to
+    the cache's ``hits`` delta).  ``spec_kwargs`` are forwarded to
     :class:`~repro.core.config.JoinSpec` (metric, leaf_size, ...);
     ``cache`` accepts a pre-populated
     :class:`~repro.core.flat_build.TreeCache` to share across sweeps.
@@ -147,6 +153,7 @@ def epsilon_sweep(
     from repro.core.config import JoinSpec
     from repro.core.flat_build import TreeCache
     from repro.core.join import epsilon_kdb_self_join
+    from repro.core.result import JoinStats
 
     if cache is None:
         cache = TreeCache()
@@ -157,4 +164,9 @@ def epsilon_sweep(
     for index in order:
         spec = JoinSpec(epsilon=float(epsilons[index]), **spec_kwargs)
         results[index] = epsilon_kdb_self_join(points, spec, structure_cache=cache)
-    return results
+    if not return_stats:
+        return results
+    aggregate = JoinStats()
+    for result in results:
+        aggregate.merge(result.stats)
+    return results, aggregate

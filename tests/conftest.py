@@ -6,14 +6,32 @@ keeps historical ``from conftest import ...`` call sites working.
 
 from __future__ import annotations
 
+import os
+
 import numpy as np
 import pytest
+from hypothesis import HealthCheck, settings
 
 from _oracles import (  # noqa: F401  (re-exported for older imports)
     assert_same_pairs,
     oracle_self_pairs,
     oracle_two_set_pairs,
 )
+
+# Hypothesis profiles: "dev" (default) keeps full randomized search;
+# "ci" (HYPOTHESIS_PROFILE=ci, used by the streaming-smoke CI job) is
+# derandomized so the stateful incremental suite is reproducible and
+# time-bounded on shared runners.
+settings.register_profile("dev", deadline=None)
+settings.register_profile(
+    "ci",
+    deadline=None,
+    derandomize=True,
+    max_examples=25,
+    stateful_step_count=15,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.filter_too_much],
+)
+settings.load_profile(os.environ.get("HYPOTHESIS_PROFILE", "dev"))
 
 
 @pytest.fixture(scope="session")

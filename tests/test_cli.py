@@ -279,3 +279,131 @@ def test_untraced_join_prints_no_tree(capsys):
     code = main(_SMALL_JOIN)
     assert code == 0
     assert "cli-join" not in capsys.readouterr().out
+
+
+# ----------------------------------------------------------------------
+# join-stream: the incremental session driven from JSONL update batches
+# ----------------------------------------------------------------------
+def _write_updates(tmp_path, rows):
+    import json
+
+    path = tmp_path / "updates.jsonl"
+    path.write_text("".join(json.dumps(row) + "\n" for row in rows))
+    return str(path)
+
+
+def test_join_stream_basic(tmp_path, capsys):
+    rng = np.random.default_rng(0)
+    rows = [
+        {"op": "insert", "points": rng.random((40, 3)).tolist()},
+        {"op": "delete", "ids": list(range(5))},
+        ["insert", rng.random((10, 3)).tolist()],  # tuple form also parses
+    ]
+    code = main(
+        [
+            "join-stream",
+            "--epsilon",
+            "0.3",
+            "--dataset",
+            "uniform",
+            "--points",
+            "100",
+            "--dims",
+            "3",
+            "--updates",
+            _write_updates(tmp_path, rows),
+            "--delta-threshold",
+            "60",
+        ]
+    )
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "seeding session with 100 points" in out
+    assert "[seed] insert 100 points (ids 0..99)" in out
+    assert "[2] delete 5 ids:" in out
+    assert "update batches applied:" in out
+    assert "pairs retracted:" in out
+    assert "estimated join size:" in out
+    assert "compactions:" in out  # the 100-point seed crosses threshold 60
+
+
+def test_join_stream_output_matches_batch_join(tmp_path):
+    import json
+
+    from repro import similarity_join
+
+    rng = np.random.default_rng(1)
+    batches = [rng.random((30, 4)) for _ in range(3)]
+    rows = [{"op": "insert", "points": batch.tolist()} for batch in batches]
+    pairs_path = tmp_path / "pairs.npy"
+    stats_path = tmp_path / "stats.json"
+    code = main(
+        [
+            "join-stream",
+            "--epsilon",
+            "0.35",
+            "--no-initial",
+            "--updates",
+            _write_updates(tmp_path, rows),
+            "--output",
+            str(pairs_path),
+            "--stats-json",
+            str(stats_path),
+        ]
+    )
+    assert code == 0
+    pairs = np.load(pairs_path)
+    # Pure inserts: session ids are exactly the stacked-array positions,
+    # so the stream must reproduce the batch join over all batches.
+    expected = similarity_join(np.vstack(batches), epsilon=0.35)
+    assert np.array_equal(pairs, expected)
+    stats = json.loads(stats_path.read_text())
+    assert stats["updates_applied"] == 3
+    assert stats["pairs_emitted"] == len(pairs)
+    assert stats["estimated_join_size"] >= 0.0
+
+
+def test_join_stream_trace_summary(tmp_path, capsys):
+    rng = np.random.default_rng(2)
+    rows = [{"op": "insert", "points": rng.random((20, 3)).tolist()}]
+    code = main(
+        [
+            "join-stream",
+            "--epsilon",
+            "0.3",
+            "--dataset",
+            "uniform",
+            "--points",
+            "60",
+            "--dims",
+            "3",
+            "--updates",
+            _write_updates(tmp_path, rows),
+            "--delta-threshold",
+            "30",
+            "--trace-summary",
+        ]
+    )
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "delta-join" in out
+    assert "estimate" in out
+    assert "compact" in out
+
+
+def test_join_stream_invalid_json_names_line(tmp_path):
+    from repro.errors import InvalidParameterError
+
+    path = tmp_path / "updates.jsonl"
+    path.write_text('{"op": "insert", "points": [[0.1]]}\nnot json\n')
+    with pytest.raises(InvalidParameterError, match=r":2: invalid JSON"):
+        main(
+            [
+                "join-stream",
+                "--epsilon",
+                "0.3",
+                "--no-initial",
+                "--updates",
+                str(path),
+            ]
+        )

@@ -3,10 +3,19 @@
 A seed-driven workload generator sweeps (n, d, epsilon, metric,
 distribution, self vs two-set) and asserts that every join engine —
 serial epsilon-kdB on both the flat and the pointer build, the
-stripe-parallel executor, the grid, sort-merge and R-tree baselines —
-returns exactly the brute-force oracle's canonical pair set.  A fixed small matrix runs in tier-1; the extended
-matrix (larger inputs, more seeds, the pooled executor) runs under
-``-m slow``.
+stripe-parallel executor, the incremental streaming session, the grid,
+sort-merge and R-tree baselines — returns exactly the brute-force
+oracle's canonical pair set.  A fixed small matrix runs in tier-1; the
+extended matrix (larger inputs, more seeds, the pooled executor) runs
+under ``-m slow``.
+
+The incremental row answers each case through an
+:class:`~repro.core.incremental.IncrementalJoin` update stream —
+chunked inserts interleaved with decoy points that are inserted and
+later deleted, plus a mid-stream compaction — so every matrix case
+doubles as a check that accumulated deltas reproduce the batch answer.
+Dedicated tier-1 cases run the same adapter on the parallel engine and
+with a fault-injected compaction.
 """
 
 from __future__ import annotations
@@ -76,11 +85,103 @@ def _pointer_build_engine():
 
 _POINTER_SELF, _POINTER_TWO_SET = _pointer_build_engine()
 
+_EMPTY_PAIRS = np.empty((0, 2), dtype=np.int64)
+
+
+def _incremental_engine(engine: str = "serial", fault: bool = False):
+    """Answer a batch case through an incremental update stream.
+
+    Self-join: the points arrive in three chunks with a batch of decoy
+    points (within epsilon of real ones) inserted in between and deleted
+    at the end, and an explicit mid-stream compaction; the net emitted
+    pairs are mapped from session ids back to input positions.  Two-set:
+    R is inserted and compacted into the base, then S probes it; the
+    cross pairs are the answer.  A tight ``delta_threshold`` forces
+    auto-compactions on every matrix case.
+    """
+    from repro.core import FaultPlan
+    from repro.core.incremental import IncrementalJoin, subtract_pairs
+    from repro.core.result import JoinResult
+
+    def _make_session(spec):
+        kwargs = {}
+        if fault:
+            kwargs["fault_plan"] = FaultPlan(seed=5).fail_page_read(0)
+            kwargs["io_retries"] = 2
+        return IncrementalJoin(
+            replace(spec, delta_threshold=48),
+            engine=engine,
+            use_processes=False,
+            n_workers=3,
+            **kwargs,
+        )
+
+    def self_join(points, spec):
+        points = np.asarray(points, dtype=np.float64)
+        session = _make_session(spec)
+        added, retracted = [], []
+
+        def record(delta):
+            if len(delta.added):
+                added.append(delta.added)
+            if len(delta.retracted):
+                retracted.append(delta.retracted)
+            return delta.ids
+
+        chunks = np.array_split(points, 3)
+        real_ids = [record(session.insert(chunks[0]))]
+        decoys = points[: min(8, len(points))].copy()
+        decoys[:, 0] += spec.epsilon / 4.0  # within epsilon in any Lp
+        decoy_ids = record(session.insert(decoys))
+        real_ids.append(record(session.insert(chunks[1])))
+        session.compact()
+        real_ids.append(record(session.insert(chunks[2])))
+        if len(decoy_ids):
+            record(session.delete(decoy_ids))
+        net = subtract_pairs(
+            np.concatenate(added) if added else _EMPTY_PAIRS,
+            np.concatenate(retracted) if retracted else _EMPTY_PAIRS,
+        )
+        ids = np.concatenate(real_ids)
+        inverse = np.full(session._next_id, -1, dtype=np.int64)
+        inverse[ids] = np.arange(len(points), dtype=np.int64)
+        pairs = inverse[net]
+        assert (pairs >= 0).all(), "a decoy survived retraction"
+        pairs = np.sort(pairs, axis=1)
+        pairs = pairs[np.lexsort((pairs[:, 1], pairs[:, 0]))]
+        return JoinResult(stats=session.stats, pairs=pairs)
+
+    def two_set(points_r, points_s, spec):
+        points_r = np.asarray(points_r, dtype=np.float64)
+        points_s = np.asarray(points_s, dtype=np.float64)
+        session = _make_session(spec)
+        added = []
+        for batch in (points_r, points_s):
+            delta = session.insert(batch)
+            if len(delta.added):
+                added.append(delta.added)
+            if batch is points_r:
+                session.compact()
+        all_pairs = np.concatenate(added) if added else _EMPTY_PAIRS
+        n_r = len(points_r)
+        cross = all_pairs[(all_pairs[:, 0] < n_r) & (all_pairs[:, 1] >= n_r)]
+        pairs = np.column_stack([cross[:, 0], cross[:, 1] - n_r])
+        pairs = pairs[np.lexsort((pairs[:, 1], pairs[:, 0]))]
+        return JoinResult(stats=session.stats, pairs=pairs)
+
+    return self_join, two_set
+
+
+_INCREMENTAL_SELF, _INCREMENTAL_TWO_SET = _incremental_engine()
+_INCREMENTAL_PARALLEL = _incremental_engine(engine="parallel")
+_INCREMENTAL_FAULTY = _incremental_engine(fault=True)
+
 #: engine name -> (self_join(points, spec), join(r, s, spec)).
 ENGINES = {
     "epsilon-kdb": (epsilon_kdb_self_join, epsilon_kdb_join),
     "epsilon-kdb-pointer": (_POINTER_SELF, _POINTER_TWO_SET),
     "epsilon-kdb-parallel": (_PARALLEL_SELF, _PARALLEL_TWO_SET),
+    "epsilon-kdb-incremental": (_INCREMENTAL_SELF, _INCREMENTAL_TWO_SET),
     "grid": (grid_self_join, grid_join),
     "sort-merge": (sort_merge_self_join, sort_merge_join),
     "rtree": (rtree_self_join, rtree_join),
@@ -150,6 +251,26 @@ def test_pooled_executor_agrees_on_one_tier1_case():
     """One real process-pool run in tier-1; the rest exercise it in-process."""
     engines = {"epsilon-kdb-parallel-pooled": (_POOLED_SELF, _POOLED_TWO_SET)}
     check_case(400, 4, 0.3, "l2", "clusters", "self", 11, engines=engines)
+
+
+def test_incremental_parallel_engine_agrees():
+    """The incremental session probing its base through the stripe
+    executor must match the oracle on self and two-set cases."""
+    engines = {"epsilon-kdb-incremental-parallel": _INCREMENTAL_PARALLEL}
+    check_case(200, 4, 0.4, "l1", "clusters", "self", 1, engines=engines)
+    check_case(160, 3, 0.3, "l2", "clusters", "two-set", 5, engines=engines)
+
+
+def test_incremental_faulty_compaction_agrees_and_retries():
+    """Injected compaction faults are retried transparently: the stream
+    stays byte-exact and the resilience counters record the injections."""
+    engines = {"epsilon-kdb-incremental-faulty": _INCREMENTAL_FAULTY}
+    check_case(150, 3, 0.25, "linf", "quantized", "self", 2, engines=engines)
+    self_join, _ = _INCREMENTAL_FAULTY
+    result = self_join(generate("uniform", 150, 3, 9), JoinSpec(epsilon=0.3))
+    assert result.stats.faults_injected >= 1
+    assert result.stats.storage_retries >= 1
+    assert result.stats.compactions >= 1
 
 
 @pytest.mark.slow

@@ -13,6 +13,7 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
+from _oracles import assert_same_pairs, oracle_self_pairs
 from repro import JoinSpec, epsilon_sweep, similarity_join
 from repro.core.epsilon_kdb import EpsilonKdbTree, Grid
 from repro.core.external import external_self_join
@@ -312,6 +313,77 @@ class TestTreeReuse:
     def test_cache_validates_max_entries(self):
         with pytest.raises(InvalidParameterError):
             TreeCache(max_entries=0)
+
+    def test_cache_lru_hit_refreshes_recency(self, rng):
+        """A hit moves the entry to the back of the eviction queue."""
+        cache = TreeCache(max_entries=2)
+        sets = [rng.random((80, 3)) for _ in range(3)]
+        spec = JoinSpec(epsilon=0.2)
+        cache.get_or_build(sets[0], spec)
+        cache.get_or_build(sets[1], spec)
+        _, hit = cache.get_or_build(sets[0], spec)  # refresh the oldest
+        assert hit
+        cache.get_or_build(sets[2], spec)  # must evict sets[1], not sets[0]
+        _, hit_refreshed = cache.get_or_build(sets[0], spec)
+        assert hit_refreshed
+        _, hit_evicted = cache.get_or_build(sets[1], spec)
+        assert not hit_evicted
+
+    def test_cache_keys_separate_spec_knobs(self, rng):
+        """Same points under a different metric, leaf size, split order
+        or sort dimension must build distinct entries — a collision would
+        hand a join a tree partitioned for the wrong parameters."""
+        points = rng.random((120, 4))
+        cache = TreeCache(max_entries=8)
+        variants = [
+            JoinSpec(epsilon=0.2),
+            JoinSpec(epsilon=0.2, metric="l1"),
+            JoinSpec(epsilon=0.2, leaf_size=16),
+            JoinSpec(epsilon=0.2, split_order=(3, 2, 1, 0)),
+            JoinSpec(epsilon=0.2, sort_dim=0),
+        ]
+        for spec in variants:
+            _, hit = cache.get_or_build(points, spec)
+            assert not hit, spec
+        assert len(cache) == len(variants)
+        assert cache.misses == len(variants)
+        # ... and each repeat request finds exactly its own entry.
+        for spec in variants:
+            _, hit = cache.get_or_build(points, spec)
+            assert hit, spec
+
+    def test_cache_key_is_dtype_canonical(self, rng):
+        """float32 input is coerced to float64 before fingerprinting, so
+        the same values in either dtype share one cache entry."""
+        cache = TreeCache()
+        wide = rng.random((150, 3)).astype(np.float32)
+        spec = JoinSpec(epsilon=0.25)
+        cache.get_or_build(wide.astype(np.float64), spec)
+        _, hit = cache.get_or_build(wide, spec)
+        assert hit
+        assert len(cache) == 1
+
+    def test_cache_bounds_change_between_sweeps(self, rng):
+        """Appending out-of-box outliers changes the fingerprint: the old
+        entry is not reused, the rebuilt grid covers the outliers, and
+        both sweeps stay exact."""
+        cache = TreeCache()
+        core = rng.random((200, 3))
+        outliers = rng.random((20, 3)) * 4.0 - 1.5  # escapes [0, 1]^3
+        grown = np.vstack([core, outliers])
+        for points in (core, grown):
+            results, aggregate = epsilon_sweep(
+                points, [0.3, 0.2], cache=cache, return_stats=True
+            )
+            for eps, result in zip([0.3, 0.2], results):
+                expected = oracle_self_pairs(points, _spec("flat", epsilon=eps))
+                assert_same_pairs(result.pairs, expected, f"sweep eps={eps}")
+            assert aggregate.structure_cache_hits == 1  # within-sweep only
+        assert cache.misses == 2  # one build per distinct point set
+        tree, hit = cache.get_or_build(grown, JoinSpec(epsilon=0.2))
+        assert hit
+        assert (tree.grid.lo <= grown.min(axis=0)).all()
+        assert (tree.grid.hi >= grown.max(axis=0)).all()
 
     def test_epsilon_sweep_reuses_structure(self, small_uniform):
         cache = TreeCache()

@@ -166,3 +166,49 @@ class TestChunkedIteratorProperties:
             collected.extend(zip(pos_a.tolist(), pos_b.tolist()))
         assert len(collected) == len(set(collected))
         assert set(collected) == expected
+
+
+class TestEpsilonSweepStats:
+    """Regression: per-epsilon ``structure_cache_hits`` must attribute
+    reuse to the joins that hit the cache (0 or 1 each) and sum exactly
+    to the sweep aggregate and to the cache's own hit counter."""
+
+    def test_per_epsilon_hits_sum_to_aggregate(self):
+        from repro import JoinSpec
+        from repro.core.flat_build import TreeCache
+        from repro.core.sweep import epsilon_sweep
+
+        points = np.random.default_rng(3).random((400, 5))
+        cache = TreeCache()
+        epsilons = [0.15, 0.35, 0.25, 0.2]
+        results, aggregate = epsilon_sweep(
+            points, epsilons, cache=cache, return_stats=True
+        )
+        per_eps = [r.stats.structure_cache_hits for r in results]
+        assert all(hit in (0, 1) for hit in per_eps)
+        # The coarsest epsilon pays the build; every other join reuses it.
+        assert per_eps[epsilons.index(max(epsilons))] == 0
+        assert sum(per_eps) == len(epsilons) - 1
+        assert aggregate.structure_cache_hits == sum(per_eps)
+        assert cache.hits == sum(per_eps)
+        assert cache.misses == 1
+        # The aggregate's additive counters accumulate across the sweep.
+        assert aggregate.pairs_emitted == sum(
+            r.stats.pairs_emitted for r in results
+        )
+
+    def test_second_sweep_attributes_hits_to_every_epsilon(self):
+        from repro.core.flat_build import TreeCache
+        from repro.core.sweep import epsilon_sweep
+
+        points = np.random.default_rng(4).random((300, 4))
+        cache = TreeCache()
+        epsilons = [0.3, 0.2]
+        epsilon_sweep(points, epsilons, cache=cache)
+        before = cache.hits
+        results, aggregate = epsilon_sweep(
+            points, epsilons, cache=cache, return_stats=True
+        )
+        per_eps = [r.stats.structure_cache_hits for r in results]
+        assert per_eps == [1, 1]  # warm cache: even the coarsest hits
+        assert aggregate.structure_cache_hits == cache.hits - before
