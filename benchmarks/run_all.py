@@ -48,6 +48,7 @@ EXPERIMENTS = [
     "bench_e16_kernels",
     "bench_e17_flat_build",
     "bench_e18_incremental",
+    "bench_e19_persistence",
 ]
 
 RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")

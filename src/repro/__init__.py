@@ -76,9 +76,11 @@ from repro.core import (
     subtract_pairs,
 )
 from repro.errors import (
+    CorruptSnapshotError,
     DomainError,
     InvalidParameterError,
     ReproError,
+    SessionCrashError,
     StorageError,
     TaskTimeoutError,
     TransientIoError,
@@ -141,6 +143,8 @@ def similarity_join(
     build: str = "auto",
     updates: Optional[Sequence] = None,
     delta_threshold: Optional[int] = None,
+    persist_path: Optional[str] = None,
+    sync_mode: Optional[str] = None,
     return_result: bool = False,
 ):
     """Find all point pairs within ``epsilon`` of each other.
@@ -201,6 +205,19 @@ def similarity_join(
         delta_threshold: delta-buffer compaction trigger for the update
             session (``None``: scale with the base size).  Only
             meaningful with ``updates``.
+        persist_path: directory for a crash-consistent on-disk session
+            (checksummed snapshots plus a write-ahead log; see
+            ``docs/persistence.md``).  An empty or missing directory
+            starts a fresh session; a directory already holding one is
+            *resumed* — its durable state is recovered first, then
+            ``points`` (if non-empty) and ``updates`` are applied on
+            top.  The returned pairs are the surviving *id* pairs of the
+            whole session, byte-identical to a never-interrupted run.
+            Implies the epsilon-kdb update session even when ``updates``
+            is ``None``.
+        sync_mode: WAL durability policy for ``persist_path``:
+            ``"always"`` (fsync per update), ``"batch"`` (default;
+            fsync at snapshot boundaries), or ``"off"``.
         return_result: when true, return the full
             :class:`~repro.core.result.JoinResult` (pairs *and*
             statistics) instead of just the pair array.
@@ -232,25 +249,43 @@ def similarity_join(
     if delta_threshold is not None:
         spec_kwargs["delta_threshold"] = delta_threshold
     spec = JoinSpec(**spec_kwargs)
-    if updates is not None:
+    if sync_mode is not None and persist_path is None:
+        raise InvalidParameterError(
+            "sync_mode is only meaningful together with persist_path"
+        )
+    if updates is not None or persist_path is not None:
         if points2 is not None:
             raise InvalidParameterError(
-                "updates are only supported for self-join sessions, "
-                "not two-set joins"
+                "update/persisted sessions are only supported for "
+                "self-joins, not two-set joins"
             )
         if algorithm not in ("epsilon-kdb", "epsilon-kdb-parallel"):
             raise InvalidParameterError(
-                "updates are only supported by the epsilon-kdb algorithms, "
-                f"not {algorithm!r}"
+                "update/persisted sessions are only supported by the "
+                f"epsilon-kdb algorithms, not {algorithm!r}"
             )
-        session = IncrementalJoin(
-            spec,
-            engine="parallel" if algorithm == "epsilon-kdb-parallel" else "serial",
-        )
-        stream = list(updates)
+        engine = "parallel" if algorithm == "epsilon-kdb-parallel" else "serial"
+        stream = list(updates) if updates is not None else []
         points = np.asarray(points, dtype=np.float64)
         if len(points):
             stream.insert(0, ("insert", points))
+        if persist_path is not None:
+            session = IncrementalJoin.open(
+                persist_path, spec=spec, sync_mode=sync_mode, engine=engine
+            )
+            try:
+                apply_update_stream(session, stream)
+                # The accumulated live pair set — identical to what a
+                # fresh session's added-minus-retracted ledger yields,
+                # but also correct when the session was resumed.
+                pairs = session.current_pairs()
+                stats = session.stats
+            finally:
+                session.close()
+            if not return_result:
+                return pairs
+            return JoinResult(stats=stats, pairs=pairs)
+        session = IncrementalJoin(spec, engine=engine)
         added, retracted = apply_update_stream(session, stream)
         pairs = subtract_pairs(added, retracted)
         if not return_result:
@@ -338,6 +373,8 @@ __all__ = [
     "InvalidParameterError",
     "DomainError",
     "StorageError",
+    "CorruptSnapshotError",
+    "SessionCrashError",
     "TransientIoError",
     "WorkerCrashError",
     "TaskTimeoutError",

@@ -1,13 +1,19 @@
 """Command-line interface: ``python -m repro`` / ``repro-join``.
 
-Four subcommands:
+Five subcommands:
 
 * ``join`` (the default when flags are given directly) — run one
   similarity join on a generated workload or a ``.npy``/``.csv`` file
   and print the result statistics.
 * ``join-stream`` — feed a JSONL update stream (insert/delete batches)
   through an incremental join session and report the emitted deltas
-  per batch (see docs/streaming.md).
+  per batch (see docs/streaming.md).  With ``--persist DIR`` the
+  session is crash-consistent: every batch is journaled to a
+  write-ahead log and checksummed snapshots are published at
+  compactions, so an interrupted run resumes where it left off.
+* ``join-open`` — recover a persisted session directory (replaying the
+  WAL over the newest valid snapshot) and print its surviving pairs
+  and recovery statistics (see docs/persistence.md).
 * ``compare`` — run *every* implemented algorithm on the same workload
   and print the comparison table, a one-command version of the paper's
   head-to-head experiments.
@@ -39,7 +45,8 @@ from repro import _SELF_JOIN_ALGORITHMS as SELF_JOIN_REGISTRY
 from repro.analysis import Table, format_seconds, format_si
 from repro.core.incremental import normalize_update
 from repro.core.result import JoinStats
-from repro.errors import InvalidParameterError
+from repro.errors import CorruptSnapshotError, InvalidParameterError
+from repro.storage.wal import SYNC_MODES
 from repro.datasets import (
     color_histograms,
     gaussian_clusters,
@@ -249,6 +256,64 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="print the phase-breakdown tree of the traced session",
     )
+    stream.add_argument(
+        "--persist",
+        metavar="DIR",
+        help="make the session crash-consistent: journal every batch to "
+        "a write-ahead log in DIR and publish checksummed snapshots at "
+        "compactions; an existing session directory is resumed (the "
+        "seed workload is then skipped)",
+    )
+    stream.add_argument(
+        "--sync-mode",
+        choices=list(SYNC_MODES),
+        default=None,
+        help="WAL durability policy with --persist: always (fsync per "
+        "batch), batch (default; fsync at snapshot boundaries), or off",
+    )
+
+    opened = subparsers.add_parser(
+        "join-open",
+        help="recover a persisted session directory and print its "
+        "surviving pairs and recovery statistics",
+    )
+    opened.add_argument(
+        "path", help="session directory previously written with --persist"
+    )
+    opened.add_argument(
+        "--sync-mode",
+        choices=list(SYNC_MODES),
+        default=None,
+        help="WAL durability policy for the reopened session "
+        "(default: the persisted spec's policy)",
+    )
+    opened.add_argument(
+        "--output",
+        help="write the surviving (m, 2) id-pair array to this .npy file",
+    )
+    opened.add_argument(
+        "--stats-json",
+        metavar="PATH",
+        help="dump the recovered session's JoinStats as JSON to PATH",
+    )
+    opened.add_argument(
+        "--trace",
+        metavar="PATH",
+        help="record a structured trace of the recovery and the join "
+        "(recover, wal-append and traversal spans) and write it to PATH",
+    )
+    opened.add_argument(
+        "--trace-format",
+        choices=["jsonl", "chrome"],
+        default="jsonl",
+        help="trace file format: jsonl (one span per line) or chrome "
+        "(trace_event JSON)",
+    )
+    opened.add_argument(
+        "--trace-summary",
+        action="store_true",
+        help="print the phase-breakdown tree of the traced recovery",
+    )
 
     compare = subparsers.add_parser(
         "compare", help="run every algorithm on the same workload"
@@ -443,6 +508,24 @@ def _iter_update_lines(path: str):
             handle.close()
 
 
+def _emit_trace(tracer: Optional[Tracer], args: argparse.Namespace) -> None:
+    if tracer is None:
+        return
+    spans = tracer.export()
+    if args.trace:
+        if args.trace_format == "chrome":
+            write_chrome_trace(spans, args.trace)
+        else:
+            write_jsonl(spans, args.trace)
+        print(
+            f"wrote {len(spans)} trace spans to {args.trace} "
+            f"({args.trace_format})"
+        )
+    if args.trace_summary:
+        print()
+        print(format_tree(spans))
+
+
 def _run_join_stream(args: argparse.Namespace) -> int:
     spec = JoinSpec(
         epsilon=args.epsilon,
@@ -454,11 +537,24 @@ def _run_join_stream(args: argparse.Namespace) -> int:
         delta_threshold=args.delta_threshold,
     )
     workers = args.workers
-    session = IncrementalJoin(
-        spec,
-        engine="parallel" if workers and workers > 1 else "serial",
-        n_workers=workers,
-    )
+    engine = "parallel" if workers and workers > 1 else "serial"
+    if args.persist:
+        session = IncrementalJoin.open(
+            args.persist,
+            spec=spec,
+            sync_mode=args.sync_mode,
+            engine=engine,
+            n_workers=workers,
+        )
+    else:
+        session = IncrementalJoin(spec, engine=engine, n_workers=workers)
+    resumed = session.last_update_seq > 0 or session.n_live > 0
+    if resumed:
+        print(
+            f"resumed session at {args.persist}: {session.n_live} live "
+            f"points, seq {session.last_update_seq}, "
+            f"{session.stats.wal_records_replayed} WAL records replayed"
+        )
     tracing = bool(args.trace or args.trace_summary)
     tracer = Tracer() if tracing else None
     added = []
@@ -489,9 +585,10 @@ def _run_join_stream(args: argparse.Namespace) -> int:
 
     started = time.perf_counter()
     with ExitStack() as stack:
+        stack.callback(session.close)
         if tracer is not None:
             stack.enter_context(trace.activate(tracer))
-        if not args.no_initial:
+        if not args.no_initial and not resumed:
             points = _load_points(args)
             print(
                 f"seeding session with {len(points)} points, "
@@ -499,15 +596,35 @@ def _run_join_stream(args: argparse.Namespace) -> int:
                 f"metric={spec.metric.name}"
             )
             apply("seed", "insert", points)
-        for lineno, row in _iter_update_lines(args.updates):
-            op, payload = normalize_update(row)
-            apply(str(lineno), op, payload)
+        try:
+            for lineno, row in _iter_update_lines(args.updates):
+                try:
+                    op, payload = normalize_update(row)
+                    apply(str(lineno), op, payload)
+                except InvalidParameterError as exc:
+                    # One line — file, line, reason — not a traceback;
+                    # everything applied so far stays applied (and, with
+                    # --persist, journaled).
+                    print(
+                        f"error: {args.updates}:{lineno}: {exc}",
+                        file=sys.stderr,
+                    )
+                    return 2
+        except InvalidParameterError as exc:
+            # Malformed JSON: the message already carries path:line.
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        if args.persist:
+            # The durable ground truth, correct also for resumed runs
+            # where earlier batches predate this process's ledger.
+            pairs = session.current_pairs()
+        else:
+            empty = np.empty((0, 2), dtype=np.int64)
+            pairs = subtract_pairs(
+                np.concatenate(added) if added else empty,
+                np.concatenate(retracted) if retracted else empty,
+            )
     elapsed = time.perf_counter() - started
-    empty = np.empty((0, 2), dtype=np.int64)
-    pairs = subtract_pairs(
-        np.concatenate(added) if added else empty,
-        np.concatenate(retracted) if retracted else empty,
-    )
     print(
         f"{session.stats.updates_applied} batches: {len(pairs)} surviving "
         f"pairs over {session.n_live} live points"
@@ -522,20 +639,44 @@ def _run_join_stream(args: argparse.Namespace) -> int:
             json.dump(session.stats.as_dict(), handle, indent=2, sort_keys=True)
             handle.write("\n")
         print(f"wrote stats to {args.stats_json}")
-    if tracer is not None:
-        spans = tracer.export()
-        if args.trace:
-            if args.trace_format == "chrome":
-                write_chrome_trace(spans, args.trace)
-            else:
-                write_jsonl(spans, args.trace)
-            print(
-                f"wrote {len(spans)} trace spans to {args.trace} "
-                f"({args.trace_format})"
-            )
-        if args.trace_summary:
-            print()
-            print(format_tree(spans))
+    _emit_trace(tracer, args)
+    return 0
+
+
+def _run_join_open(args: argparse.Namespace) -> int:
+    tracing = bool(args.trace or args.trace_summary)
+    tracer = Tracer() if tracing else None
+    started = time.perf_counter()
+    with ExitStack() as stack:
+        if tracer is not None:
+            stack.enter_context(trace.activate(tracer))
+        try:
+            session = IncrementalJoin.open(args.path, sync_mode=args.sync_mode)
+        except (CorruptSnapshotError, InvalidParameterError) as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        stack.callback(session.close)
+        stats = session.stats
+        print(
+            f"recovered session at {args.path}: {session.n_live} live "
+            f"points (d={session.dims}), seq {session.last_update_seq}, "
+            f"{stats.wal_records_replayed} WAL records replayed, "
+            f"{stats.corrupt_frames_discarded} corrupt frames discarded"
+        )
+        pairs = session.current_pairs()
+    elapsed = time.perf_counter() - started
+    print(f"{len(pairs)} surviving pairs over {session.n_live} live points")
+    _print_stats(stats)
+    print(f"wall clock: {format_seconds(elapsed)}")
+    if args.output:
+        save_pairs(args.output, pairs)
+        print(f"wrote pairs to {args.output}")
+    if args.stats_json:
+        with open(args.stats_json, "w") as handle:
+            json.dump(stats.as_dict(), handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"wrote stats to {args.stats_json}")
+    _emit_trace(tracer, args)
     return 0
 
 
@@ -630,6 +771,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return _run_join(args)
     if args.command == "join-stream":
         return _run_join_stream(args)
+    if args.command == "join-open":
+        return _run_join_open(args)
     build_parser().print_help()
     return 2
 

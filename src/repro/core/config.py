@@ -7,13 +7,15 @@ validated parameter set.
 
 from __future__ import annotations
 
+import hashlib
+import json
 from dataclasses import dataclass
-from typing import Optional, Sequence, Union
+from typing import Any, Dict, Optional, Sequence, Union
 
 import numpy as np
 
 from repro.errors import InvalidParameterError
-from repro.metrics import Metric, get_metric
+from repro.metrics import LpMetric, Metric, WeightedLpMetric, get_metric
 
 #: Default leaf split threshold; the paper reports a broad flat optimum,
 #: which experiment E4 reproduces.
@@ -100,6 +102,17 @@ class JoinSpec:
         sketch_bits: bucket-count exponent of the session's streaming
             join-size sketch (``2**sketch_bits`` buckets); larger values
             reduce hash-collision bias at a linear memory cost.
+        persist_path: directory an
+            :class:`~repro.core.incremental.IncrementalJoin` session
+            journals and snapshots itself into (see docs/persistence.md).
+            ``None`` (default) keeps the session memory-only.  Ignored
+            by the batch entry points.
+        sync_mode: fsync policy of the persisted session's write-ahead
+            log: ``"always"`` (fsync per update batch — every
+            acknowledged update survives a crash), ``"batch"`` (default;
+            flush per batch, fsync at snapshot boundaries and close) or
+            ``"off"`` (never fsync; fastest, weakest).  Only meaningful
+            with ``persist_path``.
     """
 
     epsilon: float
@@ -117,6 +130,8 @@ class JoinSpec:
     build: str = "auto"
     delta_threshold: Optional[int] = None
     sketch_bits: int = DEFAULT_SKETCH_BITS
+    persist_path: Optional[str] = None
+    sync_mode: str = "batch"
 
     def __post_init__(self) -> None:
         if not np.isfinite(self.epsilon) or self.epsilon <= 0:
@@ -182,10 +197,104 @@ class JoinSpec:
                 f"sketch_bits must be in [4, 24], got {self.sketch_bits!r}"
             )
         self.sketch_bits = int(self.sketch_bits)
+        if self.persist_path is not None:
+            self.persist_path = str(self.persist_path)
+        if self.sync_mode not in ("always", "batch", "off"):
+            raise InvalidParameterError(
+                f'sync_mode must be "always", "batch" or "off", '
+                f"got {self.sync_mode!r}"
+            )
 
     def resolved_build(self) -> str:
         """The effective tree build strategy (``"flat"`` or ``"pointer"``)."""
         return "flat" if self.build == "auto" else self.build
+
+    def structural_dict(self) -> Dict[str, Any]:
+        """The result-shaping parameters as JSON-ready data.
+
+        This is what a persisted session stores as its spec fingerprint:
+        everything that determines *which pairs* a join emits and how
+        the structure partitions — but not the runtime knobs
+        (``n_workers``, ``task_timeout``, ``persist_path``, ``sync_mode``
+        and friends), which a re-opened session may freely change.
+        Raises for metrics without a stable serialization (custom
+        :class:`~repro.metrics.Metric` subclasses).
+        """
+        metric = self.metric
+        if isinstance(metric, WeightedLpMetric):
+            metric_data: Dict[str, Any] = {
+                "kind": "weighted",
+                "p": metric.p,
+                "weights": [float(w) for w in metric.weights],
+            }
+        elif isinstance(metric, LpMetric):
+            metric_data = {"kind": "lp", "p": metric.p}
+        elif metric.name == "linf":
+            metric_data = {"kind": "named", "name": "linf"}
+        else:
+            raise InvalidParameterError(
+                f"metric {metric.name!r} has no stable serialization; "
+                "persisted sessions support the L_p family only"
+            )
+        return {
+            "epsilon": self.epsilon,
+            "metric": metric_data,
+            "leaf_size": self.leaf_size,
+            "split_order": (
+                None
+                if self.split_order is None
+                else [int(d) for d in self.split_order]
+            ),
+            "sort_dim": self.sort_dim,
+            "adjacency_pruning": bool(self.adjacency_pruning),
+            "cascade": self.cascade,
+            "filter_dims": self.filter_dims,
+            "build": self.build,
+            "delta_threshold": self.delta_threshold,
+            "sketch_bits": self.sketch_bits,
+        }
+
+    def fingerprint(self) -> str:
+        """Content hash of :meth:`structural_dict` (the persisted identity)."""
+        blob = json.dumps(self.structural_dict(), sort_keys=True).encode("utf-8")
+        return hashlib.blake2b(blob, digest_size=16).hexdigest()
+
+    @classmethod
+    def from_structural_dict(cls, data: Dict[str, Any], **runtime) -> "JoinSpec":
+        """Rebuild a spec from :meth:`structural_dict` output.
+
+        ``runtime`` supplies the non-structural knobs (``persist_path``,
+        ``sync_mode``, ``n_workers``, ...) the caller wants on the
+        rebuilt spec.
+        """
+        metric_data = data["metric"]
+        kind = metric_data.get("kind")
+        if kind == "weighted":
+            metric: Union[str, float, Metric] = WeightedLpMetric(
+                metric_data["p"], np.asarray(metric_data["weights"])
+            )
+        elif kind == "lp":
+            metric = get_metric(metric_data["p"])
+        elif kind == "named":
+            metric = get_metric(metric_data["name"])
+        else:
+            raise InvalidParameterError(
+                f"unknown serialized metric kind {kind!r}"
+            )
+        return cls(
+            epsilon=data["epsilon"],
+            metric=metric,
+            leaf_size=data["leaf_size"],
+            split_order=data["split_order"],
+            sort_dim=data["sort_dim"],
+            adjacency_pruning=data["adjacency_pruning"],
+            cascade=data["cascade"],
+            filter_dims=data["filter_dims"],
+            build=data["build"],
+            delta_threshold=data["delta_threshold"],
+            sketch_bits=data["sketch_bits"],
+            **runtime,
+        )
 
     def resolved_delta_threshold(self, base_size: int) -> int:
         """Delta-buffer size that triggers compaction, given the base size.

@@ -40,12 +40,15 @@ proxy for the join size, cheap enough to maintain per update batch.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+import os
+import time
+from dataclasses import dataclass, field, replace
 from typing import List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
 from repro.core.config import JoinSpec, validate_points
+from repro.core.epsilon_kdb import Grid
 from repro.core.flat_build import FlatEpsilonKdbTree, TreeCache
 from repro.core.join import (
     _JoinContext,
@@ -56,8 +59,27 @@ from repro.core.join import (
 from repro.core.kernels import build_kernel_context
 from repro.core.resilience import FaultPlan, retry_transient
 from repro.core.result import JoinResult, JoinStats, PairCollector
-from repro.errors import InvalidParameterError, TransientIoError
+from repro.errors import (
+    CorruptSnapshotError,
+    InvalidParameterError,
+    StorageError,
+    TransientIoError,
+)
 from repro.obs import trace
+from repro.storage.snapshot import (
+    list_snapshots,
+    load_snapshot,
+    prune_snapshots,
+    write_snapshot,
+)
+from repro.storage.wal import (
+    OP_INSERT,
+    WAL_FILENAME,
+    WriteAheadLog,
+    encode_delete,
+    encode_insert,
+    scan_wal,
+)
 
 #: Transient-failure retry budget for the compaction build.
 DEFAULT_IO_RETRIES = 2
@@ -225,9 +247,20 @@ class IncrementalJoin:
         fault_plan: a :class:`~repro.core.resilience.FaultPlan` whose
             ``io_fault`` sites fire once per compaction *attempt*
             (ordinals count attempts, so a retried compaction consumes
-            the next ordinal).
+            the next ordinal); its storage-corruption faults fire at the
+            WAL-append and snapshot-publish sites of a persisted
+            session.
         io_retries: transient-failure retry budget per compaction.
         use_processes / n_workers: forwarded to the parallel executor.
+
+    When ``spec.persist_path`` is set the session is durable: every
+    update batch is journaled to a write-ahead log *before* it mutates
+    session state, every compaction publishes a checksummed snapshot
+    (and truncates the log), and :meth:`open` recovers the exact session
+    from the last durable snapshot plus the log suffix — including after
+    a crash, a torn write, or a corrupted file (see docs/persistence.md).
+    The constructor only ever *creates* a persisted session; a directory
+    that already holds one must go through :meth:`open`.
     """
 
     def __init__(
@@ -269,6 +302,320 @@ class IncrementalJoin:
         self._delta_points = np.empty((0, 0), dtype=np.float64)
         self._delta_ids = _EMPTY_IDS.copy()
         self._delta_alive = np.empty(0, dtype=bool)
+        self._persist_dir: Optional[str] = spec.persist_path
+        self._wal: Optional[WriteAheadLog] = None
+        self._snapshot_seq = -1
+        self._update_seq = 0
+        self._replaying = False
+        if self._persist_dir is not None:
+            self._init_fresh_storage()
+
+    # ------------------------------------------------------------------
+    # persistence lifecycle
+    # ------------------------------------------------------------------
+    def _init_fresh_storage(self) -> None:
+        """Create the session directory, journal and initial snapshot.
+
+        The seq-0 snapshot of the empty session guarantees a durable
+        prefix exists from the first moment, so recovery always has a
+        consistent state to fall back to.
+        """
+        self.spec.fingerprint()  # reject unserializable metrics up front
+        os.makedirs(self._persist_dir, exist_ok=True)
+        wal_path = os.path.join(self._persist_dir, WAL_FILENAME)
+        if list_snapshots(self._persist_dir) or os.path.exists(wal_path):
+            raise InvalidParameterError(
+                f"{self._persist_dir!r} already holds a persisted session; "
+                "recover it with IncrementalJoin.open() instead"
+            )
+        self._wal = WriteAheadLog(
+            wal_path, sync_mode=self.spec.sync_mode, fault_plan=self._fault_plan
+        )
+        self._publish_snapshot()
+
+    @classmethod
+    def open(
+        cls,
+        path: str,
+        *,
+        spec: Optional[JoinSpec] = None,
+        sync_mode: Optional[str] = None,
+        engine: str = "serial",
+        structure_cache: Optional[TreeCache] = None,
+        fault_plan: Optional[FaultPlan] = None,
+        io_retries: int = DEFAULT_IO_RETRIES,
+        use_processes: bool = True,
+        n_workers: Optional[int] = None,
+    ) -> "IncrementalJoin":
+        """Open (or create) the persisted session stored at ``path``.
+
+        If ``path`` holds no session yet, ``spec`` is required and a
+        fresh persisted session is created.  Otherwise the session is
+        *recovered*: the newest snapshot that passes its magic, length
+        and checksum validation is memmapped back (falling back across
+        generations when a file is damaged), the write-ahead log's
+        durable prefix is replayed on top, and any torn or corrupted
+        suffix is discarded — counted in
+        ``stats.corrupt_frames_discarded``.  A ``spec`` passed alongside
+        an existing session must match the persisted structural
+        fingerprint; runtime knobs (engine, workers, ``sync_mode``)
+        may differ freely.  Raises
+        :class:`~repro.errors.CorruptSnapshotError` only when every
+        snapshot generation fails validation.
+        """
+        path = str(path)
+        snaps = list_snapshots(path)
+        if not snaps:
+            if spec is None:
+                raise InvalidParameterError(
+                    f"{path!r} holds no persisted session and no spec was "
+                    "given to create one"
+                )
+            fresh = replace(
+                spec,
+                persist_path=path,
+                sync_mode=sync_mode if sync_mode is not None else spec.sync_mode,
+            )
+            return cls(
+                fresh,
+                engine=engine,
+                structure_cache=structure_cache,
+                fault_plan=fault_plan,
+                io_retries=io_retries,
+                use_processes=use_processes,
+                n_workers=n_workers,
+            )
+        started = time.perf_counter()
+        with trace.span("recover", path=path, snapshots=len(snaps)) as span:
+            meta = arrays = None
+            chosen_path = None
+            discarded = 0
+            for seq, snap_path in reversed(snaps):
+                try:
+                    meta, arrays = load_snapshot(snap_path)
+                    chosen_path = snap_path
+                    break
+                except StorageError:
+                    discarded += 1
+            if meta is None:
+                raise CorruptSnapshotError(
+                    f"all {len(snaps)} snapshot generations in {path!r} "
+                    "failed validation; no durable state survives"
+                )
+            disk_spec = JoinSpec.from_structural_dict(meta["spec"])
+            if spec is not None and spec.fingerprint() != disk_spec.fingerprint():
+                raise InvalidParameterError(
+                    "the given spec does not match the persisted session "
+                    f"(fingerprint {spec.fingerprint()} != "
+                    f"{disk_spec.fingerprint()}); open without a spec to "
+                    "use the stored one"
+                )
+            run_sync = sync_mode
+            if run_sync is None:
+                run_sync = spec.sync_mode if spec is not None else disk_spec.sync_mode
+            mem_spec = replace(
+                spec if spec is not None else disk_spec,
+                persist_path=None,
+                sync_mode=run_sync,
+            )
+            session = cls(
+                mem_spec,
+                engine=engine,
+                structure_cache=structure_cache,
+                fault_plan=fault_plan,
+                io_retries=io_retries,
+                use_processes=use_processes,
+                n_workers=n_workers,
+            )
+            session.spec = replace(mem_spec, persist_path=path)
+            session._persist_dir = path
+            # Never reuse a seq already on disk, even a corrupt one.
+            session._snapshot_seq = snaps[-1][0]
+            session._restore_state(meta, arrays)
+            session.stats.snapshot_bytes = max(
+                session.stats.snapshot_bytes, os.path.getsize(chosen_path)
+            )
+            # Scan the journal, keeping only the contiguous run that
+            # chains onto the snapshot's watermark.  Records at or below
+            # the watermark are already folded in (a crash between
+            # snapshot publish and log truncation leaves them behind);
+            # a gap means the records presuppose state that died with a
+            # newer, unrecoverable snapshot — everything from the gap on
+            # is discarded.
+            wal_path = os.path.join(path, WAL_FILENAME)
+            records, _, wal_discarded = scan_wal(wal_path)
+            discarded += wal_discarded
+            replayable = []
+            expected = int(meta["wal_seq"]) + 1
+            for rec in records:
+                if rec.seq < expected:
+                    continue
+                if rec.seq != expected:
+                    discarded += 1
+                    break
+                replayable.append(rec)
+                expected += 1
+            # Rewrite the journal to exactly the prefix being replayed,
+            # with fault hooks disabled (these records already survived
+            # their own append faults).
+            wal = WriteAheadLog(wal_path, sync_mode=run_sync, fault_plan=None)
+            wal.reset()
+            for rec in replayable:
+                if rec.op == OP_INSERT:
+                    wal.append(encode_insert(rec.seq, rec.points), rec.seq)
+                else:
+                    wal.append(encode_delete(rec.seq, rec.ids), rec.seq)
+            wal.sync()
+            wal.fault_plan = fault_plan
+            session._wal = wal
+            session._replaying = True
+            try:
+                for rec in replayable:
+                    if rec.op == OP_INSERT:
+                        session.insert(rec.points)
+                    else:
+                        session.delete(rec.ids)
+            finally:
+                session._replaying = False
+            session.stats.wal_records_replayed += len(replayable)
+            session.stats.corrupt_frames_discarded += discarded
+            span.set_attribute("replayed", len(replayable))
+            span.set_attribute("discarded", discarded)
+            span.set_attribute("recovered_seq", session._update_seq)
+        session.stats.recovery_seconds += time.perf_counter() - started
+        return session
+
+    @property
+    def last_update_seq(self) -> int:
+        """Sequence number of the most recent durable update batch."""
+        return self._update_seq
+
+    def close(self) -> None:
+        """Flush and close the write-ahead log (no-op when memory-only)."""
+        if self._wal is not None and not self._wal.closed:
+            self._wal.close()
+
+    def __enter__(self) -> "IncrementalJoin":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+    def _publish_snapshot(self) -> None:
+        """Write, fsync and atomically publish the next snapshot generation."""
+        self._snapshot_seq += 1
+        meta, arrays = self._snapshot_state()
+        _, nbytes = write_snapshot(
+            self._persist_dir,
+            self._snapshot_seq,
+            meta,
+            arrays,
+            fault_plan=self._fault_plan,
+            fsync=self.spec.sync_mode != "off",
+        )
+        prune_snapshots(self._persist_dir, keep=2)
+        self.stats.snapshot_bytes = max(self.stats.snapshot_bytes, nbytes)
+
+    def _snapshot_state(self) -> Tuple[dict, dict]:
+        """The session's full durable state as (metadata, named arrays)."""
+        meta: dict = {
+            "snap_seq": self._snapshot_seq,
+            "wal_seq": self._update_seq,
+            "next_id": self._next_id,
+            "dims": self._dims,
+            "spec": self.spec.structural_dict(),
+            "spec_fingerprint": self.spec.fingerprint(),
+            "tree": None,
+            "sketch": None,
+        }
+        arrays: dict = {
+            "base_ids": self._base_ids,
+            "base_alive": self._base_alive,
+            "delta_points": self._delta_points,
+            "delta_ids": self._delta_ids,
+            "delta_alive": self._delta_alive,
+        }
+        tree = self._base_tree
+        if tree is not None:
+            meta["tree"] = {
+                "epsilon": tree.spec.epsilon,
+                "grid": {
+                    "lo": [float(v) for v in tree.grid.lo],
+                    "hi": [float(v) for v in tree.grid.hi],
+                    "eps": float(tree.grid.eps),
+                    "n_cells": [int(v) for v in tree.grid.n_cells],
+                },
+            }
+            arrays["points_flat"] = tree.points_flat
+            arrays["perm"] = tree.perm
+            arrays["digits"] = tree.digits
+            arrays["packed_nodes"] = tree.packed_nodes()
+        if self._sketch is not None:
+            meta["sketch"] = {
+                "n": self._sketch.n,
+                "same_bucket_pairs": self._sketch._same_bucket_pairs,
+            }
+            arrays["sketch_counts"] = self._sketch.counts
+        return meta, arrays
+
+    def _restore_state(self, meta: dict, arrays: dict) -> None:
+        """Adopt a loaded snapshot's state (arrays may be memmap views)."""
+        self._dims = meta["dims"]
+        self._next_id = int(meta["next_id"])
+        self._update_seq = int(meta["wal_seq"])
+        dims = self._dims or 0
+        if self._dims is not None:
+            sketch = JoinSizeSketch(
+                self.spec.band_width, bits=self.spec.sketch_bits
+            )
+            sketch.n = int(meta["sketch"]["n"])
+            sketch._same_bucket_pairs = int(meta["sketch"]["same_bucket_pairs"])
+            sketch.counts = np.array(arrays["sketch_counts"], dtype=np.int64)
+            self._sketch = sketch
+            self.stats.estimated_join_size = max(
+                self.stats.estimated_join_size, sketch.estimate()
+            )
+        self._base_ids = np.asarray(arrays["base_ids"], dtype=np.int64)
+        # Tombstone and delta-alive bits are mutated in place; snapshot
+        # views are read-only, so take writable copies.
+        self._base_alive = np.array(arrays["base_alive"], dtype=bool)
+        self._delta_points = np.asarray(arrays["delta_points"], dtype=np.float64)
+        self._delta_ids = np.asarray(arrays["delta_ids"], dtype=np.int64)
+        self._delta_alive = np.array(arrays["delta_alive"], dtype=bool)
+        if meta["tree"] is not None:
+            grid_meta = meta["tree"]["grid"]
+            grid = Grid(
+                lo=np.asarray(grid_meta["lo"], dtype=np.float64),
+                hi=np.asarray(grid_meta["hi"], dtype=np.float64),
+                eps=float(grid_meta["eps"]),
+                n_cells=np.asarray(grid_meta["n_cells"], dtype=np.int64),
+            )
+            # The tree may have been built at a coarser epsilon (shared
+            # TreeCache reuse); restore its build spec faithfully so the
+            # reuse validation keeps holding.
+            tree_epsilon = float(meta["tree"]["epsilon"])
+            tree_spec = (
+                self.spec
+                if tree_epsilon == self.spec.epsilon
+                else replace(self.spec, epsilon=tree_epsilon)
+            )
+            tree = FlatEpsilonKdbTree.from_arrays(
+                np.asarray(arrays["points_flat"], dtype=np.float64),
+                np.asarray(arrays["perm"], dtype=np.int64),
+                np.asarray(arrays["digits"], dtype=np.int64),
+                np.asarray(arrays["packed_nodes"], dtype=np.int64),
+                tree_spec,
+                grid,
+            )
+            self._base_tree = tree
+            # Input-order base points via the inverse permutation (one
+            # vectorized gather; no sorting, no build spans).
+            inverse = np.empty(len(tree.perm), dtype=np.int64)
+            inverse[tree.perm] = np.arange(len(tree.perm), dtype=np.int64)
+            self._base_points = np.ascontiguousarray(tree.points_flat[inverse])
+        else:
+            self._base_tree = None
+            self._base_points = np.empty((0, dims), dtype=np.float64)
 
     # ------------------------------------------------------------------
     # introspection
@@ -276,6 +623,11 @@ class IncrementalJoin:
     @property
     def n_live(self) -> int:
         return int(self._base_alive.sum()) + int(self._delta_alive.sum())
+
+    @property
+    def dims(self) -> Optional[int]:
+        """Dimensionality, or ``None`` before the first insert."""
+        return self._dims
 
     @property
     def delta_size(self) -> int:
@@ -314,19 +666,35 @@ class IncrementalJoin:
     # updates
     # ------------------------------------------------------------------
     def insert(self, points: np.ndarray) -> UpdateDelta:
-        """Add a batch; return its ids and the pairs it created."""
-        points = validate_points(points)
+        """Add a batch; return its ids and the pairs it created.
+
+        Batches containing NaN or infinite coordinates are rejected up
+        front with :class:`~repro.errors.InvalidParameterError` — before
+        any journaling or state mutation, so an invalid batch can never
+        reach the grid internals or poison a persisted session's log.
+        """
+        points = validate_points(points, "insert batch")
         if self._dims is None:
-            self._dims = points.shape[1]
-            self._base_points = np.empty((0, self._dims), dtype=np.float64)
-            self._delta_points = np.empty((0, self._dims), dtype=np.float64)
-            self._sketch = JoinSizeSketch(
-                self.spec.band_width, bits=self.spec.sketch_bits
-            )
+            dims = points.shape[1]
         elif points.shape[1] != self._dims:
             raise InvalidParameterError(
                 f"session holds {self._dims}-dimensional points, "
                 f"got a batch with {points.shape[1]}"
+            )
+        else:
+            dims = self._dims
+        seq = self._update_seq + 1
+        if self._wal is not None and not self._replaying:
+            # Journal first: once the append returns, the batch is the
+            # log's problem — a crash anywhere after this point replays
+            # it on recovery.
+            self._wal.append_insert(seq, points)
+        if self._dims is None:
+            self._dims = dims
+            self._base_points = np.empty((0, self._dims), dtype=np.float64)
+            self._delta_points = np.empty((0, self._dims), dtype=np.float64)
+            self._sketch = JoinSizeSketch(
+                self.spec.band_width, bits=self.spec.sketch_bits
             )
         n_new = len(points)
         ids = np.arange(self._next_id, self._next_id + n_new, dtype=np.int64)
@@ -379,6 +747,7 @@ class IncrementalJoin:
             [self._delta_alive, np.ones(n_new, dtype=bool)]
         )
         self._next_id += n_new
+        self._update_seq = seq
         self.stats.updates_applied += 1
         self.stats.pairs_emitted += len(added)
         threshold = self.spec.resolved_delta_threshold(len(self._base_points))
@@ -402,6 +771,12 @@ class IncrementalJoin:
         if not alive.all():
             dead = ids[~alive][0]
             raise InvalidParameterError(f"point id {int(dead)} is already deleted")
+        seq = self._update_seq + 1
+        if self._wal is not None and not self._replaying:
+            # Journal only after the whole batch validated: a rejected
+            # delete leaves no trace in the log, so replay can apply
+            # every journaled record unconditionally.
+            self._wal.append_delete(seq, ids)
         base_rows = row[side == 0]
         delta_rows = row[side == 1]
         removed_points = np.concatenate(
@@ -456,6 +831,7 @@ class IncrementalJoin:
         with trace.span("estimate", op="delete", points=len(ids)):
             self._sketch.remove(removed_points)
             self.stats.estimated_join_size = self._sketch.estimate()
+        self._update_seq = seq
         self.stats.updates_applied += 1
         self.stats.pairs_retracted += len(retracted)
         self.stats.delta_size = self.delta_size
@@ -514,6 +890,44 @@ class IncrementalJoin:
                 self.stats.build_nodes += tree.n_nodes
                 self.stats.build_sort_seconds += tree.build_sort_seconds
             span.set_attribute("cache_hit", cache_hit)
+        if self._persist_dir is not None and not self._replaying:
+            # Publish-then-reset: a crash after the publish but before
+            # the reset leaves stale low-seq WAL records, which recovery
+            # skips because their seq is at or below the snapshot's
+            # durable watermark.
+            self._publish_snapshot()
+            if self._wal is not None:
+                self._wal.reset()
+
+    def current_pairs(self) -> np.ndarray:
+        """Canonical ``(lo_id, hi_id)`` pairs among the live points.
+
+        A pure query: it mutates no session state and journals nothing.
+        When the whole session lives in a fully-live base (the state
+        right after a compaction, and the state a cold re-open restores)
+        the existing base tree answers directly — in particular a join
+        over a freshly re-opened persisted session performs no tree
+        construction.
+        """
+        if self._dims is None or self.n_live < 2:
+            return _EMPTY_PAIRS.copy()
+        if (
+            self._base_tree is not None
+            and self.delta_size == 0
+            and bool(self._base_alive.all())
+        ):
+            result = epsilon_kdb_self_join(
+                self._base_points, self.spec, tree=self._base_tree
+            )
+            return _canonical_id_pairs(
+                self._base_ids[result.pairs[:, 0]],
+                self._base_ids[result.pairs[:, 1]],
+            )
+        ids = self.live_ids()
+        result = epsilon_kdb_self_join(self.live_points(), self.spec)
+        return _canonical_id_pairs(
+            ids[result.pairs[:, 0]], ids[result.pairs[:, 1]]
+        )
 
     # ------------------------------------------------------------------
     # internals

@@ -541,23 +541,29 @@ def epsilon_kdb_self_join(
     flat_tree: Optional[FlatEpsilonKdbTree] = None
     cache_hit = False
     built_here = False
-    with trace.span(
-        "build", points=len(points), dims=points.shape[1], epsilon=spec.epsilon
-    ) as build_span:
-        if isinstance(tree, FlatEpsilonKdbTree):
-            _check_tree_reuse(spec, tree.spec.epsilon, tree.grid.eps)
-            flat_tree = tree
-        elif tree is not None:
-            _check_tree_reuse(spec, tree.spec.epsilon, tree.grid.eps)
-            tree.finalize()
-        elif structure_cache is not None:
-            flat_tree, cache_hit = structure_cache.get_or_build(points, spec)
-            built_here = not cache_hit
-        elif spec.resolved_build() == "flat":
-            flat_tree = FlatEpsilonKdbTree.build(points, spec)
-            built_here = True
-        else:
-            tree = EpsilonKdbTree.build(points, spec)
+    build_seconds = 0.0
+    if isinstance(tree, FlatEpsilonKdbTree):
+        # A pre-built flat tree is traversal-ready; no build span opens,
+        # so a trace of a join over a reloaded (memmapped) tree shows no
+        # construction work at all.
+        _check_tree_reuse(spec, tree.spec.epsilon, tree.grid.eps)
+        flat_tree = tree
+    else:
+        with trace.span(
+            "build", points=len(points), dims=points.shape[1], epsilon=spec.epsilon
+        ) as build_span:
+            if tree is not None:
+                _check_tree_reuse(spec, tree.spec.epsilon, tree.grid.eps)
+                tree.finalize()
+            elif structure_cache is not None:
+                flat_tree, cache_hit = structure_cache.get_or_build(points, spec)
+                built_here = not cache_hit
+            elif spec.resolved_build() == "flat":
+                flat_tree = FlatEpsilonKdbTree.build(points, spec)
+                built_here = True
+            else:
+                tree = EpsilonKdbTree.build(points, spec)
+        build_seconds = build_span.duration
     if flat_tree is not None:
         kernel = build_kernel_context(
             spec,
@@ -605,7 +611,7 @@ def epsilon_kdb_self_join(
             join_span.set_attribute("leaf_joins", ctx.stats.leaf_joins)
     result.stats = ctx.stats
     result.stats.pairs_emitted = sink.count
-    result.build_seconds = build_span.duration
+    result.build_seconds = build_seconds
     result.join_seconds = join_span.duration
     if collect:
         result.pairs = sink.sorted_pairs()

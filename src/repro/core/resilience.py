@@ -109,6 +109,30 @@ class FaultPlan:
     * ``fail_pool_creation(times)`` — the next ``times`` attempts to
       create a process pool fail (exercises whole-join degradation).
 
+    Storage-corruption kinds (all one-shot: each fires once and is
+    consumed, so a session re-opened with the same plan does not hit the
+    same fault again; keyed by the durability sequence number they
+    damage):
+
+    * ``tear_wal_frame(seq)`` — the WAL append of update ``seq`` writes
+      only a prefix of its frame and raises
+      :class:`~repro.errors.SessionCrashError` (a crash mid-write;
+      recovery discards the torn suffix).
+    * ``flip_wal_bit(seq)`` — update ``seq``'s WAL frame is written in
+      full, then one payload bit is flipped on disk (latent corruption;
+      recovery's CRC check discards the record and everything after it).
+    * ``truncate_snapshot(snap_seq)`` — snapshot generation ``snap_seq``
+      is published, then cut short on disk (recovery's file-size check
+      rejects it and falls back a generation).
+    * ``flip_snapshot_bit(snap_seq)`` — one byte inside a published
+      snapshot's array section is flipped (recovery's per-array CRC
+      rejects it and falls back a generation).
+    * ``crash_before_snapshot_publish(snap_seq)`` — the snapshot temp
+      file is written and fsynced, then the process "crashes"
+      (:class:`~repro.errors.SessionCrashError`) before the atomic
+      rename; recovery resumes from the previous generation plus the
+      intact WAL.
+
     Rate-based equivalents: ``crash_rate``, ``delay_rate`` /
     ``delay_seconds``, ``io_failure_rate`` (all fire on first attempts
     only, modelling transient faults).
@@ -141,6 +165,13 @@ class FaultPlan:
         self._delays: Dict[int, Tuple[float, Optional[int]]] = {}
         self._io_reads: Set[int] = set()
         self._pool_failures_remaining = 0
+        # update seq -> keep fraction of the torn frame
+        self._wal_tears: Dict[int, float] = {}
+        self._wal_flips: Set[int] = set()
+        # snapshot seq -> keep fraction of the truncated file
+        self._snapshot_truncations: Dict[int, float] = {}
+        self._snapshot_flips: Set[int] = set()
+        self._publish_crashes: Set[int] = set()
         #: Faults injected so far, counted by the *parent* process.
         self.injected = 0
 
@@ -172,6 +203,32 @@ class FaultPlan:
     def fail_pool_creation(self, times: int = 1) -> "FaultPlan":
         """Fail the next ``times`` process-pool creations."""
         self._pool_failures_remaining += int(times)
+        return self
+
+    def tear_wal_frame(self, seq: int, fraction: float = 0.5) -> "FaultPlan":
+        """Tear update ``seq``'s WAL append partway through (then crash)."""
+        self._wal_tears[int(seq)] = float(fraction)
+        return self
+
+    def flip_wal_bit(self, seq: int) -> "FaultPlan":
+        """Flip one payload bit of update ``seq``'s WAL frame on disk."""
+        self._wal_flips.add(int(seq))
+        return self
+
+    def truncate_snapshot(self, snap_seq: int, fraction: float = 0.6) -> "FaultPlan":
+        """Cut snapshot generation ``snap_seq`` short after publishing."""
+        self._snapshot_truncations[int(snap_seq)] = float(fraction)
+        return self
+
+    def flip_snapshot_bit(self, snap_seq: int) -> "FaultPlan":
+        """Flip one array byte of snapshot ``snap_seq`` after publishing."""
+        self._snapshot_flips.add(int(snap_seq))
+        return self
+
+    def crash_before_snapshot_publish(self, snap_seq: int) -> "FaultPlan":
+        """Crash after writing snapshot ``snap_seq``'s temp file, before
+        the atomic rename that would publish it."""
+        self._publish_crashes.add(int(snap_seq))
         return self
 
     # ------------------------------------------------------------------
@@ -263,6 +320,51 @@ class FaultPlan:
             self.injected += 1
             trace.add_event("injected-io-fault", read_ordinal=read_ordinal)
         return fires
+
+    def wal_append_fault(self, seq: int) -> Optional[Tuple[str, float]]:
+        """Consume the storage fault scheduled for WAL append ``seq``.
+
+        Returns ``("tear", keep_fraction)``, ``("flip", 0.0)`` or
+        ``None``.  One-shot: the fault is removed from the plan so a
+        recovered session retrying the same sequence proceeds cleanly.
+        """
+        seq = int(seq)
+        if seq in self._wal_tears:
+            fraction = self._wal_tears.pop(seq)
+            self.injected += 1
+            trace.add_event("injected-wal-tear", seq=seq)
+            return ("tear", fraction)
+        if seq in self._wal_flips:
+            self._wal_flips.discard(seq)
+            self.injected += 1
+            trace.add_event("injected-wal-bit-flip", seq=seq)
+            return ("flip", 0.0)
+        return None
+
+    def snapshot_fault(self, snap_seq: int) -> Optional[Tuple[str, float]]:
+        """Consume the storage fault scheduled for snapshot ``snap_seq``.
+
+        Returns ``("crash", 0.0)``, ``("truncate", keep_fraction)``,
+        ``("flip", 0.0)`` or ``None``.  One-shot, like
+        :meth:`wal_append_fault`.
+        """
+        snap_seq = int(snap_seq)
+        if snap_seq in self._publish_crashes:
+            self._publish_crashes.discard(snap_seq)
+            self.injected += 1
+            trace.add_event("injected-publish-crash", snap_seq=snap_seq)
+            return ("crash", 0.0)
+        if snap_seq in self._snapshot_truncations:
+            fraction = self._snapshot_truncations.pop(snap_seq)
+            self.injected += 1
+            trace.add_event("injected-snapshot-truncation", snap_seq=snap_seq)
+            return ("truncate", fraction)
+        if snap_seq in self._snapshot_flips:
+            self._snapshot_flips.discard(snap_seq)
+            self.injected += 1
+            trace.add_event("injected-snapshot-bit-flip", snap_seq=snap_seq)
+            return ("flip", 0.0)
+        return None
 
     def take_pool_failure(self) -> bool:
         """Consume one scheduled pool-creation failure, if any remain."""

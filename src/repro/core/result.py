@@ -81,6 +81,17 @@ class JoinStats:
         estimated_join_size: one-pass sketch estimate of the self-join
             size over the session's live points (a gauge: ``merge``
             keeps the maximum observed).
+        wal_records_replayed: write-ahead-log records a persisted
+            session re-applied while recovering (0 for a clean open).
+        snapshot_bytes: size of the largest snapshot this session
+            published or recovered from (a gauge: ``merge`` keeps the
+            maximum observed).
+        recovery_seconds: wall-clock spent in
+            :meth:`~repro.core.incremental.IncrementalJoin.open`
+            recovery (snapshot validation, memmap open, WAL replay).
+        corrupt_frames_discarded: damaged storage artifacts recovery
+            detected and discarded — torn or checksum-failed WAL
+            suffixes plus snapshot generations that failed validation.
     """
 
     distance_computations: int = 0
@@ -109,6 +120,10 @@ class JoinStats:
     compactions: int = 0
     pairs_retracted: int = 0
     estimated_join_size: float = 0.0
+    wal_records_replayed: int = 0
+    snapshot_bytes: int = 0
+    recovery_seconds: float = 0.0
+    corrupt_frames_discarded: int = 0
 
     def as_dict(self) -> Dict[str, Any]:
         """Every counter as JSON-ready data, in field order.
@@ -171,6 +186,10 @@ class JoinStats:
         self.estimated_join_size = max(
             self.estimated_join_size, other.estimated_join_size
         )
+        self.wal_records_replayed += other.wal_records_replayed
+        self.snapshot_bytes = max(self.snapshot_bytes, other.snapshot_bytes)
+        self.recovery_seconds += other.recovery_seconds
+        self.corrupt_frames_discarded += other.corrupt_frames_discarded
 
 
 _EMPTY_I64 = np.empty(0, dtype=np.int64)

@@ -46,6 +46,27 @@ class TransientIoError(StorageError):
     """
 
 
+class CorruptSnapshotError(StorageError):
+    """No durable snapshot prefix survives on disk.
+
+    Recovery tolerates a damaged write-ahead-log suffix and falls back
+    across snapshot generations; this error surfaces only when *every*
+    snapshot file fails its magic/version/length/checksum validation, so
+    there is no consistent state to resume from.
+    """
+
+
+class SessionCrashError(ReproError, RuntimeError):
+    """The session process was (deliberately) crashed mid-operation.
+
+    Raised by injected storage faults that model a process dying between
+    two durability steps — e.g. after a torn write-ahead-log append, or
+    after writing a snapshot temp file but before its atomic publish.
+    Real crashes never surface as an exception; tests catch this one,
+    discard the in-memory session, and re-open from disk.
+    """
+
+
 class WorkerCrashError(ReproError, RuntimeError):
     """A parallel stripe task died (or was deliberately crashed).
 

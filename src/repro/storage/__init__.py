@@ -1,12 +1,63 @@
-"""Simulated paged storage with I/O accounting.
+"""Simulated paged storage, plus crash-consistent session persistence.
 
 The paper's external-memory join variant processes data larger than main
 memory by striping the first dimension.  This package provides the
 substrate that experiment E9 runs on: a page store standing in for a
 disk, a point file that lays rows across pages, and an LRU buffer manager
 that counts physical reads and writes.
+
+It also houses the durable half of the incremental join (experiment
+E19): checksummed, versioned index snapshots (:mod:`repro.storage.snapshot`)
+and the write-ahead update journal (:mod:`repro.storage.wal`) that
+together let :meth:`repro.core.incremental.IncrementalJoin.open` recover
+a session after a crash — including crashes injected mid-write.  See
+``docs/persistence.md`` for the format and the recovery state machine.
 """
 
 from repro.storage.pages import BufferManager, PageStore, PointFile
+from repro.storage.snapshot import (
+    SNAP_MAGIC,
+    SNAP_VERSION,
+    encode_snapshot,
+    list_snapshots,
+    load_snapshot,
+    prune_snapshots,
+    snapshot_filename,
+    write_snapshot,
+)
+from repro.storage.wal import (
+    OP_DELETE,
+    OP_INSERT,
+    SYNC_MODES,
+    WAL_FILENAME,
+    WAL_MAGIC,
+    WAL_VERSION,
+    WalRecord,
+    WriteAheadLog,
+    scan_wal,
+)
 
-__all__ = ["PageStore", "PointFile", "BufferManager"]
+__all__ = [
+    "PageStore",
+    "PointFile",
+    "BufferManager",
+    # snapshots
+    "SNAP_MAGIC",
+    "SNAP_VERSION",
+    "snapshot_filename",
+    "list_snapshots",
+    "prune_snapshots",
+    "encode_snapshot",
+    "write_snapshot",
+    "load_snapshot",
+    # write-ahead log
+    "WAL_MAGIC",
+    "WAL_VERSION",
+    "WAL_FILENAME",
+    "OP_INSERT",
+    "OP_DELETE",
+    "SYNC_MODES",
+    "WalRecord",
+    "WriteAheadLog",
+    "scan_wal",
+]

@@ -1,0 +1,257 @@
+"""Checksummed, memmap-friendly snapshots of incremental join sessions.
+
+A snapshot is one self-describing file holding a JSON metadata header
+plus a directory of named numpy arrays, laid out so a re-open can hand
+the leaf-contiguous tree arrays straight to
+:meth:`~repro.core.flat_build.FlatEpsilonKdbTree.from_arrays` as
+``np.memmap`` views — no sort, no rebuild, no per-node objects.
+
+On-disk layout (all integers little-endian)::
+
+    EKDBSNAP | u32 version | u32 header_len | u32 crc32(header) | header
+    <zero padding to a 64-byte boundary>
+    array section 0 | <pad to 64> | array section 1 | ...
+
+The header is UTF-8 JSON: caller metadata under ``"meta"`` plus an
+``"arrays"`` directory of ``{name, dtype, shape, offset, nbytes, crc32}``
+entries and the expected ``"file_size"``.  Validation on load checks,
+in order: magic and version, header length bounds, header CRC, file
+size (detects truncation without reading the arrays), and finally one
+CRC per array section (detects bit flips).  Any failure raises
+:class:`~repro.errors.StorageError` — recovery treats the whole file as
+unusable and falls back to an older generation, reserving
+:class:`~repro.errors.CorruptSnapshotError` for the caller to raise when
+*no* generation survives.
+
+Publishing is atomic: the snapshot is written and fsynced as
+``<name>.tmp`` and then :func:`os.replace`'d into place, so a crash
+mid-write leaves the previous generation untouched (a stale ``.tmp`` is
+ignored by :func:`list_snapshots` and overwritten by the next publish).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import struct
+import zlib
+from typing import Any, Dict, List, Tuple
+
+import numpy as np
+
+from repro.errors import SessionCrashError, StorageError
+from repro.obs import trace
+
+SNAP_MAGIC = b"EKDBSNAP"
+SNAP_VERSION = 1
+
+_PREAMBLE = struct.Struct("<8sIII")  # magic, version, header_len, header_crc
+_ALIGN = 64
+
+#: Largest header accepted on load; a corrupted length field must not
+#: make the loader attempt a multi-gigabyte read.
+_MAX_HEADER_BYTES = 64 * 1024 * 1024
+
+SNAPSHOT_PREFIX = "snapshot-"
+SNAPSHOT_SUFFIX = ".ekdb"
+
+
+def snapshot_filename(seq: int) -> str:
+    return f"{SNAPSHOT_PREFIX}{int(seq):06d}{SNAPSHOT_SUFFIX}"
+
+
+def list_snapshots(directory: str) -> List[Tuple[int, str]]:
+    """``(seq, path)`` of every published snapshot, ascending by seq."""
+    found: List[Tuple[int, str]] = []
+    if not os.path.isdir(directory):
+        return found
+    for name in os.listdir(directory):
+        if not (name.startswith(SNAPSHOT_PREFIX) and name.endswith(SNAPSHOT_SUFFIX)):
+            continue
+        stem = name[len(SNAPSHOT_PREFIX) : -len(SNAPSHOT_SUFFIX)]
+        if stem.isdigit():
+            found.append((int(stem), os.path.join(directory, name)))
+    found.sort()
+    return found
+
+
+def prune_snapshots(directory: str, keep: int = 2) -> int:
+    """Delete all but the newest ``keep`` generations; returns count removed."""
+    removed = 0
+    for _, path in list_snapshots(directory)[: -keep or None]:
+        try:
+            os.remove(path)
+            removed += 1
+        except OSError:  # pragma: no cover - racing deletes are harmless
+            pass
+    return removed
+
+
+def _pad(offset: int) -> int:
+    return (offset + _ALIGN - 1) // _ALIGN * _ALIGN
+
+
+def encode_snapshot(meta: Dict[str, Any], arrays: Dict[str, np.ndarray]) -> bytes:
+    """Serialize metadata + named arrays into one snapshot blob."""
+    directory = []
+    sections: List[bytes] = []
+    # Probe the header size with zeroed offsets first: the offsets depend
+    # on the header length, which depends on the digit counts of the
+    # offsets themselves.  Padding the header to the alignment boundary
+    # makes the fixpoint trivial — grow the header estimate until stable.
+    blobs: List[Tuple[str, bytes, str, Tuple[int, ...]]] = []
+    for name, array in arrays.items():
+        array = np.ascontiguousarray(array)
+        blobs.append((name, array.tobytes(), array.dtype.str, array.shape))
+    header_size = 0
+    while True:
+        directory = []
+        offset = _pad(_PREAMBLE.size + header_size)
+        for name, raw, dtype, shape in blobs:
+            directory.append(
+                {
+                    "name": name,
+                    "dtype": dtype,
+                    "shape": list(shape),
+                    "offset": offset,
+                    "nbytes": len(raw),
+                    "crc32": zlib.crc32(raw),
+                }
+            )
+            offset = _pad(offset + len(raw))
+        header = json.dumps(
+            {"meta": meta, "arrays": directory, "file_size": offset},
+            sort_keys=True,
+        ).encode("utf-8")
+        if len(header) <= header_size:
+            # Stable: offsets computed for a header at least this long.
+            header = header + b" " * (header_size - len(header))
+            break
+        header_size = len(header)
+    out = bytearray()
+    out += _PREAMBLE.pack(SNAP_MAGIC, SNAP_VERSION, len(header), zlib.crc32(header))
+    out += header
+    for entry, (_, raw, _, _) in zip(directory, blobs):
+        out += b"\x00" * (entry["offset"] - len(out))
+        out += raw
+    out += b"\x00" * (directory[-1]["offset"] + directory[-1]["nbytes"] - len(out) if directory else 0)
+    # Trailing alignment pad so file_size matches exactly.
+    expected = json.loads(header)["file_size"]
+    out += b"\x00" * (expected - len(out))
+    return bytes(out)
+
+
+def write_snapshot(
+    directory: str,
+    seq: int,
+    meta: Dict[str, Any],
+    arrays: Dict[str, np.ndarray],
+    fault_plan=None,
+    fsync: bool = True,
+) -> Tuple[str, int]:
+    """Atomically publish snapshot generation ``seq``; returns (path, bytes).
+
+    The blob is written and (optionally) fsynced to ``<final>.tmp`` and
+    renamed into place.  ``fault_plan`` storage faults keyed on ``seq``
+    fire here: a *publish crash* raises
+    :class:`~repro.errors.SessionCrashError` after the tmp write but
+    before the rename (the durable state is the previous generation); a
+    *truncation* or *bit flip* damages the just-published file in place,
+    modelling media corruption that only the next recovery will notice.
+    """
+    final_path = os.path.join(directory, snapshot_filename(seq))
+    tmp_path = final_path + ".tmp"
+    blob = encode_snapshot(meta, arrays)
+    fault = fault_plan.snapshot_fault(seq) if fault_plan is not None else None
+    with trace.span("snapshot-write", seq=seq, bytes=len(blob)):
+        with open(tmp_path, "wb") as handle:
+            handle.write(blob)
+            handle.flush()
+            if fsync:
+                os.fsync(handle.fileno())
+        if fault is not None and fault[0] == "crash":
+            raise SessionCrashError(
+                f"injected crash before publishing snapshot seq={seq}"
+            )
+        os.replace(tmp_path, final_path)
+        if fault is not None and fault[0] == "truncate":
+            keep = max(_PREAMBLE.size, int(len(blob) * fault[1]))
+            with open(final_path, "r+b") as handle:
+                handle.truncate(min(keep, len(blob) - 1))
+        elif fault is not None and fault[0] == "flip":
+            # Damage a byte inside the largest array section (never the
+            # unchecksummed padding), so only the per-array CRC can
+            # catch it; an array-less snapshot takes the hit in the
+            # header, where the header CRC catches it.
+            _, _, header_len, _ = _PREAMBLE.unpack_from(blob)
+            header = json.loads(
+                blob[_PREAMBLE.size : _PREAMBLE.size + header_len].decode("utf-8")
+            )
+            sections = [e for e in header["arrays"] if e["nbytes"] > 0]
+            if sections:
+                entry = max(sections, key=lambda e: e["nbytes"])
+                victim = entry["offset"] + entry["nbytes"] // 2
+            else:
+                victim = _PREAMBLE.size
+            with open(final_path, "r+b") as handle:
+                handle.seek(victim)
+                byte = handle.read(1)
+                handle.seek(victim)
+                handle.write(bytes([byte[0] ^ 0x20]))
+    return final_path, len(blob)
+
+
+def load_snapshot(path: str) -> Tuple[Dict[str, Any], Dict[str, np.ndarray]]:
+    """Validate and open one snapshot; returns ``(meta, arrays)``.
+
+    The returned arrays are read-only views into an ``np.memmap`` of the
+    file — reconstructing the tree from them copies nothing.  Raises
+    :class:`~repro.errors.StorageError` on any validation failure
+    (missing file, bad magic/version, short file, header or array CRC
+    mismatch); the caller decides whether an older generation can serve.
+    """
+    try:
+        mm = np.memmap(path, dtype=np.uint8, mode="r")
+    except (OSError, ValueError) as exc:
+        raise StorageError(f"cannot open snapshot {path}: {exc}") from exc
+    if mm.size < _PREAMBLE.size:
+        raise StorageError(f"snapshot {path} is shorter than its preamble")
+    magic, version, header_len, header_crc = _PREAMBLE.unpack_from(mm[: _PREAMBLE.size])
+    if magic != SNAP_MAGIC:
+        raise StorageError(f"snapshot {path} has bad magic {magic!r}")
+    if version != SNAP_VERSION:
+        raise StorageError(
+            f"snapshot {path} has unsupported version {version}"
+        )
+    if header_len > _MAX_HEADER_BYTES or _PREAMBLE.size + header_len > mm.size:
+        raise StorageError(f"snapshot {path} header is truncated")
+    header_bytes = bytes(mm[_PREAMBLE.size : _PREAMBLE.size + header_len])
+    if zlib.crc32(header_bytes) != header_crc:
+        raise StorageError(f"snapshot {path} header fails its checksum")
+    try:
+        header = json.loads(header_bytes.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise StorageError(f"snapshot {path} header is not valid JSON") from exc
+    expected_size = int(header.get("file_size", -1))
+    if mm.size != expected_size:
+        raise StorageError(
+            f"snapshot {path} is {mm.size} bytes, expected {expected_size} "
+            "(truncated or padded)"
+        )
+    arrays: Dict[str, np.ndarray] = {}
+    for entry in header.get("arrays", []):
+        offset = int(entry["offset"])
+        nbytes = int(entry["nbytes"])
+        if offset < 0 or offset + nbytes > mm.size:
+            raise StorageError(
+                f"snapshot {path} array {entry['name']!r} overruns the file"
+            )
+        raw = mm[offset : offset + nbytes]
+        if zlib.crc32(raw) != int(entry["crc32"]):
+            raise StorageError(
+                f"snapshot {path} array {entry['name']!r} fails its checksum"
+            )
+        arrays[entry["name"]] = raw.view(np.dtype(entry["dtype"])).reshape(
+            tuple(entry["shape"])
+        )
+    return header["meta"], arrays

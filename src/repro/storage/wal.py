@@ -1,0 +1,284 @@
+"""Write-ahead log for incremental join sessions.
+
+Every :meth:`~repro.core.incremental.IncrementalJoin.insert` /
+``delete`` batch is journaled here *before* it mutates session state, so
+the update stream since the last snapshot can be replayed after a crash
+(see :mod:`repro.storage.snapshot` for the snapshot half and
+``docs/persistence.md`` for the full recovery state machine).
+
+On-disk format — a magic/version header followed by length-prefixed,
+CRC-checked frames::
+
+    EKDBWAL\\x01 | u32 version
+    [u32 payload_len | u32 crc32(payload) | payload] ...
+
+Each payload starts with ``u64 seq | u8 op`` followed by the op body
+(points for an insert, ids for a delete).  The sequence number is the
+session's monotone update counter; recovery replays only records whose
+``seq`` exceeds the snapshot's durable watermark, which makes a crash
+between snapshot publish and log truncation harmless.
+
+:func:`scan_wal` is deliberately forgiving about the *suffix*: a torn
+final frame (partial write at crash) or a bit-flipped payload fails the
+length/CRC validation, and the scan stops there, reporting the damaged
+byte offset so recovery can truncate the log back to its durable prefix.
+A damaged *header* means no record can be trusted and the log reads as
+empty.
+
+``sync_mode`` maps to fsync policy: ``"always"`` fsyncs after every
+append (each acked update is crash-durable), ``"batch"`` flushes to the
+OS per append but fsyncs only at snapshot boundaries and close, and
+``"off"`` never fsyncs.
+"""
+
+from __future__ import annotations
+
+import os
+import struct
+import zlib
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.errors import InvalidParameterError, SessionCrashError, StorageError
+from repro.obs import trace
+
+WAL_MAGIC = b"EKDBWAL\x01"
+WAL_VERSION = 1
+
+#: File name of the update journal inside a session directory.
+WAL_FILENAME = "wal.ekdb"
+
+#: Update-record opcodes.
+OP_INSERT = 1
+OP_DELETE = 2
+
+_HEADER = struct.Struct("<8sI")  # magic, version
+_FRAME = struct.Struct("<II")  # payload length, crc32(payload)
+_RECORD_HEAD = struct.Struct("<QB")  # seq, op
+_INSERT_HEAD = struct.Struct("<II")  # n rows, d dims
+_DELETE_HEAD = struct.Struct("<I")  # k ids
+
+SYNC_MODES = ("always", "batch", "off")
+
+
+@dataclass
+class WalRecord:
+    """One decoded update record."""
+
+    seq: int
+    op: int
+    points: Optional[np.ndarray] = None  # OP_INSERT
+    ids: Optional[np.ndarray] = None  # OP_DELETE
+
+
+def encode_insert(seq: int, points: np.ndarray) -> bytes:
+    points = np.ascontiguousarray(points, dtype=np.float64)
+    n, d = points.shape
+    return (
+        _RECORD_HEAD.pack(seq, OP_INSERT)
+        + _INSERT_HEAD.pack(n, d)
+        + points.tobytes()
+    )
+
+
+def encode_delete(seq: int, ids: np.ndarray) -> bytes:
+    ids = np.ascontiguousarray(ids, dtype=np.int64)
+    return _RECORD_HEAD.pack(seq, OP_DELETE) + _DELETE_HEAD.pack(len(ids)) + ids.tobytes()
+
+
+def decode_record(payload: bytes) -> WalRecord:
+    """Decode one frame payload; raises :class:`StorageError` on a
+    structurally impossible record (wrong op or body length)."""
+    if len(payload) < _RECORD_HEAD.size:
+        raise StorageError("WAL record shorter than its fixed header")
+    seq, op = _RECORD_HEAD.unpack_from(payload)
+    body = payload[_RECORD_HEAD.size :]
+    if op == OP_INSERT:
+        if len(body) < _INSERT_HEAD.size:
+            raise StorageError("WAL insert record truncated")
+        n, d = _INSERT_HEAD.unpack_from(body)
+        data = body[_INSERT_HEAD.size :]
+        if len(data) != n * d * 8:
+            raise StorageError("WAL insert record body length mismatch")
+        points = np.frombuffer(data, dtype=np.float64).reshape(n, d)
+        return WalRecord(seq=seq, op=op, points=points)
+    if op == OP_DELETE:
+        if len(body) < _DELETE_HEAD.size:
+            raise StorageError("WAL delete record truncated")
+        (k,) = _DELETE_HEAD.unpack_from(body)
+        data = body[_DELETE_HEAD.size :]
+        if len(data) != k * 8:
+            raise StorageError("WAL delete record body length mismatch")
+        return WalRecord(seq=seq, op=op, ids=np.frombuffer(data, dtype=np.int64))
+    raise StorageError(f"unknown WAL opcode {op}")
+
+
+def scan_wal(path: str) -> Tuple[List[WalRecord], int, int]:
+    """Read a log, tolerating a damaged suffix.
+
+    Returns ``(records, valid_bytes, corrupt_frames_discarded)``:
+    every record of the durable prefix, the byte offset that prefix ends
+    at (truncate the file here before appending again), and how many
+    damaged-suffix events the scan discarded (0 or 1 — once a frame
+    fails validation nothing after it can be trusted).  A missing file
+    yields an empty log; a damaged header yields an empty log whose
+    ``valid_bytes`` is the header size (the file is rewritten).
+    """
+    if not os.path.exists(path):
+        return [], _HEADER.size, 0
+    with open(path, "rb") as handle:
+        blob = handle.read()
+    if len(blob) < _HEADER.size:
+        return [], _HEADER.size, 1 if blob else 0
+    magic, version = _HEADER.unpack_from(blob)
+    if magic != WAL_MAGIC or version != WAL_VERSION:
+        return [], _HEADER.size, 1
+    records: List[WalRecord] = []
+    offset = _HEADER.size
+    discarded = 0
+    while offset < len(blob):
+        if offset + _FRAME.size > len(blob):
+            discarded = 1  # torn frame header
+            break
+        length, crc = _FRAME.unpack_from(blob, offset)
+        start = offset + _FRAME.size
+        stop = start + length
+        if stop > len(blob):
+            discarded = 1  # torn payload
+            break
+        payload = blob[start:stop]
+        if zlib.crc32(payload) != crc:
+            discarded = 1  # bit flip (or worse) — nothing after is trusted
+            break
+        try:
+            record = decode_record(payload)
+        except StorageError:
+            discarded = 1
+            break
+        records.append(record)
+        offset = stop
+    return records, offset, discarded
+
+
+class WriteAheadLog:
+    """Append-only update journal with checksummed frames.
+
+    ``fault_plan`` (a :class:`~repro.core.resilience.FaultPlan`) may
+    schedule storage-corruption faults by record sequence number: a torn
+    append writes only a prefix of the frame and raises
+    :class:`~repro.errors.SessionCrashError` (the process "died"
+    mid-write), and a bit flip silently damages the just-written frame
+    on disk (latent media corruption that only recovery will notice).
+    """
+
+    def __init__(self, path: str, sync_mode: str = "batch", fault_plan=None):
+        if sync_mode not in SYNC_MODES:
+            raise InvalidParameterError(
+                f"sync_mode must be one of {SYNC_MODES}, got {sync_mode!r}"
+            )
+        self.path = str(path)
+        self.sync_mode = sync_mode
+        self.fault_plan = fault_plan
+        self.appends = 0
+        if os.path.exists(self.path):
+            # Keep existing durable content; position after its valid
+            # prefix (recovery truncates damage before handing us the
+            # file, but be defensive about a bare header).
+            self._handle = open(self.path, "r+b")
+            self._handle.seek(0, os.SEEK_END)
+            if self._handle.tell() < _HEADER.size:
+                self._write_header()
+        else:
+            self._handle = open(self.path, "w+b")
+            self._write_header()
+
+    def _write_header(self) -> None:
+        self._handle.seek(0)
+        self._handle.truncate()
+        self._handle.write(_HEADER.pack(WAL_MAGIC, WAL_VERSION))
+        self._handle.flush()
+
+    # ------------------------------------------------------------------
+    # appends
+    # ------------------------------------------------------------------
+    def append(self, payload: bytes, seq: int) -> None:
+        """Frame, write and (per ``sync_mode``) fsync one record."""
+        if self._handle.closed:
+            raise StorageError("write-ahead log is closed")
+        frame = _FRAME.pack(len(payload), zlib.crc32(payload)) + payload
+        fault = (
+            self.fault_plan.wal_append_fault(seq)
+            if self.fault_plan is not None
+            else None
+        )
+        start = self._handle.seek(0, os.SEEK_END)
+        with trace.span(
+            "wal-append", seq=seq, bytes=len(frame), sync=self.sync_mode
+        ):
+            if fault is not None and fault[0] == "tear":
+                keep = max(1, int(len(frame) * fault[1]))
+                self._handle.write(frame[: min(keep, len(frame) - 1)])
+                self._handle.flush()
+                raise SessionCrashError(
+                    f"injected crash tearing WAL record seq={seq}"
+                )
+            self._handle.write(frame)
+            self._handle.flush()
+            if fault is not None and fault[0] == "flip":
+                # Flip one payload bit in place: the frame stays the
+                # right length, so only the CRC can catch it.
+                victim = start + _FRAME.size + len(payload) // 2
+                self._handle.seek(victim)
+                byte = self._handle.read(1)
+                self._handle.seek(victim)
+                self._handle.write(bytes([byte[0] ^ 0x10]))
+                self._handle.flush()
+                self._handle.seek(0, os.SEEK_END)
+            if self.sync_mode == "always":
+                os.fsync(self._handle.fileno())
+        self.appends += 1
+
+    def append_insert(self, seq: int, points: np.ndarray) -> None:
+        self.append(encode_insert(seq, points), seq)
+
+    def append_delete(self, seq: int, ids: np.ndarray) -> None:
+        self.append(encode_delete(seq, ids), seq)
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def sync(self) -> None:
+        if not self._handle.closed and self.sync_mode != "off":
+            self._handle.flush()
+            os.fsync(self._handle.fileno())
+
+    def reset(self) -> None:
+        """Truncate back to a bare header (after a snapshot publish)."""
+        self._write_header()
+        if self.sync_mode != "off":
+            os.fsync(self._handle.fileno())
+
+    def truncate_to(self, valid_bytes: int) -> None:
+        """Cut a damaged suffix off (recovery's discard step)."""
+        self._handle.seek(max(int(valid_bytes), _HEADER.size))
+        self._handle.truncate()
+        self._handle.flush()
+
+    def close(self) -> None:
+        if not self._handle.closed:
+            if self.sync_mode != "off":
+                self._handle.flush()
+                os.fsync(self._handle.fileno())
+            self._handle.close()
+
+    @property
+    def closed(self) -> bool:
+        return self._handle.closed
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<WriteAheadLog path={self.path!r} sync={self.sync_mode} "
+            f"appends={self.appends}>"
+        )

@@ -391,19 +391,200 @@ def test_join_stream_trace_summary(tmp_path, capsys):
     assert "compact" in out
 
 
-def test_join_stream_invalid_json_names_line(tmp_path):
-    from repro.errors import InvalidParameterError
-
+def test_join_stream_invalid_json_names_line(tmp_path, capsys):
+    """A malformed line produces a one-line file:line:reason error on
+    stderr and exit code 2 — never a traceback."""
     path = tmp_path / "updates.jsonl"
     path.write_text('{"op": "insert", "points": [[0.1]]}\nnot json\n')
-    with pytest.raises(InvalidParameterError, match=r":2: invalid JSON"):
-        main(
+    code = main(
+        [
+            "join-stream",
+            "--epsilon",
+            "0.3",
+            "--no-initial",
+            "--updates",
+            str(path),
+        ]
+    )
+    assert code == 2
+    err = capsys.readouterr().err
+    assert err.count("\n") == 1
+    assert err.startswith("error: ")
+    assert f"{path}:2: invalid JSON" in err
+
+
+def test_join_stream_bad_op_names_line(tmp_path, capsys):
+    path = tmp_path / "updates.jsonl"
+    path.write_text('{"op": "insert", "points": [[0.1]]}\n{"op": "upsert"}\n')
+    code = main(
+        [
+            "join-stream",
+            "--epsilon",
+            "0.3",
+            "--no-initial",
+            "--updates",
+            str(path),
+        ]
+    )
+    assert code == 2
+    err = capsys.readouterr().err
+    assert err.count("\n") == 1
+    assert f"{path}:2: " in err
+    assert "upsert" in err
+
+
+def test_join_stream_nan_batch_names_line(tmp_path, capsys):
+    path = tmp_path / "updates.jsonl"
+    path.write_text('{"op": "insert", "points": [[0.1, null]]}\n')
+    code = main(
+        [
+            "join-stream",
+            "--epsilon",
+            "0.3",
+            "--no-initial",
+            "--updates",
+            str(path),
+        ]
+    )
+    assert code == 2
+    err = capsys.readouterr().err
+    assert err.count("\n") == 1
+    assert f"{path}:1: " in err
+    assert "NaN" in err
+
+
+class TestPersistCli:
+    def _stream(self, tmp_path, name, lines):
+        path = tmp_path / name
+        path.write_text("\n".join(lines) + "\n")
+        return str(path)
+
+    def test_join_stream_persist_and_resume(self, tmp_path, capsys):
+        updates = self._stream(
+            tmp_path,
+            "ups.jsonl",
+            [
+                '{"op": "insert", "points": [[0.1, 0.1], [0.12, 0.11], [0.9, 0.9]]}',
+                '{"op": "delete", "ids": [2]}',
+            ],
+        )
+        session_dir = str(tmp_path / "session")
+        code = main(
             [
                 "join-stream",
                 "--epsilon",
-                "0.3",
+                "0.1",
                 "--no-initial",
                 "--updates",
-                str(path),
+                updates,
+                "--persist",
+                session_dir,
             ]
         )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "1 surviving pairs over 2 live points" in out
+
+        more = self._stream(
+            tmp_path, "more.jsonl", ['{"op": "insert", "points": [[0.11, 0.1]]}']
+        )
+        code = main(
+            [
+                "join-stream",
+                "--epsilon",
+                "0.1",
+                "--updates",
+                more,
+                "--persist",
+                session_dir,
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "resumed session" in out
+        assert "2 WAL records replayed" in out
+        assert "3 surviving pairs over 3 live points" in out
+
+    def test_join_open_reports_recovery(self, tmp_path, capsys):
+        updates = self._stream(
+            tmp_path,
+            "ups.jsonl",
+            ['{"op": "insert", "points": [[0.1, 0.1], [0.15, 0.1]]}'],
+        )
+        session_dir = str(tmp_path / "session")
+        pairs_path = str(tmp_path / "pairs.npy")
+        stats_path = str(tmp_path / "stats.json")
+        assert (
+            main(
+                [
+                    "join-stream",
+                    "--epsilon",
+                    "0.1",
+                    "--no-initial",
+                    "--updates",
+                    updates,
+                    "--persist",
+                    session_dir,
+                ]
+            )
+            == 0
+        )
+        capsys.readouterr()
+        code = main(
+            [
+                "join-open",
+                session_dir,
+                "--output",
+                pairs_path,
+                "--stats-json",
+                stats_path,
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "recovered session" in out
+        assert "1 surviving pairs over 2 live points" in out
+        import json
+
+        pairs = np.load(pairs_path)
+        assert pairs.tolist() == [[0, 1]]
+        stats = json.loads((tmp_path / "stats.json").read_text())
+        assert stats["wal_records_replayed"] == 1
+        assert stats["snapshot_bytes"] > 0
+
+    def test_join_open_missing_dir_one_line_error(self, tmp_path, capsys):
+        code = main(["join-open", str(tmp_path / "nope")])
+        assert code == 2
+        err = capsys.readouterr().err
+        assert err.count("\n") == 1
+        assert err.startswith("error: ")
+
+    def test_join_stream_error_preserves_persisted_prefix(self, tmp_path, capsys):
+        """A malformed line aborts with exit 2, but everything before it
+        is journaled and survives a join-open."""
+        updates = self._stream(
+            tmp_path,
+            "ups.jsonl",
+            [
+                '{"op": "insert", "points": [[0.2, 0.2], [0.21, 0.2]]}',
+                "{broken",
+            ],
+        )
+        session_dir = str(tmp_path / "session")
+        code = main(
+            [
+                "join-stream",
+                "--epsilon",
+                "0.1",
+                "--no-initial",
+                "--updates",
+                updates,
+                "--persist",
+                session_dir,
+            ]
+        )
+        assert code == 2
+        capsys.readouterr()
+        assert main(["join-open", session_dir]) == 0
+        out = capsys.readouterr().out
+        assert "1 surviving pairs over 2 live points" in out

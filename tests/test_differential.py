@@ -16,6 +16,12 @@ later deleted, plus a mid-stream compaction — so every matrix case
 doubles as a check that accumulated deltas reproduce the batch answer.
 Dedicated tier-1 cases run the same adapter on the parallel engine and
 with a fault-injected compaction.
+
+The persisted-crash row streams each case through a crash-consistent
+on-disk session (WAL + checksummed snapshots) with injected crashes — a
+torn WAL append mid-stream and a death between snapshot write and
+publish — re-opening from disk after each one; recovery must reproduce
+the oracle's pair set byte-for-byte.
 """
 
 from __future__ import annotations
@@ -176,12 +182,137 @@ _INCREMENTAL_SELF, _INCREMENTAL_TWO_SET = _incremental_engine()
 _INCREMENTAL_PARALLEL = _incremental_engine(engine="parallel")
 _INCREMENTAL_FAULTY = _incremental_engine(fault=True)
 
+
+def _persisted_crash_engine():
+    """Answer a batch case through a persisted session that crashes.
+
+    Each case streams its points into a crash-consistent on-disk session
+    (tmpdir) with two injected crashes: a WAL append torn mid-frame
+    during the stream, and a process death between the snapshot
+    tmp-write and its atomic rename during a compaction.  After each
+    crash the session is re-opened from disk and the stream resumes from
+    the recovered update seq.  The surviving pair set must be
+    byte-identical to the oracle's — crashes never lose acknowledged
+    updates or conjure phantom pairs.
+    """
+    import os
+    import tempfile
+
+    from repro.core import FaultPlan
+    from repro.core.incremental import IncrementalJoin
+    from repro.core.result import JoinResult
+    from repro.errors import SessionCrashError
+
+    def _apply_with_recovery(session, path, plan, steps):
+        """Apply seq-consuming steps, re-opening after injected crashes."""
+        idx = session.last_update_seq
+        while idx < len(steps):
+            op, payload = steps[idx]
+            try:
+                if op == "insert":
+                    session.insert(payload)
+                else:
+                    session.delete(payload)
+            except SessionCrashError:
+                session = IncrementalJoin.open(path, fault_plan=plan)
+                idx = session.last_update_seq
+                continue
+            if op == "insert" and idx == 1:
+                # mid-stream compaction; a publish crash here loses only
+                # the in-memory fold, never an acknowledged update
+                try:
+                    session.compact()
+                except SessionCrashError:
+                    session = IncrementalJoin.open(path, fault_plan=plan)
+            idx += 1
+        return session
+
+    def self_join(points, spec):
+        points = np.asarray(points, dtype=np.float64)
+        chunks = np.array_split(points, 3)
+        decoys = points[: min(8, len(points))].copy()
+        decoys[:, 0] += spec.epsilon / 4.0
+        steps = [
+            ("insert", chunks[0]),
+            ("insert", decoys),
+            ("insert", chunks[1]),
+            ("insert", chunks[2]),
+        ]
+        # Ids are assigned contiguously per acknowledged batch, and the
+        # recovery loop applies each step exactly once, so the id ranges
+        # are known analytically — crash or no crash.
+        offsets = np.cumsum([0] + [len(payload) for _, payload in steps])
+        decoy_ids = np.arange(offsets[1], offsets[2], dtype=np.int64)
+        with tempfile.TemporaryDirectory() as tmp:
+            path = os.path.join(tmp, "session")
+            plan = (
+                FaultPlan()
+                .tear_wal_frame(3)
+                .crash_before_snapshot_publish(1)
+            )
+            session = IncrementalJoin.open(
+                path,
+                spec=replace(spec, delta_threshold=48),
+                fault_plan=plan,
+            )
+            session = _apply_with_recovery(session, path, plan, steps)
+            if len(decoy_ids):
+                session.delete(decoy_ids)
+            id_pairs = session.current_pairs()
+            stats = session.stats
+            next_id = session._next_id
+            session.close()
+        real_ids = np.concatenate(
+            [
+                np.arange(offsets[0], offsets[1], dtype=np.int64),
+                np.arange(offsets[2], offsets[4], dtype=np.int64),
+            ]
+        )
+        inverse = np.full(next_id, -1, dtype=np.int64)
+        inverse[real_ids] = np.arange(len(points), dtype=np.int64)
+        pairs = inverse[id_pairs]
+        assert (pairs >= 0).all(), "a decoy survived retraction"
+        pairs = np.sort(pairs, axis=1)
+        pairs = pairs[np.lexsort((pairs[:, 1], pairs[:, 0]))]
+        return JoinResult(stats=stats, pairs=pairs)
+
+    def two_set(points_r, points_s, spec):
+        points_r = np.asarray(points_r, dtype=np.float64)
+        points_s = np.asarray(points_s, dtype=np.float64)
+        steps = [("insert", points_r), ("insert", points_s)]
+        with tempfile.TemporaryDirectory() as tmp:
+            path = os.path.join(tmp, "session")
+            plan = FaultPlan().tear_wal_frame(2)
+            session = IncrementalJoin.open(
+                path,
+                spec=replace(spec, delta_threshold=48),
+                fault_plan=plan,
+            )
+            session = _apply_with_recovery(session, path, plan, steps)
+            id_pairs = session.current_pairs()
+            stats = session.stats
+            session.close()
+        n_r = len(points_r)
+        cross = id_pairs[(id_pairs[:, 0] < n_r) & (id_pairs[:, 1] >= n_r)]
+        pairs = np.column_stack([cross[:, 0], cross[:, 1] - n_r])
+        pairs = pairs[np.lexsort((pairs[:, 1], pairs[:, 0]))]
+        return JoinResult(stats=stats, pairs=pairs)
+
+    return self_join, two_set
+
+
+_PERSISTED_CRASH_SELF, _PERSISTED_CRASH_TWO_SET = _persisted_crash_engine()
+
 #: engine name -> (self_join(points, spec), join(r, s, spec)).
 ENGINES = {
     "epsilon-kdb": (epsilon_kdb_self_join, epsilon_kdb_join),
     "epsilon-kdb-pointer": (_POINTER_SELF, _POINTER_TWO_SET),
     "epsilon-kdb-parallel": (_PARALLEL_SELF, _PARALLEL_TWO_SET),
     "epsilon-kdb-incremental": (_INCREMENTAL_SELF, _INCREMENTAL_TWO_SET),
+    "epsilon-kdb-persisted-crash": (
+        _PERSISTED_CRASH_SELF,
+        _PERSISTED_CRASH_TWO_SET,
+    ),
     "grid": (grid_self_join, grid_join),
     "sort-merge": (sort_merge_self_join, sort_merge_join),
     "rtree": (rtree_self_join, rtree_join),

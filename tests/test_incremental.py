@@ -201,6 +201,46 @@ class TestIncrementalBasics:
         with pytest.raises(InvalidParameterError, match="dimensional"):
             harness.session.insert(np.random.default_rng(9).random((5, 4)))
 
+    @pytest.mark.parametrize("poison", [np.nan, np.inf, -np.inf])
+    def test_nan_inf_batch_rejected_up_front(self, poison):
+        """Satellite: a batch with non-finite coordinates raises the
+        typed error before any state mutates."""
+        harness = SessionHarness(JoinSpec(**self.SPEC))
+        harness.insert(np.random.default_rng(10).random((6, 2)))
+        before_pairs = harness.accumulated()
+        bad = np.random.default_rng(11).random((3, 2))
+        bad[1, 1] = poison
+        with pytest.raises(
+            InvalidParameterError, match="insert batch contains NaN"
+        ):
+            harness.session.insert(bad)
+        # untouched: same live set, same ids, same pair ledger, and the
+        # next insert continues the id sequence without a gap
+        assert harness.session.n_live == 6
+        assert harness.session._next_id == 6
+        assert np.array_equal(harness.accumulated(), before_pairs)
+        delta = harness.insert(np.random.default_rng(12).random((2, 2)))
+        assert delta.ids.tolist() == [6, 7]
+        harness.check("after rejected batch")
+
+    def test_nan_batch_never_reaches_the_journal(self, tmp_path):
+        """With persistence on, a rejected batch must not leave a WAL
+        record: the reopened session has the same update seq."""
+        path = str(tmp_path / "session")
+        session = IncrementalJoin(
+            JoinSpec(epsilon=0.3, persist_path=path, delta_threshold=100)
+        )
+        session.insert(np.random.default_rng(13).random((4, 2)))
+        bad = np.array([[0.1, np.nan]])
+        with pytest.raises(InvalidParameterError, match="NaN"):
+            session.insert(bad)
+        assert session.last_update_seq == 1
+        session.close()
+        reopened = IncrementalJoin.open(path)
+        assert reopened.last_update_seq == 1
+        assert reopened.stats.wal_records_replayed == 1
+        reopened.close()
+
     def test_invalid_engine_rejected(self):
         with pytest.raises(InvalidParameterError, match="engine"):
             IncrementalJoin(JoinSpec(epsilon=0.3), engine="gpu")

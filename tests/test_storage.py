@@ -193,3 +193,84 @@ class TestSequentialScanModel:
         pfile.read_all()
         expected_pages = -(-100 // 7)
         assert store.counters.delta(before).reads == expected_pages
+
+
+class TestEdgeCases:
+    """Corner cases of the paged substrate: empty pages, exhausted
+    fault budgets, pin pressure, and counter algebra."""
+
+    def test_zero_row_page_roundtrip(self):
+        store = PageStore(page_rows=4)
+        pid = store.allocate(np.empty((0, 3)))
+        page = store.read_page(pid)
+        assert page.shape == (0, 3)
+        assert store.counters.writes == 1
+        assert store.counters.reads == 1
+
+    def test_zero_row_page_overwrite(self):
+        store = PageStore(page_rows=4)
+        pid = store.allocate(np.ones((2, 3)))
+        store.write_page(pid, np.empty((0, 3)))
+        assert len(store.read_page(pid)) == 0
+
+    def test_zero_row_point_file(self):
+        store = PageStore(page_rows=5)
+        pfile = PointFile.from_points(store, np.empty((0, 4)))
+        assert pfile.num_pages == 0
+        assert pfile.read_all().shape[0] == 0
+
+    def test_read_page_after_fault_exhaustion(self):
+        """Every scheduled ordinal fails exactly once; once the plan is
+        exhausted the same page reads cleanly, and every attempt —
+        failed or not — counts as physical I/O."""
+        from repro.core.resilience import FaultPlan
+        from repro.errors import TransientIoError
+
+        plan = FaultPlan().fail_page_read(0, 1, 2)
+        store = PageStore(page_rows=4, fault_plan=plan)
+        pid = store.allocate(np.arange(8.0).reshape(2, 4))
+        for _ in range(3):
+            with pytest.raises(TransientIoError):
+                store.read_page(pid)
+        page = store.read_page(pid)
+        assert np.array_equal(page, np.arange(8.0).reshape(2, 4))
+        assert store.counters.reads == 4
+        assert plan.injected == 3
+
+    def test_pinned_page_eviction_pressure(self):
+        """With every frame pinned, a miss raises instead of silently
+        overcommitting; releasing one pin makes that frame the victim."""
+        store = PageStore(page_rows=2)
+        pids = [store.allocate(np.full((1, 2), float(i))) for i in range(3)]
+        buffer = BufferManager(store, capacity=2)
+        buffer.get(pids[0], pin=True)
+        buffer.get(pids[1], pin=True)
+        with pytest.raises(StorageError, match="pinned"):
+            buffer.get(pids[2])
+        buffer.unpin(pids[0])
+        buffer.get(pids[2])  # evicts the now-unpinned frame 0
+        before = store.counters.reads
+        buffer.get(pids[1])  # pinned frame survived the pressure
+        assert store.counters.reads == before
+        buffer.get(pids[0])  # evicted -> physical re-read
+        assert store.counters.reads == before + 1
+
+    def test_io_counters_delta_roundtrip(self):
+        from repro.storage import PageStore as _PS
+
+        store = _PS(page_rows=2)
+        baseline = store.counters.snapshot()
+        pid = store.allocate(np.ones((1, 2)))
+        store.read_page(pid)
+        store.read_page(pid)
+        delta = store.counters.delta(baseline)
+        assert (delta.reads, delta.writes) == (2, 1)
+        # snapshot is a frozen copy, not a live view
+        assert (baseline.reads, baseline.writes) == (0, 0)
+        # delta of a snapshot against itself is zero
+        again = store.counters.snapshot()
+        zero = store.counters.delta(again)
+        assert (zero.reads, zero.writes) == (0, 0)
+        # counters recompose: earlier + delta == now
+        assert baseline.reads + delta.reads == store.counters.reads
+        assert baseline.writes + delta.writes == store.counters.writes
