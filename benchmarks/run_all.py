@@ -49,6 +49,7 @@ EXPERIMENTS = [
     "bench_e17_flat_build",
     "bench_e18_incremental",
     "bench_e19_persistence",
+    "bench_e20_serving",
 ]
 
 RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")

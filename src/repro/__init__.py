@@ -76,6 +76,7 @@ from repro.core import (
     subtract_pairs,
 )
 from repro.errors import (
+    AdmissionError,
     CorruptSnapshotError,
     DomainError,
     InvalidParameterError,
@@ -145,6 +146,7 @@ def similarity_join(
     delta_threshold: Optional[int] = None,
     persist_path: Optional[str] = None,
     sync_mode: Optional[str] = None,
+    keep_generations: Optional[int] = None,
     return_result: bool = False,
 ):
     """Find all point pairs within ``epsilon`` of each other.
@@ -218,6 +220,11 @@ def similarity_join(
         sync_mode: WAL durability policy for ``persist_path``:
             ``"always"`` (fsync per update), ``"batch"`` (default;
             fsync at snapshot boundaries), or ``"off"``.
+        keep_generations: snapshot generations the ``persist_path``
+            session retains on disk (older ones are pruned at each
+            compaction).  ``None`` keeps the spec default of 2; must be
+            at least 1.  A runtime knob: it may differ freely between
+            runs over the same session directory.
         return_result: when true, return the full
             :class:`~repro.core.result.JoinResult` (pairs *and*
             statistics) instead of just the pair array.
@@ -253,6 +260,10 @@ def similarity_join(
         raise InvalidParameterError(
             "sync_mode is only meaningful together with persist_path"
         )
+    if keep_generations is not None and persist_path is None:
+        raise InvalidParameterError(
+            "keep_generations is only meaningful together with persist_path"
+        )
     if updates is not None or persist_path is not None:
         if points2 is not None:
             raise InvalidParameterError(
@@ -271,7 +282,11 @@ def similarity_join(
             stream.insert(0, ("insert", points))
         if persist_path is not None:
             session = IncrementalJoin.open(
-                persist_path, spec=spec, sync_mode=sync_mode, engine=engine
+                persist_path,
+                spec=spec,
+                sync_mode=sync_mode,
+                engine=engine,
+                keep_generations=keep_generations,
             )
             try:
                 apply_update_stream(session, stream)
@@ -370,6 +385,7 @@ __all__ = [
     "get_metric",
     # errors
     "ReproError",
+    "AdmissionError",
     "InvalidParameterError",
     "DomainError",
     "StorageError",

@@ -1,6 +1,6 @@
 """Command-line interface: ``python -m repro`` / ``repro-join``.
 
-Five subcommands:
+Seven subcommands:
 
 * ``join`` (the default when flags are given directly) — run one
   similarity join on a generated workload or a ``.npy``/``.csv`` file
@@ -14,6 +14,11 @@ Five subcommands:
 * ``join-open`` — recover a persisted session directory (replaying the
   WAL over the newest valid snapshot) and print its surviving pairs
   and recovery statistics (see docs/persistence.md).
+* ``serve`` — run the asyncio TCP serving front-end: multi-tenant
+  incremental-join sessions, query coalescing and sketch-based
+  admission control (see docs/serving.md).
+* ``query`` — a scripted client for a running server: attach a tenant,
+  insert points, run range queries and print the answers.
 * ``compare`` — run *every* implemented algorithm on the same workload
   and print the comparison table, a one-command version of the paper's
   head-to-head experiments.
@@ -271,6 +276,13 @@ def build_parser() -> argparse.ArgumentParser:
         help="WAL durability policy with --persist: always (fsync per "
         "batch), batch (default; fsync at snapshot boundaries), or off",
     )
+    stream.add_argument(
+        "--keep-generations",
+        type=int,
+        default=None,
+        help="snapshot generations retained on disk with --persist "
+        "(default: 2; older generations are pruned at each compaction)",
+    )
 
     opened = subparsers.add_parser(
         "join-open",
@@ -286,6 +298,13 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="WAL durability policy for the reopened session "
         "(default: the persisted spec's policy)",
+    )
+    opened.add_argument(
+        "--keep-generations",
+        type=int,
+        default=None,
+        help="snapshot generations the reopened session retains "
+        "(default: 2)",
     )
     opened.add_argument(
         "--output",
@@ -313,6 +332,147 @@ def build_parser() -> argparse.ArgumentParser:
         "--trace-summary",
         action="store_true",
         help="print the phase-breakdown tree of the traced recovery",
+    )
+
+    serve = subparsers.add_parser(
+        "serve",
+        help="run the async TCP serving front-end for incremental join "
+        "sessions (see docs/serving.md)",
+    )
+    serve.add_argument("--host", default="127.0.0.1", help="bind address")
+    serve.add_argument(
+        "--port",
+        type=int,
+        default=0,
+        help="TCP port (default: 0, pick a free one; the chosen port is "
+        "printed on startup)",
+    )
+    serve.add_argument(
+        "--coalesce-window",
+        type=float,
+        default=0.002,
+        metavar="SECONDS",
+        help="range queries for the same tenant and radius arriving "
+        "within this window are answered by one batched tree traversal "
+        "(default: 0.002; 0 disables coalescing)",
+    )
+    serve.add_argument(
+        "--max-predicted-pairs",
+        type=float,
+        default=None,
+        help="shed any request whose sketch-predicted output exceeds "
+        "this many pairs (default: no size budget)",
+    )
+    serve.add_argument(
+        "--max-inflight",
+        type=int,
+        default=8,
+        help="requests executing concurrently; more wait in the "
+        "admission queue (default: 8)",
+    )
+    serve.add_argument(
+        "--max-pending",
+        type=int,
+        default=64,
+        help="admission queue length beyond which requests are shed "
+        "(default: 64)",
+    )
+    serve.add_argument(
+        "--deadline",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="default per-request deadline; requests missing it get a "
+        "'deadline' error (default: none; clients may set deadline_ms "
+        "per request)",
+    )
+    serve.add_argument(
+        "--metrics-json",
+        metavar="PATH",
+        help="dump the serving metrics registry as JSON to PATH on "
+        "shutdown",
+    )
+    serve.add_argument(
+        "--trace",
+        metavar="PATH",
+        help="record a structured trace of every served request and "
+        "write it to PATH on shutdown",
+    )
+    serve.add_argument(
+        "--trace-format",
+        choices=["jsonl", "chrome"],
+        default="jsonl",
+        help="trace file format: jsonl (one span per line) or chrome "
+        "(trace_event JSON)",
+    )
+
+    query = subparsers.add_parser(
+        "query",
+        help="scripted client for a running serve instance: attach, "
+        "insert, range-query, print answers",
+    )
+    query.add_argument("--host", default="127.0.0.1", help="server address")
+    query.add_argument("--port", type=int, required=True, help="server port")
+    query.add_argument(
+        "--tenant", required=True, help="tenant session name to attach"
+    )
+    query.add_argument(
+        "--epsilon",
+        type=float,
+        default=None,
+        help="join threshold when the attach creates the tenant "
+        "(in-memory, or a fresh --path directory)",
+    )
+    query.add_argument(
+        "--metric", default=None, help="metric when the attach creates the tenant"
+    )
+    query.add_argument(
+        "--path",
+        default=None,
+        help="attach the tenant from this persisted session directory "
+        "on the server's filesystem",
+    )
+    query.add_argument(
+        "--keep-generations",
+        type=int,
+        default=None,
+        help="snapshot generations the attached persisted session keeps",
+    )
+    query.add_argument(
+        "--insert",
+        metavar="PATH",
+        help="insert points from a .npy or .csv file after attaching",
+    )
+    query.add_argument(
+        "--range",
+        action="append",
+        default=[],
+        metavar="COORDS",
+        help="range query as comma-separated coordinates (repeatable); "
+        "all queries are sent concurrently, so the server may coalesce "
+        "them into one batched traversal",
+    )
+    query.add_argument(
+        "--eps",
+        type=float,
+        default=None,
+        help="query radius for --range (default: the tenant's epsilon)",
+    )
+    query.add_argument(
+        "--pairs",
+        action="store_true",
+        help="print the tenant's current self-join pair count",
+    )
+    query.add_argument(
+        "--stats",
+        action="store_true",
+        help="print the server and tenant statistics JSON",
+    )
+    query.add_argument(
+        "--shutdown",
+        action="store_true",
+        help="ask the server to shut down gracefully after the other "
+        "operations",
     )
 
     compare = subparsers.add_parser(
@@ -545,6 +705,7 @@ def _run_join_stream(args: argparse.Namespace) -> int:
             sync_mode=args.sync_mode,
             engine=engine,
             n_workers=workers,
+            keep_generations=args.keep_generations,
         )
     else:
         session = IncrementalJoin(spec, engine=engine, n_workers=workers)
@@ -651,7 +812,11 @@ def _run_join_open(args: argparse.Namespace) -> int:
         if tracer is not None:
             stack.enter_context(trace.activate(tracer))
         try:
-            session = IncrementalJoin.open(args.path, sync_mode=args.sync_mode)
+            session = IncrementalJoin.open(
+                args.path,
+                sync_mode=args.sync_mode,
+                keep_generations=args.keep_generations,
+            )
         except (CorruptSnapshotError, InvalidParameterError) as exc:
             print(f"error: {exc}", file=sys.stderr)
             return 2
@@ -678,6 +843,123 @@ def _run_join_open(args: argparse.Namespace) -> int:
         print(f"wrote stats to {args.stats_json}")
     _emit_trace(tracer, args)
     return 0
+
+
+def _run_serve(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from repro.serve import JoinServer
+
+    tracer = Tracer() if args.trace else None
+
+    async def run() -> None:
+        server = JoinServer(
+            args.host,
+            args.port,
+            coalesce_window=args.coalesce_window,
+            max_predicted_pairs=args.max_predicted_pairs,
+            max_inflight=args.max_inflight,
+            max_pending=args.max_pending,
+            default_deadline=args.deadline,
+        )
+        await server.start()
+        print(
+            f"serving on {args.host}:{server.port} "
+            f"(coalesce window {args.coalesce_window}s, "
+            f"size budget {args.max_predicted_pairs or 'none'})",
+            flush=True,
+        )
+        try:
+            await server.serve_until_shutdown()
+        finally:
+            await server.stop()
+            if args.metrics_json:
+                with open(args.metrics_json, "w") as handle:
+                    json.dump(
+                        server.metrics.as_dict(), handle, indent=2, sort_keys=True
+                    )
+                    handle.write("\n")
+                print(f"wrote metrics to {args.metrics_json}")
+
+    with ExitStack() as stack:
+        if tracer is not None:
+            stack.enter_context(trace.activate(tracer))
+        try:
+            asyncio.run(run())
+        except KeyboardInterrupt:
+            print("interrupted; sessions closed")
+    if tracer is not None:
+        spans = tracer.export()
+        if args.trace_format == "chrome":
+            write_chrome_trace(spans, args.trace)
+        else:
+            write_jsonl(spans, args.trace)
+        print(f"wrote {len(spans)} trace spans to {args.trace}")
+    return 0
+
+
+def _run_query(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from repro.serve import ServeClient
+
+    async def run() -> int:
+        client = await ServeClient.connect(args.host, args.port)
+        try:
+            info = await client.attach(
+                args.tenant,
+                epsilon=args.epsilon,
+                metric=args.metric,
+                path=args.path,
+                keep_generations=args.keep_generations,
+            )
+            print(
+                f"attached {args.tenant!r}: {info['n_live']} live points, "
+                f"eps={info['epsilon']}, "
+                f"{'persisted' if info['persisted'] else 'in-memory'}"
+            )
+            if args.insert:
+                points = load_points(args.insert)
+                ids = await client.insert(args.tenant, points)
+                print(f"inserted {len(ids)} points (ids {ids[0]}..{ids[-1]})")
+            if args.range:
+                queries = [
+                    np.array([float(v) for v in coords.split(",")])
+                    for coords in args.range
+                ]
+                answers = await asyncio.gather(
+                    *[
+                        client.range_query(args.tenant, q, eps=args.eps)
+                        for q in queries
+                    ]
+                )
+                for coords, ids in zip(args.range, answers):
+                    preview = ", ".join(str(i) for i in ids[:8])
+                    suffix = ", ..." if len(ids) > 8 else ""
+                    print(f"range({coords}): {len(ids)} hits [{preview}{suffix}]")
+            if args.pairs:
+                pairs = await client.pairs(args.tenant)
+                print(f"current pairs: {len(pairs)}")
+            if args.stats:
+                stats = await client.stats(args.tenant)
+                stats.pop("id", None)
+                stats.pop("ok", None)
+                print(json.dumps(stats, indent=2, sort_keys=True))
+            if args.shutdown:
+                await client.shutdown()
+                print("server shutting down")
+        finally:
+            await client.close()
+        return 0
+
+    try:
+        return asyncio.run(run())
+    except ConnectionRefusedError:
+        print(
+            f"error: no server listening on {args.host}:{args.port}",
+            file=sys.stderr,
+        )
+        return 2
 
 
 def _run_search(args: argparse.Namespace) -> int:
@@ -773,6 +1055,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return _run_join_stream(args)
     if args.command == "join-open":
         return _run_join_open(args)
+    if args.command == "serve":
+        return _run_serve(args)
+    if args.command == "query":
+        return _run_query(args)
     build_parser().print_help()
     return 2
 

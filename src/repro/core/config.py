@@ -113,6 +113,23 @@ class JoinSpec:
             flush per batch, fsync at snapshot boundaries and close) or
             ``"off"`` (never fsync; fastest, weakest).  Only meaningful
             with ``persist_path``.
+        admission_threshold: sketch-estimated join size above which an
+            :class:`~repro.core.incremental.IncrementalJoin` *refuses*
+            an insert batch with
+            :class:`~repro.errors.AdmissionError` (before journaling or
+            mutating anything).  The check uses the session's one-pass
+            join-size sketch: add the batch, estimate, remove the batch
+            — exact on the sketch's integer counters, so a refused batch
+            leaves no trace.  ``None`` (default) disables admission
+            control.  A runtime knob: not part of the persisted
+            structural fingerprint, and replayed WAL records bypass it
+            (they were admitted when first applied).
+        keep_generations: how many snapshot generations a persisted
+            session retains when it publishes a new one (older
+            generations are pruned).  More generations widen the
+            corruption-fallback window at a linear disk cost; the
+            minimum of 1 keeps only the newest.  A runtime knob, free to
+            differ across re-opens of the same session.
     """
 
     epsilon: float
@@ -132,6 +149,8 @@ class JoinSpec:
     sketch_bits: int = DEFAULT_SKETCH_BITS
     persist_path: Optional[str] = None
     sync_mode: str = "batch"
+    admission_threshold: Optional[float] = None
+    keep_generations: int = 2
 
     def __post_init__(self) -> None:
         if not np.isfinite(self.epsilon) or self.epsilon <= 0:
@@ -204,6 +223,19 @@ class JoinSpec:
                 f'sync_mode must be "always", "batch" or "off", '
                 f"got {self.sync_mode!r}"
             )
+        if self.admission_threshold is not None:
+            threshold = float(self.admission_threshold)
+            if not np.isfinite(threshold) or threshold < 0:
+                raise InvalidParameterError(
+                    "admission_threshold must be a non-negative finite "
+                    f"number, got {self.admission_threshold!r}"
+                )
+            self.admission_threshold = threshold
+        if int(self.keep_generations) < 1:
+            raise InvalidParameterError(
+                f"keep_generations must be >= 1, got {self.keep_generations!r}"
+            )
+        self.keep_generations = int(self.keep_generations)
 
     def resolved_build(self) -> str:
         """The effective tree build strategy (``"flat"`` or ``"pointer"``)."""

@@ -60,6 +60,7 @@ from repro.core.kernels import build_kernel_context
 from repro.core.resilience import FaultPlan, retry_transient
 from repro.core.result import JoinResult, JoinStats, PairCollector
 from repro.errors import (
+    AdmissionError,
     CorruptSnapshotError,
     InvalidParameterError,
     StorageError,
@@ -346,6 +347,7 @@ class IncrementalJoin:
         io_retries: int = DEFAULT_IO_RETRIES,
         use_processes: bool = True,
         n_workers: Optional[int] = None,
+        keep_generations: Optional[int] = None,
     ) -> "IncrementalJoin":
         """Open (or create) the persisted session stored at ``path``.
 
@@ -358,8 +360,8 @@ class IncrementalJoin:
         suffix is discarded — counted in
         ``stats.corrupt_frames_discarded``.  A ``spec`` passed alongside
         an existing session must match the persisted structural
-        fingerprint; runtime knobs (engine, workers, ``sync_mode``)
-        may differ freely.  Raises
+        fingerprint; runtime knobs (engine, workers, ``sync_mode``,
+        ``keep_generations``) may differ freely.  Raises
         :class:`~repro.errors.CorruptSnapshotError` only when every
         snapshot generation fails validation.
         """
@@ -376,6 +378,8 @@ class IncrementalJoin:
                 persist_path=path,
                 sync_mode=sync_mode if sync_mode is not None else spec.sync_mode,
             )
+            if keep_generations is not None:
+                fresh = replace(fresh, keep_generations=keep_generations)
             return cls(
                 fresh,
                 engine=engine,
@@ -428,6 +432,10 @@ class IncrementalJoin:
                 n_workers=n_workers,
             )
             session.spec = replace(mem_spec, persist_path=path)
+            if keep_generations is not None:
+                session.spec = replace(
+                    session.spec, keep_generations=keep_generations
+                )
             session._persist_dir = path
             # Never reuse a seq already on disk, even a corrupt one.
             session._snapshot_seq = snaps[-1][0]
@@ -513,7 +521,7 @@ class IncrementalJoin:
             fault_plan=self._fault_plan,
             fsync=self.spec.sync_mode != "off",
         )
-        prune_snapshots(self._persist_dir, keep=2)
+        prune_snapshots(self._persist_dir, keep=self.spec.keep_generations)
         self.stats.snapshot_bytes = max(self.stats.snapshot_bytes, nbytes)
 
     def _snapshot_state(self) -> Tuple[dict, dict]:
@@ -672,6 +680,10 @@ class IncrementalJoin:
         front with :class:`~repro.errors.InvalidParameterError` — before
         any journaling or state mutation, so an invalid batch can never
         reach the grid internals or poison a persisted session's log.
+        With ``spec.admission_threshold`` set, a batch whose
+        sketch-predicted join size exceeds the threshold is refused with
+        :class:`~repro.errors.AdmissionError`, likewise before any
+        journaling (counted in ``stats.batches_rejected``).
         """
         points = validate_points(points, "insert batch")
         if self._dims is None:
@@ -683,6 +695,30 @@ class IncrementalJoin:
             )
         else:
             dims = self._dims
+        if self._sketch is None or self._dims is None:
+            # Created ahead of the admission probe; before the first
+            # successful insert the session is empty, so a fresh sketch
+            # is always the correct state to probe against.
+            self._sketch = JoinSizeSketch(
+                self.spec.band_width, bits=self.spec.sketch_bits
+            )
+        threshold = self.spec.admission_threshold
+        if threshold is not None and not self._replaying and len(points):
+            # Admission probe: add -> estimate -> remove is exact on the
+            # sketch's integer counters, so a refused batch leaves the
+            # sketch — and, because nothing is journaled yet, the whole
+            # session — untouched.  Replayed WAL records skip the check:
+            # they were admitted when first applied.
+            self._sketch.add(points)
+            predicted = self._sketch.estimate()
+            self._sketch.remove(points)
+            if predicted > threshold:
+                self.stats.batches_rejected += 1
+                raise AdmissionError(
+                    f"insert batch of {len(points)} points refused: "
+                    f"sketch-predicted join size {predicted:.0f} exceeds "
+                    f"the admission threshold {threshold:.0f}"
+                )
         seq = self._update_seq + 1
         if self._wal is not None and not self._replaying:
             # Journal first: once the append returns, the batch is the
@@ -693,9 +729,6 @@ class IncrementalJoin:
             self._dims = dims
             self._base_points = np.empty((0, self._dims), dtype=np.float64)
             self._delta_points = np.empty((0, self._dims), dtype=np.float64)
-            self._sketch = JoinSizeSketch(
-                self.spec.band_width, bits=self.spec.sketch_bits
-            )
         n_new = len(points)
         ids = np.arange(self._next_id, self._next_id + n_new, dtype=np.int64)
         parts: List[np.ndarray] = []
@@ -928,6 +961,133 @@ class IncrementalJoin:
         return _canonical_id_pairs(
             ids[result.pairs[:, 0]], ids[result.pairs[:, 1]]
         )
+
+    def range_query(
+        self, point: np.ndarray, eps: Optional[float] = None
+    ) -> np.ndarray:
+        """Ids of live points within ``eps`` of ``point``, ascending.
+
+        Equivalent to ``batch_range_query(point[None])[0]`` — the same
+        code path, so a coalesced batch answer is byte-identical to the
+        per-query answer.
+        """
+        point = np.asarray(point, dtype=np.float64)
+        if point.ndim != 1:
+            raise InvalidParameterError(
+                f"query point must be 1-D, got shape {point.shape}"
+            )
+        return self.batch_range_query(point[np.newaxis, :], eps=eps)[0]
+
+    def batch_range_query(
+        self, queries: np.ndarray, eps: Optional[float] = None
+    ) -> List[np.ndarray]:
+        """Ids of live points within ``eps`` of each query row.
+
+        A pure query (no journaling, no mutation): one leaf-directed
+        pass over the base tree for the whole batch plus a vectorized
+        sweep of the delta buffer, with tombstoned rows filtered out.
+        Returns one ascending int64 id array per query — byte-identical,
+        per query, to a brute-force scan of :meth:`live_points`.
+        ``eps`` defaults to the spec epsilon and may not exceed it (the
+        base tree's cells are sized for the spec).
+        """
+        queries = validate_points(queries, "queries")
+        if eps is None:
+            eps = self.spec.epsilon
+        eps = float(eps)
+        if not np.isfinite(eps) or eps <= 0:
+            raise InvalidParameterError(
+                f"query radius must be a positive finite number, got {eps!r}"
+            )
+        if eps > self.spec.epsilon:
+            raise InvalidParameterError(
+                f"query radius {eps} exceeds the session epsilon "
+                f"{self.spec.epsilon}"
+            )
+        n_q = len(queries)
+        if self._dims is None:
+            return [_EMPTY_IDS.copy() for _ in range(n_q)]
+        if queries.shape[1] != self._dims:
+            raise InvalidParameterError(
+                f"session holds {self._dims}-dimensional points, "
+                f"got queries with {queries.shape[1]}"
+            )
+        parts: List[List[np.ndarray]] = [[] for _ in range(n_q)]
+        tree = self._base_tree
+        if tree is not None:
+            grid = tree.grid
+            # The tree pass is only sound for queries inside the grid box
+            # (cell_of clips); out-of-box queries scan the base directly.
+            in_box = np.all(
+                (queries >= grid.lo[np.newaxis, :])
+                & (queries <= grid.hi[np.newaxis, :]),
+                axis=1,
+            )
+            box_rows = np.flatnonzero(in_box)
+            if len(box_rows):
+                answers = tree.batch_range_query(queries[box_rows], eps=eps)
+                for pos, hits in zip(box_rows, answers):
+                    if len(hits):
+                        alive = hits[self._base_alive[hits]]
+                        if len(alive):
+                            parts[pos].append(self._base_ids[alive])
+            out_rows = np.flatnonzero(~in_box)
+            if len(out_rows):
+                self._brute_range(
+                    queries, out_rows, self._base_points,
+                    self._base_ids, self._base_alive, eps, parts,
+                )
+        elif len(self._base_points):  # pragma: no cover - defensive
+            self._brute_range(
+                queries, np.arange(n_q, dtype=np.int64), self._base_points,
+                self._base_ids, self._base_alive, eps, parts,
+            )
+        if len(self._delta_points):
+            self._brute_range(
+                queries, np.arange(n_q, dtype=np.int64), self._delta_points,
+                self._delta_ids, self._delta_alive, eps, parts,
+            )
+        out: List[np.ndarray] = []
+        for bucket in parts:
+            if not bucket:
+                out.append(_EMPTY_IDS.copy())
+            elif len(bucket) == 1:
+                out.append(np.sort(bucket[0]))
+            else:
+                out.append(np.sort(np.concatenate(bucket)))
+        return out
+
+    def _brute_range(
+        self,
+        queries: np.ndarray,
+        rows: np.ndarray,
+        points: np.ndarray,
+        ids: np.ndarray,
+        alive: np.ndarray,
+        eps: float,
+        parts: List[List[np.ndarray]],
+    ) -> None:
+        """Scan ``points[alive]`` for each ``queries[rows]``; fill ``parts``.
+
+        Vectorized in blocks of query rows so the broadcast diff tensor
+        stays bounded regardless of batch width.
+        """
+        live = np.flatnonzero(alive)
+        if not len(live) or not len(rows):
+            return
+        block = points[live]
+        metric = self.spec.metric
+        chunk = max(1, 262144 // len(live))
+        for start in range(0, len(rows), chunk):
+            sub = rows[start:start + chunk]
+            diffs = np.abs(queries[sub][:, np.newaxis, :] - block[np.newaxis, :, :])
+            keep = metric.within_gap(
+                diffs.reshape(-1, diffs.shape[2]), eps
+            ).reshape(len(sub), len(live))
+            for local, q in enumerate(sub):
+                hit = keep[local]
+                if hit.any():
+                    parts[q].append(ids[live[hit]])
 
     # ------------------------------------------------------------------
     # internals

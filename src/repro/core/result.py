@@ -92,6 +92,9 @@ class JoinStats:
         corrupt_frames_discarded: damaged storage artifacts recovery
             detected and discarded — torn or checksum-failed WAL
             suffixes plus snapshot generations that failed validation.
+        batches_rejected: update batches refused by sketch-based
+            admission control (``spec.admission_threshold``); a refused
+            batch journals nothing and mutates nothing.
     """
 
     distance_computations: int = 0
@@ -124,6 +127,7 @@ class JoinStats:
     snapshot_bytes: int = 0
     recovery_seconds: float = 0.0
     corrupt_frames_discarded: int = 0
+    batches_rejected: int = 0
 
     def as_dict(self) -> Dict[str, Any]:
         """Every counter as JSON-ready data, in field order.
@@ -190,6 +194,7 @@ class JoinStats:
         self.snapshot_bytes = max(self.snapshot_bytes, other.snapshot_bytes)
         self.recovery_seconds += other.recovery_seconds
         self.corrupt_frames_discarded += other.corrupt_frames_discarded
+        self.batches_rejected += other.batches_rejected
 
 
 _EMPTY_I64 = np.empty(0, dtype=np.int64)

@@ -76,6 +76,18 @@ class WorkerCrashError(ReproError, RuntimeError):
     """
 
 
+class AdmissionError(ReproError, RuntimeError):
+    """A request was refused because its predicted output exceeds a budget.
+
+    Raised by :class:`~repro.core.incremental.IncrementalJoin` when
+    ``spec.admission_threshold`` is set and the join-size sketch predicts
+    an insert would push the session past it, and by the serving layer's
+    admission controller for queries whose predicted result size exceeds
+    the configured budget.  Admission happens *before* any journaling or
+    state mutation, so a refused request leaves the session untouched.
+    """
+
+
 class TaskTimeoutError(ReproError, TimeoutError):
     """A parallel stripe task exceeded its ``task_timeout`` deadline.
 

@@ -1,0 +1,125 @@
+"""Admission control: shed or queue requests before they get expensive.
+
+Two independent guards, both applied *before* a request touches the
+engine:
+
+* **Size budget** — ``max_predicted_pairs`` bounds the predicted result
+  size of a single request.  The prediction comes from the tenant's
+  live :class:`~repro.core.incremental.JoinSizeSketch` (maintained for
+  free by every insert/delete): the sketch estimates the session's
+  self-join size, so a point probed against ``n`` live points expects
+  about ``2 * estimate / n`` partners.  Before the sketch has counted
+  anything, the analytical cost model's uniform-data expectation
+  (:func:`repro.analysis.cost_model.predict_expected_output`) stands
+  in.  A request predicted over budget is *shed*: refused with
+  :class:`~repro.errors.AdmissionError` and counted in ``serve.shed``,
+  leaving the session untouched.
+* **Concurrency budget** — ``max_inflight`` requests execute at once;
+  up to ``max_pending`` may wait in the queue behind them (counted in
+  ``serve.queued``, depth exported as the ``serve.queue_depth`` gauge).
+  Arrivals beyond ``max_pending`` are shed instead of queued, so a
+  flood degrades into fast refusals rather than unbounded memory.
+
+Neither guard is clairvoyant — the sketch overestimates skewed data —
+but both fail *closed* and cheaply, which is the property a serving
+front-end needs.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from contextlib import asynccontextmanager
+from typing import Optional
+
+from repro.analysis.cost_model import predict_expected_output
+from repro.errors import AdmissionError
+from repro.obs.metrics import MetricsRegistry
+from repro.serve.sessions import TenantSession
+
+__all__ = ["AdmissionController"]
+
+
+class AdmissionController:
+    """Sketch-budget shedding plus a bounded admission queue."""
+
+    def __init__(
+        self,
+        max_predicted_pairs: Optional[float] = None,
+        max_inflight: int = 8,
+        max_pending: int = 64,
+        metrics: Optional[MetricsRegistry] = None,
+    ):
+        self.max_predicted_pairs = (
+            None if max_predicted_pairs is None else float(max_predicted_pairs)
+        )
+        self.max_inflight = int(max_inflight)
+        self.max_pending = int(max_pending)
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self._semaphore = asyncio.Semaphore(self.max_inflight)
+        self._inflight = 0
+        self._waiting = 0
+
+    # ------------------------------------------------------------------
+    # size budget
+    # ------------------------------------------------------------------
+    def predict_pairs(self, session: TenantSession, n_probes: int) -> float:
+        """Predicted output pairs for ``n_probes`` points probing ``session``."""
+        join = session.join
+        n_live = join.n_live
+        if n_live == 0 or n_probes == 0:
+            return 0.0
+        estimate = join.estimated_join_size
+        if estimate <= 0:
+            dims = join.dims or 1
+            estimate = predict_expected_output(
+                n_live, dims, join.spec.epsilon, join.spec.metric.name
+            )
+        per_probe = 2.0 * estimate / n_live
+        return float(n_probes) * per_probe
+
+    def check_size(self, session: TenantSession, n_probes: int, op: str) -> float:
+        """Shed ``op`` if its predicted output exceeds the budget."""
+        predicted = self.predict_pairs(session, n_probes)
+        budget = self.max_predicted_pairs
+        if budget is not None and predicted > budget:
+            self.metrics.counter("serve.shed").inc()
+            raise AdmissionError(
+                f"{op} with {n_probes} probe(s) refused: predicted "
+                f"{predicted:.0f} output pairs exceeds the per-request "
+                f"budget {budget:.0f}"
+            )
+        return predicted
+
+    # ------------------------------------------------------------------
+    # concurrency budget
+    # ------------------------------------------------------------------
+    @property
+    def queue_depth(self) -> int:
+        """Requests currently waiting for an execution slot."""
+        return self._waiting
+
+    @asynccontextmanager
+    async def slot(self):
+        """Hold one execution slot; queue if busy, shed if the queue is full."""
+        if self._waiting >= self.max_pending:
+            self.metrics.counter("serve.shed").inc()
+            raise AdmissionError(
+                f"request shed: {self._waiting} requests already queued "
+                f"(max_pending={self.max_pending})"
+            )
+        queued = self._inflight >= self.max_inflight
+        if queued:
+            self.metrics.counter("serve.queued").inc()
+        self._waiting += 1
+        self.metrics.gauge("serve.queue_depth").set(self._waiting)
+        try:
+            await self._semaphore.acquire()
+        finally:
+            self._waiting -= 1
+            self.metrics.gauge("serve.queue_depth").set(self._waiting)
+        self._inflight += 1
+        try:
+            yield
+        finally:
+            self._inflight -= 1
+            self._semaphore.release()

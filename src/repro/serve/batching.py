@@ -1,0 +1,116 @@
+"""Query coalescing: merge concurrent range queries into batched passes.
+
+Point lookups against a shared index are the serving layer's hot path,
+and :meth:`FlatEpsilonKdbTree.batch_range_query` answers ``Q`` queries
+in one leaf-directed traversal for far less than ``Q`` times the cost
+of one.  The coalescer exploits that: the first query to arrive for a
+``(tenant, radius)`` key opens a *window* of ``window_seconds``; every
+query for the same key that lands inside the window joins the batch;
+when the window closes, one batched traversal answers all of them and
+each caller's future resolves with its own result array.
+
+Because a single :meth:`~TenantSession.range_query` is itself a batch
+of one, a coalesced answer is byte-identical to the answer the same
+query would have gotten alone — batching changes latency, never
+results (asserted in ``tests/test_serve.py``).
+
+``window_seconds <= 0`` disables coalescing entirely (each submit runs
+its own traversal synchronously); that is the naive baseline the E20
+benchmark compares against.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.obs.metrics import MetricsRegistry
+from repro.serve.sessions import TenantSession
+
+__all__ = ["QueryCoalescer"]
+
+
+class _Batch:
+    """Queries accumulated for one (tenant, radius) window."""
+
+    __slots__ = ("session", "eps", "points", "futures", "timer")
+
+    def __init__(self, session: TenantSession, eps: Optional[float]):
+        self.session = session
+        self.eps = eps
+        self.points: List[np.ndarray] = []
+        self.futures: List[asyncio.Future] = []
+        self.timer: Optional[asyncio.Task] = None
+
+
+class QueryCoalescer:
+    """Batches concurrent range queries per (tenant, radius) key."""
+
+    def __init__(
+        self,
+        window_seconds: float = 0.0,
+        metrics: Optional[MetricsRegistry] = None,
+    ):
+        self.window_seconds = float(window_seconds)
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self._pending: Dict[Tuple[str, Optional[float]], _Batch] = {}
+
+    async def submit(
+        self,
+        session: TenantSession,
+        point: np.ndarray,
+        eps: Optional[float] = None,
+    ) -> np.ndarray:
+        """Answer one range query, possibly coalesced with concurrent ones."""
+        if self.window_seconds <= 0:
+            self.metrics.histogram("serve.coalesce_width").observe(1)
+            return session.range_query(point, eps=eps)
+        key = (session.name, eps)
+        batch = self._pending.get(key)
+        if batch is None:
+            batch = _Batch(session, eps)
+            self._pending[key] = batch
+            batch.timer = asyncio.ensure_future(self._flush_later(key, batch))
+        future: asyncio.Future = asyncio.get_event_loop().create_future()
+        batch.points.append(np.asarray(point, dtype=np.float64))
+        batch.futures.append(future)
+        return await future
+
+    async def _flush_later(self, key, batch: _Batch) -> None:
+        try:
+            await asyncio.sleep(self.window_seconds)
+        except asyncio.CancelledError:
+            return  # flush_all took over this batch
+        if self._pending.get(key) is batch:
+            del self._pending[key]
+        self._run(batch)
+
+    def _run(self, batch: _Batch) -> None:
+        """Execute one batched traversal and resolve every waiter."""
+        if not batch.futures:
+            return
+        self.metrics.histogram("serve.coalesce_width").observe(len(batch.futures))
+        try:
+            queries = np.stack(batch.points)
+            results = batch.session.batch_range_query(queries, eps=batch.eps)
+        except Exception as exc:  # propagate to every waiter, not the loop
+            for future in batch.futures:
+                if not future.done():
+                    future.set_exception(exc)
+            return
+        for future, ids in zip(batch.futures, results):
+            if not future.done():
+                future.set_result(ids)
+
+    async def flush_all(self) -> None:
+        """Flush every open window immediately (graceful shutdown)."""
+        batches = list(self._pending.values())
+        self._pending.clear()
+        for batch in batches:
+            if batch.timer is not None:
+                batch.timer.cancel()
+            self._run(batch)
+        # Let cancelled timers unwind before the caller tears the loop down.
+        await asyncio.sleep(0)

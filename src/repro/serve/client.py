@@ -1,0 +1,198 @@
+"""Async client for the similarity-join server.
+
+:class:`ServeClient` speaks the length-prefixed JSON protocol and
+pipelines: every request gets a client-assigned ``id``, a background
+reader task matches responses back to waiting futures, so any number
+of requests may be in flight on one connection — which is exactly what
+the server's query coalescer needs to see to batch them.
+
+Responses with ``ok: false`` are raised as exceptions on the awaiting
+caller: ``code == "admission"`` becomes the same
+:class:`~repro.errors.AdmissionError` the engine raises locally, and
+everything else becomes :class:`RemoteError` carrying the code, so
+client code can handle shedding distinctly from real failures.
+
+Array payloads come back as numpy arrays with the engine's dtypes
+(``int64`` ids/pairs), so a remote answer compares byte-for-byte
+against a local :class:`~repro.core.incremental.IncrementalJoin` call.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Any, Dict, Optional, Sequence
+
+import numpy as np
+
+from repro.errors import AdmissionError, ReproError
+from repro.serve.protocol import ProtocolError, read_frame, write_frame
+
+__all__ = ["RemoteError", "ServeClient"]
+
+
+class RemoteError(ReproError, RuntimeError):
+    """The server answered a request with a non-admission failure."""
+
+    def __init__(self, code: str, message: str):
+        super().__init__(f"{code}: {message}")
+        self.code = code
+
+
+class ServeClient:
+    """One pipelined connection to a :class:`~repro.serve.server.JoinServer`."""
+
+    def __init__(self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter):
+        self._reader = reader
+        self._writer = writer
+        self._next_id = 0
+        self._waiting: Dict[int, asyncio.Future] = {}
+        self._reader_task = asyncio.ensure_future(self._read_loop())
+
+    @classmethod
+    async def connect(cls, host: str, port: int) -> "ServeClient":
+        reader, writer = await asyncio.open_connection(host, port)
+        return cls(reader, writer)
+
+    async def __aenter__(self) -> "ServeClient":
+        return self
+
+    async def __aexit__(self, exc_type, exc, tb) -> None:
+        await self.close()
+
+    async def close(self) -> None:
+        self._reader_task.cancel()
+        try:
+            await self._reader_task
+        except (asyncio.CancelledError, Exception):
+            pass
+        self._writer.close()
+        try:
+            await self._writer.wait_closed()
+        except (ConnectionError, OSError):
+            pass
+        self._fail_waiters(ConnectionError("client closed"))
+
+    # ------------------------------------------------------------------
+    # plumbing
+    # ------------------------------------------------------------------
+    async def _read_loop(self) -> None:
+        try:
+            while True:
+                response = await read_frame(self._reader)
+                if response is None:
+                    self._fail_waiters(ConnectionError("server closed connection"))
+                    return
+                future = self._waiting.pop(response.get("id"), None)
+                if future is not None and not future.done():
+                    future.set_result(response)
+        except asyncio.CancelledError:
+            raise
+        except Exception as exc:
+            self._fail_waiters(exc)
+
+    def _fail_waiters(self, exc: Exception) -> None:
+        for future in self._waiting.values():
+            if not future.done():
+                future.set_exception(exc)
+        self._waiting.clear()
+
+    async def request(self, op: str, **fields: Any) -> Dict[str, Any]:
+        """Send one request and await its response; raise on failure."""
+        self._next_id += 1
+        request_id = self._next_id
+        message = {"op": op, "id": request_id}
+        message.update({k: v for k, v in fields.items() if v is not None})
+        future: asyncio.Future = asyncio.get_event_loop().create_future()
+        self._waiting[request_id] = future
+        await write_frame(self._writer, message)
+        response = await future
+        if not response.get("ok"):
+            code = response.get("code", "internal")
+            message_text = response.get("error", "")
+            if code == "admission":
+                raise AdmissionError(message_text)
+            if code == "protocol":
+                raise ProtocolError(message_text)
+            raise RemoteError(code, message_text)
+        return response
+
+    # ------------------------------------------------------------------
+    # convenience wrappers
+    # ------------------------------------------------------------------
+    async def ping(self) -> Dict[str, Any]:
+        return await self.request("ping")
+
+    async def attach(
+        self,
+        tenant: str,
+        *,
+        epsilon: Optional[float] = None,
+        path: Optional[str] = None,
+        keep_generations: Optional[int] = None,
+        **spec_fields: Any,
+    ) -> Dict[str, Any]:
+        return await self.request(
+            "attach",
+            tenant=tenant,
+            epsilon=epsilon,
+            path=path,
+            keep_generations=keep_generations,
+            **spec_fields,
+        )
+
+    async def insert(self, tenant: str, points: np.ndarray) -> np.ndarray:
+        response = await self.request(
+            "insert", tenant=tenant, points=np.asarray(points).tolist()
+        )
+        return np.asarray(response["ids"], dtype=np.int64)
+
+    async def delete(self, tenant: str, ids: Sequence[int]) -> np.ndarray:
+        response = await self.request(
+            "delete", tenant=tenant, ids=np.asarray(ids).tolist()
+        )
+        return np.asarray(response["removed"], dtype=np.int64)
+
+    async def range_query(
+        self,
+        tenant: str,
+        point: np.ndarray,
+        eps: Optional[float] = None,
+        deadline_ms: Optional[float] = None,
+    ) -> np.ndarray:
+        response = await self.request(
+            "range_query",
+            tenant=tenant,
+            point=np.asarray(point, dtype=np.float64).tolist(),
+            eps=eps,
+            deadline_ms=deadline_ms,
+        )
+        return np.asarray(response["ids"], dtype=np.int64)
+
+    async def mini_join(
+        self, tenant: str, points: np.ndarray, eps: Optional[float] = None
+    ) -> np.ndarray:
+        response = await self.request(
+            "mini_join",
+            tenant=tenant,
+            points=np.asarray(points).tolist(),
+            eps=eps,
+        )
+        pairs = np.asarray(response["pairs"], dtype=np.int64)
+        return pairs.reshape(-1, 2) if pairs.size else np.empty((0, 2), dtype=np.int64)
+
+    async def pairs(self, tenant: str) -> np.ndarray:
+        response = await self.request("pairs", tenant=tenant)
+        pairs = np.asarray(response["pairs"], dtype=np.int64)
+        return pairs.reshape(-1, 2) if pairs.size else np.empty((0, 2), dtype=np.int64)
+
+    async def stats(self, tenant: Optional[str] = None) -> Dict[str, Any]:
+        return await self.request("stats", tenant=tenant)
+
+    async def compact(self, tenant: str) -> Dict[str, Any]:
+        return await self.request("compact", tenant=tenant)
+
+    async def detach(self, tenant: str) -> Dict[str, Any]:
+        return await self.request("detach", tenant=tenant)
+
+    async def shutdown(self) -> Dict[str, Any]:
+        return await self.request("shutdown")

@@ -1,0 +1,176 @@
+"""Per-tenant session state for the serving layer.
+
+A *tenant* is one named dataset with its own :class:`IncrementalJoin`
+session (in-memory or persisted), its own :class:`TreeCache` (so an
+epsilon sweep by one tenant never evicts another's structures), and an
+``asyncio.Lock`` that serializes mutations.  Reads (range queries,
+mini-joins, pair enumeration) go straight to the engine without the
+lock: the engine is synchronous numpy code, so a read that has started
+runs to completion before the event loop can schedule a mutation —
+tasks only interleave at ``await`` points.
+
+:class:`SessionManager` owns the tenant table.  ``attach`` is
+idempotent: re-attaching an existing tenant returns the live session
+(a spec, if supplied, must match), which is what lets many concurrent
+clients share one tenant's index.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from dataclasses import replace
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.core.config import JoinSpec
+from repro.core.flat_build import TreeCache
+from repro.core.incremental import IncrementalJoin, UpdateDelta
+from repro.core.join import epsilon_kdb_join
+from repro.errors import InvalidParameterError
+
+__all__ = ["SessionManager", "TenantSession"]
+
+
+class TenantSession:
+    """One tenant's engine session plus its serving-side bookkeeping."""
+
+    def __init__(self, name: str, join: IncrementalJoin):
+        self.name = name
+        self.join = join
+        self.lock = asyncio.Lock()
+
+    # Thin delegates so the server and coalescer never reach through to
+    # ``join`` for the read paths they batch.
+    def range_query(self, point: np.ndarray, eps: Optional[float] = None) -> np.ndarray:
+        return self.join.range_query(point, eps=eps)
+
+    def batch_range_query(
+        self, queries: np.ndarray, eps: Optional[float] = None
+    ) -> List[np.ndarray]:
+        return self.join.batch_range_query(queries, eps=eps)
+
+    def mini_join(
+        self, batch: np.ndarray, eps: Optional[float] = None
+    ) -> np.ndarray:
+        """Join a probe batch against the live points, in session ids.
+
+        Returns ``(k, 2)`` int64 pairs ``(batch row, live point id)``,
+        sorted by batch row then id — the two-set analogue of
+        :meth:`IncrementalJoin.batch_range_query`.
+        """
+        spec = self.join.spec
+        if eps is None:
+            eps = spec.epsilon
+        eps = float(eps)
+        if not np.isfinite(eps) or eps <= 0:
+            raise InvalidParameterError(
+                f"mini_join radius must be a positive finite number, got {eps!r}"
+            )
+        live = self.join.live_points()
+        ids = self.join.live_ids()
+        if len(live) == 0 or len(batch) == 0:
+            return np.empty((0, 2), dtype=np.int64)
+        join_spec = replace(spec, epsilon=eps, persist_path=None)
+        result = epsilon_kdb_join(batch, live, join_spec)
+        pairs = result.pairs
+        if len(pairs) == 0:
+            return np.empty((0, 2), dtype=np.int64)
+        # live_points() is ascending-id order, so column 1 row indices
+        # map to session ids by a single gather.
+        mapped = np.column_stack([pairs[:, 0], ids[pairs[:, 1]]])
+        order = np.lexsort((mapped[:, 1], mapped[:, 0]))
+        return np.ascontiguousarray(mapped[order])
+
+    def insert(self, points: np.ndarray) -> UpdateDelta:
+        return self.join.insert(points)
+
+    def delete(self, ids: np.ndarray) -> UpdateDelta:
+        return self.join.delete(ids)
+
+
+class SessionManager:
+    """Tenant table: attach/get/detach plus orderly close of everything."""
+
+    def __init__(self) -> None:
+        self._tenants: Dict[str, TenantSession] = {}
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._tenants
+
+    def __len__(self) -> int:
+        return len(self._tenants)
+
+    def names(self) -> List[str]:
+        return sorted(self._tenants)
+
+    def attach(
+        self,
+        name: str,
+        *,
+        spec: Optional[JoinSpec] = None,
+        path: Optional[str] = None,
+        keep_generations: Optional[int] = None,
+        sync_mode: Optional[str] = None,
+    ) -> TenantSession:
+        """Open (or return) the tenant ``name``.
+
+        A ``path`` opens/creates a persisted session via
+        :meth:`IncrementalJoin.open` (``spec`` required only when the
+        path holds nothing yet); without one the session is in-memory
+        and ``spec`` is required.  Re-attaching an existing tenant
+        returns the live session; a spec passed alongside must match
+        its structural fingerprint.
+        """
+        if not name or not isinstance(name, str):
+            raise InvalidParameterError(
+                f"tenant name must be a non-empty string, got {name!r}"
+            )
+        existing = self._tenants.get(name)
+        if existing is not None:
+            if (
+                spec is not None
+                and spec.fingerprint() != existing.join.spec.fingerprint()
+            ):
+                raise InvalidParameterError(
+                    f"tenant {name!r} is already attached with a different "
+                    "spec; detach it first to change structural parameters"
+                )
+            return existing
+        cache = TreeCache()
+        if path is not None:
+            join = IncrementalJoin.open(
+                path,
+                spec=spec,
+                sync_mode=sync_mode,
+                structure_cache=cache,
+                keep_generations=keep_generations,
+            )
+        else:
+            if spec is None:
+                raise InvalidParameterError(
+                    f"attaching in-memory tenant {name!r} requires a spec"
+                )
+            if keep_generations is not None:
+                spec = replace(spec, keep_generations=keep_generations)
+            join = IncrementalJoin(spec, structure_cache=cache)
+        session = TenantSession(name, join)
+        self._tenants[name] = session
+        return session
+
+    def get(self, name: str) -> TenantSession:
+        session = self._tenants.get(name)
+        if session is None:
+            raise InvalidParameterError(f"unknown tenant {name!r}; attach it first")
+        return session
+
+    def detach(self, name: str) -> None:
+        session = self._tenants.pop(name, None)
+        if session is None:
+            raise InvalidParameterError(f"unknown tenant {name!r}")
+        session.join.close()
+
+    def close_all(self) -> None:
+        """Close every session (flushing journals); used at shutdown."""
+        for name in list(self._tenants):
+            self._tenants.pop(name).join.close()

@@ -654,3 +654,92 @@ IncrementalJoinMachine.TestCase.settings = settings(
 )
 
 TestIncrementalJoinStateful = IncrementalJoinMachine.TestCase
+
+
+# ----------------------------------------------------------------------
+# admission control (ISSUE 8)
+# ----------------------------------------------------------------------
+class TestAdmissionThreshold:
+    def _dense_batch(self, n, dims=2):
+        # A tight clump: the sketch predicts ~C(n, 2) same-cell pairs.
+        return np.full((n, dims), 0.5) + np.arange(n)[:, None] * 1e-6
+
+    def test_oversized_batch_refused_without_mutation(self):
+        from repro.errors import AdmissionError
+
+        rng = np.random.default_rng(40)
+        spec = JoinSpec(epsilon=0.2, admission_threshold=100.0)
+        session = IncrementalJoin(spec)
+        session.insert(rng.random((10, 2)))
+        before_ids = session.live_ids().copy()
+        before_est = session.estimated_join_size
+        before_seq = session.last_update_seq
+        with pytest.raises(AdmissionError, match="admission threshold"):
+            session.insert(self._dense_batch(50))
+        # Nothing moved: ids, sequence, sketch, pair ledger.
+        assert np.array_equal(session.live_ids(), before_ids)
+        assert session.last_update_seq == before_seq
+        assert session.estimated_join_size == before_est
+        assert session.stats.batches_rejected == 1
+        # The session still works afterwards.
+        delta = session.insert(rng.random((5, 2)))
+        assert len(delta.ids) == 5
+
+    def test_refused_batch_not_journaled(self, tmp_path):
+        from repro.errors import AdmissionError
+
+        path = str(tmp_path / "session")
+        rng = np.random.default_rng(41)
+        spec = JoinSpec(
+            epsilon=0.2, admission_threshold=100.0, persist_path=path
+        )
+        session = IncrementalJoin(spec)
+        session.insert(rng.random((10, 2)))
+        with pytest.raises(AdmissionError):
+            session.insert(self._dense_batch(60))
+        expected_pairs = session.current_pairs()
+        session.close()
+        # Recovery replays the journal; a journaled refused batch would
+        # resurface here as extra points.
+        recovered = IncrementalJoin.open(path)
+        assert recovered.n_live == 10
+        assert np.array_equal(recovered.current_pairs(), expected_pairs)
+        assert recovered.stats.batches_rejected == 0
+        recovered.close()
+
+    def test_refusal_on_first_insert_leaves_fresh_session(self):
+        from repro.errors import AdmissionError
+
+        spec = JoinSpec(epsilon=0.2, admission_threshold=10.0)
+        session = IncrementalJoin(spec)
+        with pytest.raises(AdmissionError):
+            session.insert(self._dense_batch(30, dims=3))
+        assert session.n_live == 0
+        assert session.dims is None
+        # A later, differently-dimensioned insert must not trip over a
+        # sketch left behind by the refused batch.
+        delta = session.insert(np.random.default_rng(42).random((4, 5)))
+        assert len(delta.ids) == 4
+
+    def test_no_threshold_admits_everything(self):
+        spec = JoinSpec(epsilon=0.2)
+        session = IncrementalJoin(spec)
+        delta = session.insert(self._dense_batch(40))
+        assert len(delta.ids) == 40
+        assert session.stats.batches_rejected == 0
+
+    def test_threshold_validation(self):
+        with pytest.raises(InvalidParameterError, match="admission_threshold"):
+            JoinSpec(epsilon=0.1, admission_threshold=-1.0)
+        with pytest.raises(InvalidParameterError, match="admission_threshold"):
+            JoinSpec(epsilon=0.1, admission_threshold=float("nan"))
+
+    def test_batches_rejected_merges(self):
+        from repro.core.result import JoinStats
+
+        first, second = JoinStats(), JoinStats()
+        first.batches_rejected = 2
+        second.batches_rejected = 3
+        first.merge(second)
+        assert first.batches_rejected == 5
+        assert first.as_dict()["batches_rejected"] == 5

@@ -724,3 +724,93 @@ def test_recovery_counters_flow_through_as_dict(tmp_path):
     ):
         assert key in blob
     reopened.close()
+
+
+# ----------------------------------------------------------------------
+# snapshot retention (ISSUE 8)
+# ----------------------------------------------------------------------
+class TestKeepGenerations:
+    def _fill(self, session, batches, rng):
+        for _ in range(batches):
+            session.insert(rng.random((25, 2)))
+
+    def test_default_keeps_two_generations(self, tmp_path):
+        path = _session_dir(tmp_path)
+        rng = np.random.default_rng(50)
+        spec = JoinSpec(epsilon=0.2, delta_threshold=20, persist_path=path)
+        session = IncrementalJoin(spec)
+        self._fill(session, 8, rng)
+        session.close()
+        assert len(list_snapshots(path)) == 2
+
+    def test_spec_knob_widens_retention(self, tmp_path):
+        path = _session_dir(tmp_path)
+        rng = np.random.default_rng(51)
+        spec = JoinSpec(
+            epsilon=0.2,
+            delta_threshold=20,
+            persist_path=path,
+            keep_generations=4,
+        )
+        session = IncrementalJoin(spec)
+        self._fill(session, 8, rng)
+        snaps = list_snapshots(path)
+        assert len(snaps) == 4
+        # Newest snapshot survives; retention prunes from the old end.
+        assert snaps[-1][0] == session._snapshot_seq
+        session.close()
+
+    def test_open_override_is_a_runtime_knob(self, tmp_path):
+        path = _session_dir(tmp_path)
+        rng = np.random.default_rng(52)
+        spec = JoinSpec(
+            epsilon=0.2, delta_threshold=20, persist_path=path, keep_generations=3
+        )
+        session = IncrementalJoin(spec)
+        self._fill(session, 8, rng)
+        assert len(list_snapshots(path)) == 3
+        expected = session.current_pairs()
+        session.close()
+        # Reopening with a different retention must succeed (runtime
+        # knob, not part of the structural fingerprint) and take effect
+        # at the next compactions.
+        reopened = IncrementalJoin.open(path, keep_generations=1)
+        assert np.array_equal(reopened.current_pairs(), expected)
+        self._fill(reopened, 6, rng)
+        assert len(list_snapshots(path)) == 1
+        reopened.close()
+
+    def test_facade_threads_keep_generations(self, tmp_path):
+        path = _session_dir(tmp_path)
+        rng = np.random.default_rng(53)
+        points = rng.random((120, 3))
+        updates = [("insert", rng.random((30, 3))) for _ in range(4)]
+        similarity_join(
+            points,
+            epsilon=0.25,
+            delta_threshold=30,
+            persist_path=path,
+            keep_generations=5,
+        )
+        similarity_join(
+            np.empty((0, 3)),
+            epsilon=0.25,
+            delta_threshold=30,
+            persist_path=path,
+            updates=updates,
+            keep_generations=5,
+        )
+        assert 2 < len(list_snapshots(path)) <= 5
+
+    def test_keep_generations_requires_persist_path(self):
+        with pytest.raises(InvalidParameterError, match="persist_path"):
+            similarity_join(np.zeros((2, 2)), epsilon=0.1, keep_generations=3)
+
+    def test_keep_generations_validation(self):
+        with pytest.raises(InvalidParameterError, match="keep_generations"):
+            JoinSpec(epsilon=0.1, keep_generations=0)
+
+    def test_not_part_of_structural_fingerprint(self, tmp_path):
+        a = JoinSpec(epsilon=0.2, keep_generations=2)
+        b = JoinSpec(epsilon=0.2, keep_generations=7)
+        assert a.fingerprint() == b.fingerprint()

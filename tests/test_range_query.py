@@ -76,3 +76,104 @@ def test_empty_tree_returns_nothing():
     tree = EpsilonKdbTree.empty(np.zeros((1, 4)), JoinSpec(epsilon=0.1))
     hits = tree.range_query(np.zeros(4))
     assert hits.tolist() == []
+
+
+# ----------------------------------------------------------------------
+# flat-tree batched queries
+# ----------------------------------------------------------------------
+
+
+def _flat_tree(points, spec):
+    from repro import FlatEpsilonKdbTree
+
+    return FlatEpsilonKdbTree.build(points, spec)
+
+
+@pytest.mark.parametrize("metric", ["l1", "l2", "linf"])
+def test_batch_matches_sequential_pointer_queries(metric, small_clusters):
+    """Q batched flat-tree queries == Q sequential pointer queries, bytewise."""
+    spec = JoinSpec(epsilon=0.15, metric=metric, leaf_size=32)
+    pointer = EpsilonKdbTree.build(small_clusters, spec)
+    flat = _flat_tree(small_clusters, spec)
+    rng = np.random.default_rng(31)
+    queries = rng.random((40, small_clusters.shape[1]))
+    batched = flat.batch_range_query(queries)
+    assert len(batched) == len(queries)
+    for query, hits in zip(queries, batched):
+        expected = pointer.range_query(query)
+        assert hits.dtype == np.int64
+        assert hits.tobytes() == expected.tobytes()
+
+
+def test_batch_narrower_radius_and_out_of_box(small_uniform):
+    spec = JoinSpec(epsilon=0.25, leaf_size=16)
+    pointer = EpsilonKdbTree.build(small_uniform, spec)
+    flat = _flat_tree(small_uniform, spec)
+    rng = np.random.default_rng(32)
+    # Mix in-box queries with ones outside the data bounding box.
+    queries = rng.random((30, small_uniform.shape[1])) * 1.6 - 0.3
+    for eps in (0.25, 0.1):
+        batched = flat.batch_range_query(queries, eps=eps)
+        for query, hits in zip(queries, batched):
+            expected = pointer.range_query(query, eps=eps)
+            assert hits.tobytes() == expected.tobytes()
+
+
+def test_batch_single_query_delegation(small_uniform):
+    spec = JoinSpec(epsilon=0.2, leaf_size=16)
+    flat = _flat_tree(small_uniform, spec)
+    rng = np.random.default_rng(33)
+    query = rng.random(small_uniform.shape[1])
+    single = flat.range_query(query)
+    batched = flat.batch_range_query(query[np.newaxis, :])[0]
+    assert single.tobytes() == batched.tobytes()
+
+
+def test_batch_rejects_radius_above_build_epsilon(small_uniform):
+    flat = _flat_tree(small_uniform, JoinSpec(epsilon=0.1))
+    queries = np.zeros((2, small_uniform.shape[1]))
+    with pytest.raises(InvalidParameterError):
+        flat.batch_range_query(queries, eps=0.5)
+    with pytest.raises(InvalidParameterError):
+        flat.range_query(queries[0], eps=0.5)
+
+
+def test_batch_empty_inputs(small_uniform):
+    flat = _flat_tree(small_uniform, JoinSpec(epsilon=0.1))
+    assert flat.batch_range_query(np.empty((0, small_uniform.shape[1]))) == []
+    with pytest.raises(InvalidParameterError):
+        flat.range_query(np.zeros(small_uniform.shape[1] + 1))
+
+
+def test_session_range_query_matches_brute_force():
+    """IncrementalJoin range queries see base, delta and tombstones."""
+    from repro import IncrementalJoin
+
+    rng = np.random.default_rng(34)
+    spec = JoinSpec(epsilon=0.15, leaf_size=8, delta_threshold=50)
+    session = IncrementalJoin(spec)
+    deltas = [session.insert(rng.random((40, 3))) for _ in range(5)]
+    session.delete(deltas[0].ids[:15])
+    live_points = session.live_points()
+    live_ids = session.live_ids()
+    queries = rng.random((30, 3)) * 1.4 - 0.2
+    for eps in (0.15, 0.08):
+        batched = session.batch_range_query(queries, eps=eps)
+        for query, hits in zip(queries, batched):
+            keep = spec.metric.within_gap(np.abs(live_points - query), eps)
+            expected = np.sort(live_ids[keep]).astype(np.int64)
+            assert hits.tobytes() == expected.tobytes()
+            assert session.range_query(query, eps=eps).tobytes() == expected.tobytes()
+
+
+def test_session_range_query_validation():
+    from repro import IncrementalJoin
+
+    session = IncrementalJoin(JoinSpec(epsilon=0.1))
+    # Empty session answers empty, whatever the dimensionality asked.
+    assert session.range_query(np.zeros(7)).tolist() == []
+    session.insert(np.random.default_rng(35).random((10, 2)))
+    with pytest.raises(InvalidParameterError):
+        session.range_query(np.zeros(2), eps=0.4)
+    with pytest.raises(InvalidParameterError):
+        session.range_query(np.zeros(3))
