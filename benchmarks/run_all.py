@@ -50,6 +50,7 @@ EXPERIMENTS = [
     "bench_e18_incremental",
     "bench_e19_persistence",
     "bench_e20_serving",
+    "bench_e21_backends",
 ]
 
 RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")

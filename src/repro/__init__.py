@@ -141,6 +141,7 @@ def similarity_join(
     max_task_retries: Optional[int] = None,
     cascade: str = "auto",
     filter_dims: Optional[int] = None,
+    kernel_backend: str = "auto",
     build: str = "auto",
     updates: Optional[Sequence] = None,
     delta_threshold: Optional[int] = None,
@@ -189,6 +190,13 @@ def similarity_join(
         filter_dims: number of single-dimension pre-filter stages the
             cascade runs before the blocked distance reduction
             (``None``: scale with dimensionality).
+        kernel_backend: which
+            :class:`~repro.core.backends.KernelBackend` executes the
+            cascade: ``"auto"`` (default; numba when importable, else
+            numpy), ``"numpy"``, or ``"numba"`` (falls back to numpy
+            with a warning when numba is absent).  Every backend emits
+            byte-identical pairs; ``result.stats.kernel_backend``
+            records which one ran.
         build: epsilon-kdB tree construction strategy: ``"auto"``
             (default, currently the flat build), ``"flat"`` (vectorized
             radix cell-coding build), or ``"pointer"`` (per-node object
@@ -247,6 +255,7 @@ def similarity_join(
         n_workers=n_workers,
         cascade=cascade,
         filter_dims=filter_dims,
+        kernel_backend=kernel_backend,
         build=build,
     )
     if task_timeout is not None:

@@ -48,6 +48,7 @@ from repro import (
 )
 from repro import _SELF_JOIN_ALGORITHMS as SELF_JOIN_REGISTRY
 from repro.analysis import Table, format_seconds, format_si
+from repro.core.backends import resolve_kernel_backend
 from repro.core.incremental import normalize_update
 from repro.core.result import JoinStats
 from repro.errors import CorruptSnapshotError, InvalidParameterError
@@ -122,6 +123,14 @@ def _add_common_arguments(parser: argparse.ArgumentParser) -> None:
         help="epsilon-kdB tree construction: flat (vectorized radix "
         "build), pointer (per-node objects), or auto (default: flat); "
         "both yield byte-identical pairs",
+    )
+    parser.add_argument(
+        "--kernel-backend",
+        choices=["auto", "numpy", "numba"],
+        default="auto",
+        help="cascade kernel backend: auto (numba when installed, "
+        "default), numpy, or numba (falls back to numpy when absent); "
+        "every backend emits byte-identical pairs",
     )
 
 
@@ -387,6 +396,14 @@ def build_parser() -> argparse.ArgumentParser:
         "per request)",
     )
     serve.add_argument(
+        "--kernel-backend",
+        choices=["auto", "numpy", "numba"],
+        default="auto",
+        help="default cascade kernel backend for attached tenants "
+        "(default: auto — numba when installed, else numpy); attach "
+        "requests may override per tenant",
+    )
+    serve.add_argument(
         "--metrics-json",
         metavar="PATH",
         help="dump the serving metrics registry as JSON to PATH on "
@@ -531,6 +548,10 @@ _STAT_LABELS = {
     "delta_size": "delta buffer size",
     "pairs_retracted": "pairs retracted",
     "estimated_join_size": "estimated join size",
+    "kernel_backend": "kernel backend",
+    "kernel_blocks": "kernel tiles",
+    "kernel_tile_rows": "kernel tile rows",
+    "kernel_seconds": "kernel time",
 }
 
 #: Fields printed even when zero (the headline numbers of every join).
@@ -581,12 +602,15 @@ def _run_join(args: argparse.Namespace) -> int:
         cascade=args.cascade,
         filter_dims=args.filter_dims,
         build=args.build,
+        kernel_backend=args.kernel_backend,
     )
     workers = getattr(args, "workers", None)
+    backend = resolve_kernel_backend(args.kernel_backend).name
     print(
         f"joining {len(points)} points, d={points.shape[1]}, "
         f"eps={spec.epsilon}, metric={spec.metric.name}, "
-        f"algorithm={args.algorithm}, build={spec.resolved_build()}"
+        f"algorithm={args.algorithm}, build={spec.resolved_build()}, "
+        f"kernel backend={backend}"
         + (f", workers={workers}" if workers else "")
     )
     tracing = bool(
@@ -617,6 +641,7 @@ def _run_join(args: argparse.Namespace) -> int:
                 max_task_retries=getattr(args, "max_task_retries", None),
                 cascade=args.cascade,
                 filter_dims=args.filter_dims,
+                kernel_backend=args.kernel_backend,
                 build=args.build,
                 return_result=True,
             )
@@ -695,6 +720,11 @@ def _run_join_stream(args: argparse.Namespace) -> int:
         filter_dims=args.filter_dims,
         build=args.build,
         delta_threshold=args.delta_threshold,
+        kernel_backend=args.kernel_backend,
+    )
+    print(
+        "kernel backend: "
+        f"{resolve_kernel_backend(args.kernel_backend).name}"
     )
     workers = args.workers
     engine = "parallel" if workers and workers > 1 else "serial"
@@ -861,12 +891,14 @@ def _run_serve(args: argparse.Namespace) -> int:
             max_inflight=args.max_inflight,
             max_pending=args.max_pending,
             default_deadline=args.deadline,
+            default_kernel_backend=args.kernel_backend,
         )
         await server.start()
         print(
             f"serving on {args.host}:{server.port} "
             f"(coalesce window {args.coalesce_window}s, "
-            f"size budget {args.max_predicted_pairs or 'none'})",
+            f"size budget {args.max_predicted_pairs or 'none'}, "
+            f"kernel backend {server.resolved_kernel_backend})",
             flush=True,
         )
         try:

@@ -14,7 +14,7 @@ from typing import Any, Dict, Optional, Sequence, Union
 
 import numpy as np
 
-from repro.errors import InvalidParameterError
+from repro.errors import ConfigError, InvalidParameterError
 from repro.metrics import LpMetric, Metric, WeightedLpMetric, get_metric
 
 #: Default leaf split threshold; the paper reports a broad flat optimum,
@@ -130,6 +130,15 @@ class JoinSpec:
             corruption-fallback window at a linear disk cost; the
             minimum of 1 keeps only the newest.  A runtime knob, free to
             differ across re-opens of the same session.
+        kernel_backend: which :class:`~repro.core.backends.KernelBackend`
+            executes the leaf filter cascade: ``"auto"`` (default —
+            numba when importable, honoring the ``REPRO_KERNEL_BACKEND``
+            environment override), ``"numpy"``, or ``"numba"`` (falls
+            back to numpy with a one-time warning when numba is not
+            installed).  A pure runtime performance knob: every backend
+            emits byte-identical pairs, so it is excluded from the
+            structural fingerprint and free to differ across re-opens of
+            the same persisted session.
     """
 
     epsilon: float
@@ -151,6 +160,7 @@ class JoinSpec:
     sync_mode: str = "batch"
     admission_threshold: Optional[float] = None
     keep_generations: int = 2
+    kernel_backend: str = "auto"
 
     def __post_init__(self) -> None:
         if not np.isfinite(self.epsilon) or self.epsilon <= 0:
@@ -236,6 +246,11 @@ class JoinSpec:
                 f"keep_generations must be >= 1, got {self.keep_generations!r}"
             )
         self.keep_generations = int(self.keep_generations)
+        if self.kernel_backend not in ("auto", "numpy", "numba"):
+            raise ConfigError(
+                f"unknown kernel backend {self.kernel_backend!r}: valid "
+                "values are 'auto', 'numpy', 'numba'"
+            )
 
     def resolved_build(self) -> str:
         """The effective tree build strategy (``"flat"`` or ``"pointer"``)."""

@@ -44,12 +44,15 @@ from __future__ import annotations
 import hashlib
 import time
 from collections import OrderedDict
+from dataclasses import replace
 from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
+from repro.core.backends import LeafBatchQueue
 from repro.core.config import JoinSpec, validate_points
 from repro.core.epsilon_kdb import Grid, TreeDescription
+from repro.core.kernels import KernelSource, build_kernel_context
 from repro.errors import InvalidParameterError
 from repro.obs import trace
 
@@ -468,6 +471,39 @@ class FlatEpsilonKdbTree:
         q_sort = np.ascontiguousarray(queries[:, self.sort_dim])
         hit_queries: List[np.ndarray] = []
         hit_indices: List[np.ndarray] = []
+        # Leaf candidates route through the same batched work-queue and
+        # filter-cascade backend as the join traversals: queries form the
+        # ``a`` side of a cross-context over the tree's cached column
+        # store, and every (query, row) candidate is filtered one tile at
+        # a time.  The final global sort below makes the per-query result
+        # order independent of how candidates were batched.
+        queue = None
+        if self.spec.cascade_enabled(queries.shape[1]):
+            query_spec = (
+                self.spec
+                if eps == self.spec.epsilon
+                else replace(self.spec, epsilon=eps, persist_path=None)
+            )
+            kernel = build_kernel_context(
+                query_spec,
+                queries,
+                points_b=self.points_flat,
+                grid=self.grid,
+                split_dims=self.split_dims(),
+                sort_dim=self.sort_dim,
+                source=KernelSource(
+                    cols_a=np.ascontiguousarray(queries.T),
+                    cols_b=self._point_cols(),
+                ),
+            )
+            if kernel is not None:
+
+                def _emit_hits(left: np.ndarray, right: np.ndarray) -> None:
+                    if len(left):
+                        hit_queries.append(left)
+                        hit_indices.append(self.perm[right])
+
+                queue = LeafBatchQueue(kernel.within_rows, _emit_hits)
         # Frontier of (query, node) pairs; every surviving node at
         # iteration k has depth k, so one cell row per depth suffices.
         frontier_q = np.arange(n_q, dtype=np.int64)
@@ -479,7 +515,7 @@ class FlatEpsilonKdbTree:
                 self._leaf_range_hits(
                     queries, q_sort,
                     frontier_q[at_leaf], frontier_node[at_leaf],
-                    band, eps, hit_queries, hit_indices,
+                    band, eps, hit_queries, hit_indices, queue,
                 )
             frontier_q = frontier_q[~at_leaf]
             frontier_node = frontier_node[~at_leaf]
@@ -519,6 +555,8 @@ class FlatEpsilonKdbTree:
                 frontier_q = frontier_q[:0]
                 frontier_node = frontier_node[:0]
             depth += 1
+        if queue is not None:
+            queue.flush()
         if not hit_queries:
             return [np.empty(0, dtype=np.int64) for _ in range(n_q)]
         all_q = np.concatenate(hit_queries)
@@ -535,6 +573,19 @@ class FlatEpsilonKdbTree:
             for i in range(n_q)
         ]
 
+    def _point_cols(self) -> np.ndarray:
+        """Cached ``(d, n)`` column store over the tree's flat points.
+
+        Built on first kernel-routed query and reused for the tree's
+        lifetime, so repeated :meth:`batch_range_query` calls (the
+        serving layer's coalesced probes) pay the transpose copy once.
+        """
+        cols = getattr(self, "_point_cols_cache", None)
+        if cols is None:
+            cols = np.ascontiguousarray(self.points_flat.T)
+            self._point_cols_cache = cols
+        return cols
+
     def _leaf_range_hits(
         self,
         queries: np.ndarray,
@@ -545,8 +596,14 @@ class FlatEpsilonKdbTree:
         eps: float,
         hit_queries: List[np.ndarray],
         hit_indices: List[np.ndarray],
+        queue: Optional[LeafBatchQueue] = None,
     ) -> None:
-        """Band-filter and distance-check every (query, leaf) pair."""
+        """Band-filter and distance-check every (query, leaf) pair.
+
+        With a work-queue, candidates are enqueued for tiled cascade
+        filtering (the queue's emit callback appends the hits) instead
+        of being distance-checked per leaf group here.
+        """
         metric = self.spec.metric
         order = np.argsort(leaf_node, kind="stable")
         leaf_q = leaf_q[order]
@@ -573,6 +630,9 @@ class FlatEpsilonKdbTree:
                 np.cumsum(widths) - widths, widths
             )
             rows = bases + offsets
+            if queue is not None:
+                queue.add(cand_q, rows)
+                continue
             diffs = np.abs(self.points_flat[rows] - queries[cand_q])
             keep = metric.within_gap(diffs, eps)
             if keep.any():

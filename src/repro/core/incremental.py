@@ -1176,6 +1176,7 @@ class IncrementalJoin:
             perm_b=tree_b.perm,
         )
         flat_cross_join(ctx, tree_q, 0, tree_b, 0)
+        ctx.finish()
         ctx.stats.build_nodes = tree_q.n_nodes
         ctx.stats.build_sort_seconds = tree_q.build_sort_seconds
         self._absorb(JoinResult(stats=ctx.stats))

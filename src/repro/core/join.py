@@ -13,10 +13,12 @@ joins emit ``(r_index, s_index)`` with sides preserved.
 
 from __future__ import annotations
 
+import time
 from typing import Optional, Tuple, Union
 
 import numpy as np
 
+from repro.core.backends import LeafBatchQueue
 from repro.core.config import JoinSpec, validate_points
 from repro.core.epsilon_kdb import EpsilonKdbTree, Grid, InternalNode, LeafNode
 from repro.core.flat_build import FlatEpsilonKdbTree, TreeCache
@@ -50,6 +52,7 @@ class _JoinContext:
         "kernel",
         "perm_a",
         "perm_b",
+        "queue",
     )
 
     def __init__(
@@ -79,6 +82,13 @@ class _JoinContext:
         # back to caller indices at emit time (None = identity).
         self.perm_a = perm_a
         self.perm_b = perm_b
+        # Batched leaf-pair work-queue: leaves enqueue band-sweep
+        # candidates and the filter kernel runs once per full tile
+        # instead of once per leaf.  Callers must invoke finish().
+        self.queue = LeafBatchQueue(self._filter_rows, self._emit)
+        self.stats.kernel_tile_rows = self.queue.tile_rows
+        if kernel is not None:
+            self.stats.kernel_backend = kernel.backend.name
 
     # ------------------------------------------------------------------
     # leaf-level joins
@@ -90,15 +100,7 @@ class _JoinContext:
         self.stats.distance_computations += len(pos_a)
         if not len(pos_a):
             return
-        left = indices[pos_a]
-        right = indices[pos_b]
-        if self.kernel is not None:
-            mask = self.kernel.within_rows(left, right, self.stats)
-        else:
-            mask = self.metric.within_rows(
-                self.points_a, self.points_a, left, right, self.eps
-            )
-        self._emit(left[mask], right[mask])
+        self.queue.add(indices[pos_a], indices[pos_b])
 
     def leaf_cross(self, flat_a: _Flat, flat_b: _Flat) -> None:
         indices_a, values_a = flat_a
@@ -108,15 +110,28 @@ class _JoinContext:
         self.stats.distance_computations += len(pos_a)
         if not len(pos_a):
             return
-        left = indices_a[pos_a]
-        right = indices_b[pos_b]
+        self.queue.add(indices_a[pos_a], indices_b[pos_b])
+
+    def _filter_rows(self, left: np.ndarray, right: np.ndarray) -> np.ndarray:
+        """Filter one work-queue tile; records per-backend kernel stats."""
+        started = time.perf_counter()
         if self.kernel is not None:
             mask = self.kernel.within_rows(left, right, self.stats)
         else:
             mask = self.metric.within_rows(
-                self.points_a, self.points_b, left, right, self.eps
+                self.points_a,
+                self.points_a if self.self_mode else self.points_b,
+                left,
+                right,
+                self.eps,
             )
-        self._emit(left[mask], right[mask])
+        self.stats.kernel_seconds += time.perf_counter() - started
+        self.stats.kernel_blocks += 1
+        return mask
+
+    def finish(self) -> None:
+        """Flush the leaf work-queue; must run before the sink is read."""
+        self.queue.flush()
 
     def _emit(self, left: np.ndarray, right: np.ndarray) -> None:
         if not len(left):
@@ -397,6 +412,7 @@ def _flat_self_join_range(
             not ctx.adjacency_pruning or digits[child + 1] == digits[child] + 1
         ):
             flat_cross_join(ctx, tree, child, tree, child + 1)
+    ctx.finish()
     return ctx.stats
 
 
@@ -454,6 +470,7 @@ def _flat_cross_join_range(
             flat_cross_join(ctx, tree_r, r_here, tree_s, s_next)
         if r_next is not None and s_here is not None:
             flat_cross_join(ctx, tree_r, r_next, tree_s, s_here)
+    ctx.finish()
     return ctx.stats
 
 
@@ -586,6 +603,7 @@ def epsilon_kdb_self_join(
                 perm_b=flat_tree.perm,
             )
             flat_self_join(ctx, flat_tree, 0)
+            ctx.finish()
             join_span.set_attribute("pairs", sink.count)
             join_span.set_attribute("leaf_joins", ctx.stats.leaf_joins)
         ctx.stats.build_nodes = flat_tree.n_nodes
@@ -607,6 +625,7 @@ def epsilon_kdb_self_join(
                 points, points, tree.grid, spec, sink, self_mode=True, kernel=kernel
             )
             _self_join_node(ctx, tree.root)
+            ctx.finish()
             join_span.set_attribute("pairs", sink.count)
             join_span.set_attribute("leaf_joins", ctx.stats.leaf_joins)
     result.stats = ctx.stats
@@ -703,6 +722,7 @@ def epsilon_kdb_join(
                 points_r, points_s, grid, spec, sink, self_mode=False, kernel=kernel
             )
             _cross_join(ctx, tree_r.root, tree_s.root)
+        ctx.finish()
         join_span.set_attribute("pairs", sink.count)
         join_span.set_attribute("leaf_joins", ctx.stats.leaf_joins)
     result.stats = ctx.stats

@@ -42,9 +42,15 @@ from typing import Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.core.backends import (
+    KernelBackend,
+    gather_dims,
+    gather_rows,
+    resolve_kernel_backend,
+)
 from repro.core.config import JoinSpec
 from repro.core.result import JoinStats
-from repro.errors import InvalidParameterError
+from repro.errors import ConfigError, InvalidParameterError
 from repro.obs import trace
 
 #: Dimensions accumulated per short-circuit reduction block.
@@ -163,6 +169,12 @@ class KernelContext:
     ``metric.within_rows(points_a, points_b, rows_a, rows_b, eps)`` with
     bit-identical output; ``stats`` (optional) receives the per-stage
     candidate/survivor counters.
+
+    The cascade itself executes through a pluggable
+    :class:`~repro.core.backends.KernelBackend`; the context owns the
+    backend-independent parts (plan, thresholds, column stores, the
+    small-batch direct path, and chunking/row-map translation), so every
+    backend sees identical tiles and identical thresholds.
     """
 
     __slots__ = (
@@ -176,6 +188,7 @@ class KernelContext:
         "exact_key",
         "prune_key",
         "filter_bound",
+        "backend",
     )
 
     def __init__(
@@ -186,6 +199,7 @@ class KernelContext:
         cols_b: Optional[np.ndarray] = None,
         row_map_a: Optional[np.ndarray] = None,
         row_map_b: Optional[np.ndarray] = None,
+        backend: Optional[KernelBackend] = None,
     ):
         if cols_a.ndim != 2 or cols_a.shape[0] != len(plan.order):
             raise InvalidParameterError(
@@ -205,6 +219,11 @@ class KernelContext:
         self.filter_bound = spec.metric.coordinate_bound(spec.epsilon) * (
             1.0 + slack
         )
+        if backend is None:
+            backend = resolve_kernel_backend(
+                getattr(spec, "kernel_backend", "auto")
+            )
+        self.backend = backend
 
     @property
     def dims(self) -> int:
@@ -230,13 +249,23 @@ class KernelContext:
             stats.cascade_candidates += int(n)
             if not stats.cascade_survivors:
                 stats.cascade_survivors = [0] * self.plan.n_stages
+            if not stats.kernel_backend:
+                stats.kernel_backend = self.backend.name
         if n < MIN_CASCADE_ROWS:
             return self._direct(rows_a, rows_b, stats)
         out = np.empty(n, dtype=bool)
         for start in range(0, n, _ROW_CHUNK):
             stop = min(start + _ROW_CHUNK, n)
-            out[start:stop] = self._cascade_chunk(
-                rows_a[start:stop], rows_b[start:stop], stats
+            chunk_a = rows_a[start:stop]
+            chunk_b = rows_b[start:stop]
+            # Row-map translation happens here, once, so every backend
+            # receives indices in the column stores' global row space.
+            if self.row_map_a is not None:
+                chunk_a = self.row_map_a[chunk_a]
+            if self.row_map_b is not None:
+                chunk_b = self.row_map_b[chunk_b]
+            out[start:stop] = self.backend.filter_chunk(
+                self, chunk_a, chunk_b, stats
             )
         return out
 
@@ -271,116 +300,15 @@ class KernelContext:
             stats.coordinates_touched += diff.size
         return mask
 
-    def _cascade_chunk(
-        self,
-        rows_a: np.ndarray,
-        rows_b: np.ndarray,
-        stats: Optional[JoinStats],
-    ) -> np.ndarray:
-        plan = self.plan
-        n = len(rows_a)
-        if self.row_map_a is not None:
-            rows_a = self.row_map_a[rows_a]
-        if self.row_map_b is not None:
-            rows_b = self.row_map_b[rows_b]
-        emit_events = trace.is_enabled()
-        touched = 0
-        # ``alive`` maps the compacted candidate arrays back to chunk
-        # positions; ``acc`` is the per-row partial distance key.
-        alive = np.arange(n, dtype=np.int64)
-        acc = np.zeros(n, dtype=self.cols_a.dtype)
-        survivors = []
-
-        # Stage 1..n_filters: single-dimension pre-filters.
-        for stage in range(plan.n_filters):
-            dim = plan.order[stage]
-            diff = np.abs(self.cols_a[dim][rows_a] - self.cols_b[dim][rows_b])
-            touched += diff.size
-            keep = np.flatnonzero(diff <= self.filter_bound)
-            rows_a = rows_a[keep]
-            rows_b = rows_b[keep]
-            alive = alive[keep]
-            # The filter dimension's contribution is already computed;
-            # folding it into the accumulator tightens later pruning.
-            acc = self.metric.accumulate_abs_diff(
-                acc[keep], diff[keep][:, None], (dim,)
-            )
-            survivors.append(len(keep))
-            if emit_events:
-                trace.add_event(
-                    "cascade-stage",
-                    stage=stage + 1,
-                    kind="pre-filter",
-                    dim=int(dim),
-                    candidates=int(len(diff)),
-                    survivors=int(len(keep)),
-                )
-
-        # Blocked short-circuit reduction over the remaining dimensions.
-        remaining = plan.order[plan.n_filters:]
-        reduction_in = len(rows_a)
-        for start in range(0, len(remaining), plan.block_dims):
-            if not len(rows_a):
-                break
-            block_dims = remaining[start:start + plan.block_dims]
-            diff = np.abs(
-                self._gather(self.cols_a, block_dims, rows_a)
-                - self._gather(self.cols_b, block_dims, rows_b)
-            )
-            touched += diff.size
-            acc = self.metric.accumulate_abs_diff(acc, diff, block_dims)
-            keep = np.flatnonzero(acc <= self.prune_key)
-            if len(keep) < len(rows_a):
-                rows_a = rows_a[keep]
-                rows_b = rows_b[keep]
-                alive = alive[keep]
-                acc = acc[keep]
-
-        # Exact final check: reproduce the monolithic kernel's
-        # computation (natural dimension order, C-contiguous rows) on
-        # the few survivors, so boundary decisions match bit for bit.
-        mask = np.zeros(n, dtype=bool)
-        final_survivors = 0
-        if len(rows_a):
-            block_a = self._gather_rows(self.cols_a, rows_a)
-            block_b = self._gather_rows(self.cols_b, rows_b)
-            diff = np.abs(block_a - block_b)
-            touched += diff.size
-            exact = self.metric._reduce_abs_diff(diff) <= self.exact_key
-            mask[alive[exact]] = True
-            final_survivors = int(np.count_nonzero(exact))
-        survivors.append(final_survivors)
-        if emit_events:
-            trace.add_event(
-                "cascade-stage",
-                stage=plan.n_filters + 1,
-                kind="reduction",
-                candidates=int(reduction_in),
-                survivors=final_survivors,
-            )
-        if stats is not None:
-            for stage, count in enumerate(survivors):
-                stats.cascade_survivors[stage] += count
-            stats.coordinates_touched += touched
-        return mask
-
-    @staticmethod
-    def _gather(cols: np.ndarray, dims: Sequence[int], rows: np.ndarray) -> np.ndarray:
-        """``(m, b)`` block of the given dimensions for the given rows."""
-        block = np.empty((len(rows), len(dims)), dtype=cols.dtype)
-        for j, dim in enumerate(dims):
-            block[:, j] = cols[dim][rows]
-        return block
-
-    @staticmethod
-    def _gather_rows(cols: np.ndarray, rows: np.ndarray) -> np.ndarray:
-        """``(m, d)`` C-contiguous rows in natural dimension order."""
-        return np.ascontiguousarray(cols[:, rows].T)
+    # Gather helpers live in :mod:`repro.core.backends` now; the
+    # staticmethod aliases keep the historical ``KernelContext`` API.
+    _gather = staticmethod(gather_dims)
+    _gather_rows = staticmethod(gather_rows)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (
             f"<KernelContext d={self.dims} filters={self.plan.n_filters} "
-            f"metric={self.metric.name}>"
+            f"metric={self.metric.name} backend={self.backend.name}>"
         )
 
 
@@ -401,9 +329,19 @@ def build_kernel_context(
     (the parallel workers' zero-copy path); otherwise one ``(d, n)``
     transpose copy per side is made here.
     """
+    if spec.cascade not in ("auto", "on", "off"):
+        # Specs are validated at construction, but a spec mutated via
+        # ``dataclasses.replace`` (or built from an untrusted dict) can
+        # reach here with an arbitrary string; refusing it beats
+        # silently joining without the cascade.
+        raise ConfigError(
+            f"unknown cascade mode {spec.cascade!r}: valid modes are "
+            "'auto', 'on', 'off'"
+        )
     dims = points_a.shape[1]
     if not spec.cascade_enabled(dims):
         return None
+    backend = resolve_kernel_backend(getattr(spec, "kernel_backend", "auto"))
     with trace.span("kernel-plan", dims=dims) as span:
         if grid is not None:
             spreads = np.asarray(grid.hi, dtype=np.float64) - np.asarray(
@@ -427,13 +365,17 @@ def build_kernel_context(
                 cols_b=source.cols_b,
                 row_map_a=source.row_map_a,
                 row_map_b=source.row_map_b,
+                backend=backend,
             )
         else:
             cols_a = np.ascontiguousarray(points_a.T)
             cols_b = (
                 np.ascontiguousarray(points_b.T) if points_b is not None else None
             )
-            context = KernelContext(plan, spec, cols_a=cols_a, cols_b=cols_b)
+            context = KernelContext(
+                plan, spec, cols_a=cols_a, cols_b=cols_b, backend=backend
+            )
         span.set_attribute("filters", plan.n_filters)
         span.set_attribute("order", list(plan.order))
+        span.set_attribute("backend", backend.name)
     return context

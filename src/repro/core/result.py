@@ -95,6 +95,17 @@ class JoinStats:
         batches_rejected: update batches refused by sketch-based
             admission control (``spec.admission_threshold``); a refused
             batch journals nothing and mutates nothing.
+        kernel_backend: name of the
+            :class:`~repro.core.backends.KernelBackend` that executed
+            the leaf filter cascade (``"numpy"`` or ``"numba"``; empty
+            when the monolithic kernel ran without a cascade context).
+        kernel_blocks: candidate tiles the leaf work-queue dispatched to
+            the filter kernel (cascaded or monolithic).
+        kernel_tile_rows: capacity of the leaf work-queue's tiles, in
+            candidate row pairs (a gauge; ``merge`` keeps the maximum).
+        kernel_seconds: wall-clock spent inside the leaf filter kernel,
+            summed over work-queue tiles — the denominator E21 uses to
+            compare backends.
     """
 
     distance_computations: int = 0
@@ -128,6 +139,10 @@ class JoinStats:
     recovery_seconds: float = 0.0
     corrupt_frames_discarded: int = 0
     batches_rejected: int = 0
+    kernel_backend: str = ""
+    kernel_blocks: int = 0
+    kernel_tile_rows: int = 0
+    kernel_seconds: float = 0.0
 
     def as_dict(self) -> Dict[str, Any]:
         """Every counter as JSON-ready data, in field order.
@@ -195,6 +210,11 @@ class JoinStats:
         self.recovery_seconds += other.recovery_seconds
         self.corrupt_frames_discarded += other.corrupt_frames_discarded
         self.batches_rejected += other.batches_rejected
+        if not self.kernel_backend:
+            self.kernel_backend = other.kernel_backend
+        self.kernel_blocks += other.kernel_blocks
+        self.kernel_tile_rows = max(self.kernel_tile_rows, other.kernel_tile_rows)
+        self.kernel_seconds += other.kernel_seconds
 
 
 _EMPTY_I64 = np.empty(0, dtype=np.int64)

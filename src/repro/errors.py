@@ -20,6 +20,19 @@ class InvalidParameterError(ReproError, ValueError):
     """
 
 
+class ConfigError(InvalidParameterError):
+    """A configuration knob holds an unknown or inconsistent value.
+
+    A specialization of :class:`InvalidParameterError` for mode strings
+    and backend selectors (``cascade``, ``kernel_backend``, ...): the
+    message always lists the valid values.  Raised both at
+    :class:`~repro.core.config.JoinSpec` validation time and again at
+    the point of use (e.g. :func:`~repro.core.kernels.build_kernel_context`),
+    so a spec mutated after construction cannot silently fall through to
+    a default behavior.
+    """
+
+
 class DomainError(ReproError, ValueError):
     """Points fall outside the declared grid domain.
 

@@ -164,8 +164,11 @@ class MetricsRegistry:
         """Feed a dataclass of counters (e.g. ``JoinStats``) generically.
 
         Field mapping: ints increment counters, bools set 0/1 gauges,
-        floats set gauges, and numeric lists feed histograms — so new
-        ``JoinStats`` fields flow through without touching this code.
+        floats set gauges, numeric lists feed histograms, and non-empty
+        strings set a ``<name>.<value>`` marker gauge to 1 (so e.g.
+        ``kernel_backend="numba"`` surfaces as
+        ``join.kernel_backend.numba``) — so new ``JoinStats`` fields
+        flow through without touching this code.
         When the dataclass renders itself via ``as_dict`` (as
         ``JoinStats`` does, expanding per-stage cascade survivor counts
         into ``cascade_survivors_stage{N}`` keys), that expanded view is
@@ -192,3 +195,6 @@ class MetricsRegistry:
                 for item in value:
                     if isinstance(item, (int, float)):
                         histogram.observe(item)
+            elif isinstance(value, str):
+                if value:
+                    self.gauge(f"{name}.{value}").set(1.0)

@@ -529,6 +529,57 @@ def test_cascade_pooled_executor_agrees():
     assert pooled.stats.cascade_candidates > 0
 
 
+# ----------------------------------------------------------------------
+# Kernel backends: every engine must emit byte-identical pairs whether
+# the leaf chunks run through the numpy or the numba backend.  Without
+# numba installed an explicit kernel_backend="numba" exercises the
+# documented fallback path, which must be just as exact — so the test
+# is meaningful on both legs of the CI backend matrix.
+# ----------------------------------------------------------------------
+BACKEND_ENGINES = dict(
+    CASCADE_ENGINES,
+    **{
+        "epsilon-kdb-pointer": (_POINTER_SELF, _POINTER_TWO_SET),
+        "epsilon-kdb-incremental": (_INCREMENTAL_SELF, _INCREMENTAL_TWO_SET),
+    },
+)
+
+
+@pytest.mark.parametrize("mode", ["self", "two-set"])
+@pytest.mark.parametrize("metric", CASCADE_METRICS, ids=_metric_id)
+def test_backends_identical_across_engines(metric, mode):
+    """kernel_backend="numpy" vs "numba": same pairs, same survivor funnel."""
+    from repro.core import numba_available
+
+    n, d, seed = 220, 12, 31
+    eps = 0.9 if metric == "l1" else 0.45
+    points_r = generate("clusters", n, d, seed)
+    points_s = generate("clusters", n * 3 // 4, d, seed + 1)
+    spec_numpy = JoinSpec(epsilon=eps, metric=metric, kernel_backend="numpy")
+    spec_numba = replace(spec_numpy, kernel_backend="numba")
+    for name, (self_join, two_set) in BACKEND_ENGINES.items():
+        if mode == "self":
+            base = self_join(points_r, spec_numpy)
+            other = self_join(points_r, spec_numba)
+        else:
+            base = two_set(points_r, points_s, spec_numpy)
+            other = two_set(points_r, points_s, spec_numba)
+        assert_same_pairs(
+            other.pairs,
+            base.pairs,
+            f"{name} {mode} numpy-vs-numba {metric}",
+        )
+        assert (
+            base.stats.cascade_survivors == other.stats.cascade_survivors
+        ), (name, base.stats.cascade_survivors, other.stats.cascade_survivors)
+    # The plain engine reports which backend actually ran.
+    direct = epsilon_kdb_self_join(points_r, spec_numpy)
+    assert direct.stats.kernel_backend == "numpy"
+    routed = epsilon_kdb_self_join(points_r, spec_numba)
+    expected = "numba" if numba_available() else "numpy"
+    assert routed.stats.kernel_backend == expected
+
+
 @pytest.mark.slow
 @pytest.mark.parametrize("seed", range(4))
 @pytest.mark.parametrize("metric", CASCADE_METRICS, ids=_metric_id)

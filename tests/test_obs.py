@@ -315,6 +315,7 @@ class TestMetrics:
             pairs_emitted=3,
             degraded_to_serial=True,
             worker_seconds=[0.1, 0.2],
+            kernel_backend="numpy",
         )
         registry = MetricsRegistry()
         registry.ingest_stats(stats)
@@ -326,10 +327,17 @@ class TestMetrics:
             "value": 1.0,
         }
         assert snapshot["join.worker_seconds"]["count"] == 2
+        # string fields surface as a <field>.<value> marker gauge
+        assert snapshot["join.kernel_backend.numpy"] == {
+            "type": "gauge",
+            "value": 1.0,
+        }
         # every JoinStats field landed under the prefix
         # (cascade_survivors expands to per-stage keys; empty here)
         for name in JoinStats.__dataclass_fields__:
             if name == "cascade_survivors":
+                continue
+            if name == "kernel_backend":
                 continue
             assert f"join.{name}" in snapshot
 
