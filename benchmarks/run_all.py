@@ -51,6 +51,7 @@ EXPERIMENTS = [
     "bench_e19_persistence",
     "bench_e20_serving",
     "bench_e21_backends",
+    "bench_e22_planner",
 ]
 
 RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")

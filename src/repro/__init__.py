@@ -22,6 +22,7 @@ baselines) is available from the subpackages; see README.md.
 
 from __future__ import annotations
 
+from dataclasses import replace
 from typing import Optional, Sequence, Union
 
 import numpy as np
@@ -96,7 +97,13 @@ from repro.metrics import (
     get_metric,
     lp_metric,
 )
-from repro.obs import MetricsRegistry, Tracer
+from repro.obs import MetricsRegistry, Tracer, trace
+from repro.planner import (
+    CostProfile,
+    ExecutionPlan,
+    calibrate,
+    plan_execution,
+)
 
 __version__ = "1.0.0"
 
@@ -126,6 +133,42 @@ _TWO_SET_ALGORITHMS = {
 
 ALGORITHMS = tuple(_SELF_JOIN_ALGORITHMS)
 
+#: Strategies the facade planner scores for a batch join; delta-probe
+#: and snapshot-reuse only make sense against a live or persisted
+#: session, which the serve layer plans separately.
+_PLANNED_STRATEGIES = ("serial", "pointer", "parallel", "external", "sort-merge")
+
+
+def _run_planned_strategy(plan, points, points2, spec):
+    """Execute the strategy ``plan`` chose; every branch emits pairs
+    byte-identical to the serial epsilon-kdb join (the differential
+    suite proves it)."""
+    strategy = plan.chosen
+    if strategy == "pointer":
+        spec = replace(spec, build="pointer")
+    if points2 is None:
+        if strategy == "parallel":
+            return parallel_self_join(points, spec)
+        if strategy == "sort-merge":
+            return sort_merge_self_join(points, spec)
+        if strategy == "external":
+            report = external_self_join(
+                points, spec, memory_points=max(2, len(points))
+            )
+            return JoinResult(stats=report.stats, pairs=report.pairs)
+        return epsilon_kdb_self_join(points, spec)
+    if strategy == "parallel":
+        return parallel_join(points, points2, spec)
+    if strategy == "sort-merge":
+        return sort_merge_join(points, points2, spec)
+    if strategy == "external":
+        report = external_join(
+            points, points2, spec,
+            memory_points=max(2, len(points) + len(points2)),
+        )
+        return JoinResult(stats=report.stats, pairs=report.pairs)
+    return epsilon_kdb_join(points, points2, spec)
+
 
 def similarity_join(
     points: np.ndarray,
@@ -143,6 +186,7 @@ def similarity_join(
     filter_dims: Optional[int] = None,
     kernel_backend: str = "auto",
     build: str = "auto",
+    engine: str = "auto",
     updates: Optional[Sequence] = None,
     delta_threshold: Optional[int] = None,
     persist_path: Optional[str] = None,
@@ -202,6 +246,19 @@ def similarity_join(
             radix cell-coding build), or ``"pointer"`` (per-node object
             build).  Both builds produce byte-identical pairs; only the
             build cost differs.  Ignored by the baselines.
+        engine: which execution strategy runs the ``epsilon-kdb``
+            algorithm: ``"auto"`` (default) asks the cost-based planner
+            (:mod:`repro.planner`) to score serial, pointer-build,
+            parallel, external, and sort-merge execution against the
+            host's calibrated :class:`~repro.planner.CostProfile` and
+            run the predicted-cheapest; a pinned value runs that
+            strategy directly (the plan is still computed and recorded
+            for the mispredict metrics).  Every strategy emits
+            byte-identical pairs; ``result.stats.planned_strategy`` /
+            ``predicted_cost`` / ``plan_seconds`` and ``result.plan``
+            record the decision.  Only meaningful with the default
+            algorithm; update/persisted sessions accept ``"serial"`` or
+            ``"parallel"``.
         updates: optional sequence of ``("insert", points)`` /
             ``("delete", ids)`` operations (or the equivalent ``{"op":
             ...}`` mappings) applied *after* ``points`` through an
@@ -247,7 +304,18 @@ def similarity_join(
                 "parallel execution is only available for the epsilon-kdb "
                 f"algorithm, not {algorithm!r}"
             )
+        if engine not in ("auto", "parallel"):
+            raise InvalidParameterError(
+                f"parallel=True/n_workers conflicts with engine={engine!r}"
+            )
         algorithm = "epsilon-kdb-parallel"
+    if engine != "auto" and algorithm not in (
+        "epsilon-kdb", "epsilon-kdb-parallel"
+    ):
+        raise InvalidParameterError(
+            "engine selection only applies to the epsilon-kdb algorithm, "
+            f"not {algorithm!r}"
+        )
     spec_kwargs = dict(
         epsilon=epsilon,
         metric=metric,
@@ -257,6 +325,7 @@ def similarity_join(
         filter_dims=filter_dims,
         kernel_backend=kernel_backend,
         build=build,
+        engine=engine,
     )
     if task_timeout is not None:
         spec_kwargs["task_timeout"] = task_timeout
@@ -284,7 +353,16 @@ def similarity_join(
                 "update/persisted sessions are only supported by the "
                 f"epsilon-kdb algorithms, not {algorithm!r}"
             )
-        engine = "parallel" if algorithm == "epsilon-kdb-parallel" else "serial"
+        if engine not in ("auto", "serial", "parallel"):
+            raise InvalidParameterError(
+                "update/persisted sessions execute serially or in "
+                f"parallel, not engine={engine!r}"
+            )
+        session_engine = (
+            "parallel"
+            if algorithm == "epsilon-kdb-parallel" or engine == "parallel"
+            else "serial"
+        )
         stream = list(updates) if updates is not None else []
         points = np.asarray(points, dtype=np.float64)
         if len(points):
@@ -294,7 +372,7 @@ def similarity_join(
                 persist_path,
                 spec=spec,
                 sync_mode=sync_mode,
-                engine=engine,
+                engine=session_engine,
                 keep_generations=keep_generations,
             )
             try:
@@ -309,7 +387,7 @@ def similarity_join(
             if not return_result:
                 return pairs
             return JoinResult(stats=stats, pairs=pairs)
-        session = IncrementalJoin(spec, engine=engine)
+        session = IncrementalJoin(spec, engine=session_engine)
         added, retracted = apply_update_stream(session, stream)
         pairs = subtract_pairs(added, retracted)
         if not return_result:
@@ -324,6 +402,36 @@ def similarity_join(
             f"unknown algorithm {algorithm!r}; expected one of "
             f"{sorted(registry)}"
         ) from None
+    if algorithm == "epsilon-kdb":
+        pts = np.asarray(points, dtype=np.float64)
+        pts2 = (
+            np.asarray(points2, dtype=np.float64)
+            if points2 is not None
+            else None
+        )
+        plannable = pts.ndim == 2 and (pts2 is None or pts2.ndim == 2)
+        if plannable:
+            plan = plan_execution(
+                spec,
+                len(pts),
+                pts.shape[1],
+                n2=len(pts2) if pts2 is not None else None,
+                strategies=_PLANNED_STRATEGIES,
+                forced=None if engine == "auto" else engine,
+            )
+            with trace.span(
+                "plan",
+                strategy=plan.chosen,
+                predicted_seconds=plan.predicted_cost,
+                plan_seconds=plan.plan_seconds,
+                forced=bool(plan.forced),
+            ):
+                result = _run_planned_strategy(plan, pts, pts2, spec)
+            result.stats.planned_strategy = plan.chosen
+            result.stats.predicted_cost = plan.predicted_cost
+            result.stats.plan_seconds = plan.plan_seconds
+            result.plan = plan
+            return result if return_result else result.pairs
     if points2 is None:
         result = runner(points, spec)
     else:
@@ -360,6 +468,11 @@ __all__ = [
     "UpdateDelta",
     "apply_update_stream",
     "subtract_pairs",
+    # planner
+    "CostProfile",
+    "ExecutionPlan",
+    "calibrate",
+    "plan_execution",
     # observability
     "Tracer",
     "MetricsRegistry",

@@ -2,8 +2,11 @@
 
 from repro.analysis.cost_model import (
     predict_brute_force_candidates,
+    predict_brute_force_candidates_cross,
     predict_kdb_candidates,
+    predict_kdb_candidates_cross,
     predict_sort_merge_candidates,
+    predict_sort_merge_candidates_cross,
     split_depth,
 )
 from repro.analysis.report import Table, format_seconds, format_si
@@ -25,8 +28,11 @@ __all__ = [
     "epsilon_for_selectivity",
     "estimate_selectivity",
     "predict_kdb_candidates",
+    "predict_kdb_candidates_cross",
     "predict_sort_merge_candidates",
+    "predict_sort_merge_candidates_cross",
     "predict_brute_force_candidates",
+    "predict_brute_force_candidates_cross",
     "split_depth",
     "Table",
     "format_si",

@@ -34,6 +34,23 @@ def _pair_count(n: int) -> float:
     return n * (n - 1) / 2.0
 
 
+def _pair_count_cross(n_a: int, n_b: int) -> float:
+    """Candidate universe of a two-set join: every (a, b) combination.
+
+    The self-join's ``C(n, 2)`` halves the square because pairs are
+    unordered within one set; across two sets nothing is symmetric, so
+    the count is the full ``n_a * n_b`` rectangle.
+    """
+    return float(n_a) * float(n_b)
+
+
+def _validate_cross(n_a: int, n_b: int, eps: float) -> None:
+    if n_a < 1 or n_b < 1 or eps <= 0:
+        raise InvalidParameterError(
+            f"need n_a >= 1, n_b >= 1, eps > 0; got {n_a}, {n_b}, {eps}"
+        )
+
+
 def _adjacent_cell_probability(eps: float) -> float:
     """P(|x - y| <= cell-adjacency) for uniform x, y when cells have
     width eps: both in the same or adjacent cells of ~1/eps cells."""
@@ -79,6 +96,26 @@ def predict_kdb_candidates(
     return _pair_count(n) * probability
 
 
+def predict_kdb_candidates_cross(
+    n_a: int, n_b: int, dims: int, eps: float, leaf_size: int = 128
+) -> float:
+    """Expected distance computations of the two-set eps-kdB join.
+
+    The two-set driver builds one tree over the union of both sets (the
+    grid is fit over ``R ∪ S``), so the split depth is governed by the
+    combined population; the per-dimension filters apply identically,
+    only the candidate universe changes from ``C(n, 2)`` to
+    ``n_a * n_b``.
+    """
+    _validate_cross(n_a, n_b, eps)
+    total = n_a + n_b
+    k = split_depth(total, eps, leaf_size, dims)
+    probability = _adjacent_cell_probability(eps) ** k
+    if k < dims:
+        probability *= _band_probability(eps)
+    return _pair_count_cross(n_a, n_b) * probability
+
+
 def predict_sort_merge_candidates(
     n: int, eps: float, two_level: bool = True
 ) -> float:
@@ -89,9 +126,25 @@ def predict_sort_merge_candidates(
     return _pair_count(n) * probability
 
 
+def predict_sort_merge_candidates_cross(
+    n_a: int, n_b: int, eps: float, two_level: bool = True
+) -> float:
+    """Expected distance computations of the two-set sort-merge join."""
+    _validate_cross(n_a, n_b, eps)
+    probability = _band_probability(eps)
+    if two_level:
+        probability *= _band_probability(eps)
+    return _pair_count_cross(n_a, n_b) * probability
+
+
 def predict_brute_force_candidates(n: int) -> float:
     """The nested loop checks every pair."""
     return _pair_count(n)
+
+
+def predict_brute_force_candidates_cross(n_a: int, n_b: int) -> float:
+    """The two-set nested loop checks the full rectangle."""
+    return _pair_count_cross(n_a, n_b)
 
 
 def predict_expected_output(n: int, dims: int, eps: float, metric="l2") -> float:

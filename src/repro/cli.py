@@ -1,10 +1,14 @@
 """Command-line interface: ``python -m repro`` / ``repro-join``.
 
-Seven subcommands:
+Eight subcommands:
 
 * ``join`` (the default when flags are given directly) — run one
   similarity join on a generated workload or a ``.npy``/``.csv`` file
-  and print the result statistics.
+  and print the result statistics.  The execution strategy is chosen
+  by the cost-based planner unless ``--engine`` forces one;
+  ``--explain`` prints the plan table and exits without running.
+* ``calibrate`` — measure this host's per-unit cost constants (the
+  planner's inputs) and cache them as JSON (see docs/planner.md).
 * ``join-stream`` — feed a JSONL update stream (insert/delete batches)
   through an incremental join session and report the emitted deltas
   per batch (see docs/streaming.md).  With ``--persist DIR`` the
@@ -158,6 +162,20 @@ def build_parser() -> argparse.ArgumentParser:
         help="run the stripe-parallel epsilon-kdB executor with this many "
         "worker processes (only valid with --algorithm epsilon-kdb; "
         "1 means the serial path)",
+    )
+    join.add_argument(
+        "--engine",
+        choices=["auto", "serial", "pointer", "parallel", "external", "sort-merge"],
+        default="auto",
+        help="execution strategy for --algorithm epsilon-kdb: auto "
+        "(default; the cost-based planner picks) or a forced strategy; "
+        "every strategy emits byte-identical pairs",
+    )
+    join.add_argument(
+        "--explain",
+        action="store_true",
+        help="print the planner's per-strategy cost table for this "
+        "workload and exit without executing the join",
     )
     join.add_argument(
         "--task-timeout",
@@ -429,7 +447,13 @@ def build_parser() -> argparse.ArgumentParser:
         "insert, range-query, print answers",
     )
     query.add_argument("--host", default="127.0.0.1", help="server address")
-    query.add_argument("--port", type=int, required=True, help="server port")
+    query.add_argument(
+        "--port",
+        type=int,
+        default=None,
+        help="server port (required unless --explain runs offline "
+        "against --path)",
+    )
     query.add_argument(
         "--tenant", required=True, help="tenant session name to attach"
     )
@@ -490,6 +514,32 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="ask the server to shut down gracefully after the other "
         "operations",
+    )
+    query.add_argument(
+        "--explain",
+        action="store_true",
+        help="with --path: print the attach plan (memmapped snapshot "
+        "view vs full recovery) for the persisted directory and exit "
+        "without connecting to any server",
+    )
+
+    calibrate = subparsers.add_parser(
+        "calibrate",
+        help="measure this host's per-unit cost constants and cache "
+        "them for the execution planner",
+    )
+    calibrate.add_argument(
+        "--force",
+        action="store_true",
+        help="re-measure even when a valid profile for this host is "
+        "already cached",
+    )
+    calibrate.add_argument(
+        "--out",
+        metavar="PATH",
+        default=None,
+        help="profile file to write (default: $REPRO_COST_PROFILE, "
+        "else ~/.cache/repro/cost_profile.json)",
     )
 
     compare = subparsers.add_parser(
@@ -552,6 +602,9 @@ _STAT_LABELS = {
     "kernel_blocks": "kernel tiles",
     "kernel_tile_rows": "kernel tile rows",
     "kernel_seconds": "kernel time",
+    "planned_strategy": "planned strategy",
+    "predicted_cost": "predicted cost",
+    "plan_seconds": "planning time",
 }
 
 #: Fields printed even when zero (the headline numbers of every join).
@@ -605,6 +658,28 @@ def _run_join(args: argparse.Namespace) -> int:
         kernel_backend=args.kernel_backend,
     )
     workers = getattr(args, "workers", None)
+    engine = getattr(args, "engine", "auto")
+    if getattr(args, "explain", False):
+        if args.algorithm != "epsilon-kdb":
+            raise InvalidParameterError(
+                "--explain plans the epsilon-kdb strategies; "
+                f"--algorithm {args.algorithm} has nothing to plan"
+            )
+        from repro import plan_execution
+
+        plan = plan_execution(
+            spec,
+            len(points),
+            int(points.shape[1]),
+            n_workers=workers,
+            forced=None if engine == "auto" else engine,
+        )
+        plan.format_table().print()
+        print(
+            f"chosen: {plan.chosen}"
+            + (" (forced)" if plan.forced else " (planned)")
+        )
+        return 0
     backend = resolve_kernel_backend(args.kernel_backend).name
     print(
         f"joining {len(points)} points, d={points.shape[1]}, "
@@ -612,6 +687,7 @@ def _run_join(args: argparse.Namespace) -> int:
         f"algorithm={args.algorithm}, build={spec.resolved_build()}, "
         f"kernel backend={backend}"
         + (f", workers={workers}" if workers else "")
+        + (f", engine={engine}" if engine != "auto" else "")
     )
     tracing = bool(
         args.trace or args.trace_summary or args.profile or args.sample_memory
@@ -643,6 +719,7 @@ def _run_join(args: argparse.Namespace) -> int:
                 filter_dims=args.filter_dims,
                 kernel_backend=args.kernel_backend,
                 build=args.build,
+                engine=engine,
                 return_result=True,
             )
     elapsed = time.perf_counter() - started
@@ -652,8 +729,11 @@ def _run_join(args: argparse.Namespace) -> int:
         save_pairs(args.output, result.pairs)
         print(f"wrote pairs to {args.output}")
     if args.stats_json:
+        payload = result.stats.as_dict()
+        if result.plan is not None:
+            payload["plan"] = result.plan.as_dict()
         with open(args.stats_json, "w") as handle:
-            json.dump(result.stats.as_dict(), handle, indent=2, sort_keys=True)
+            json.dump(payload, handle, indent=2, sort_keys=True)
             handle.write("\n")
         print(f"wrote stats to {args.stats_json}")
     if tracer is not None:
@@ -930,10 +1010,67 @@ def _run_serve(args: argparse.Namespace) -> int:
     return 0
 
 
+def _explain_attach(path: str) -> int:
+    """Offline ``query --explain``: plan the attach for a persisted dir.
+
+    Opens the newest snapshot as a read-only memmapped view (no server,
+    no materialization) and prints the planner's choice between serving
+    queries straight off it (``snapshot-reuse``) and a full recovery
+    (``serial``).  A stale or damaged snapshot reports that recovery is
+    required instead of failing.
+    """
+    from repro import plan_execution
+    from repro.errors import StorageError
+    from repro.storage import SnapshotView
+
+    try:
+        view = SnapshotView.open(path)
+    except StorageError as exc:
+        print(f"{path}: snapshot view unavailable ({exc})")
+        print("attach would recover the session (WAL replay) instead")
+        return 0
+    try:
+        plan = plan_execution(
+            view.spec,
+            view.n_live,
+            view.dims or 1,
+            snapshot_bytes=view.snapshot_bytes,
+            strategies=("serial", "snapshot-reuse"),
+        )
+        plan.format_table().print()
+        verdict = (
+            "attach serves queries off the memmapped snapshot "
+            "(zero materialization)"
+            if plan.chosen == "snapshot-reuse"
+            else "attach recovers the full session"
+        )
+        print(f"chosen: {plan.chosen} — {verdict}")
+    finally:
+        view.close()
+    return 0
+
+
 def _run_query(args: argparse.Namespace) -> int:
     import asyncio
 
     from repro.serve import ServeClient
+
+    if args.explain:
+        if not args.path:
+            print(
+                "error: query --explain plans a persisted attach; "
+                "it needs --path",
+                file=sys.stderr,
+            )
+            return 2
+        return _explain_attach(args.path)
+    if args.port is None:
+        print(
+            "error: query needs --port (or --explain with --path for "
+            "an offline plan)",
+            file=sys.stderr,
+        )
+        return 2
 
     async def run() -> int:
         client = await ServeClient.connect(args.host, args.port)
@@ -992,6 +1129,46 @@ def _run_query(args: argparse.Namespace) -> int:
             file=sys.stderr,
         )
         return 2
+
+
+def _run_calibrate(args: argparse.Namespace) -> int:
+    from repro.planner import (
+        calibrate_and_save,
+        default_profile_path,
+        set_active_profile,
+    )
+
+    target = args.out or default_profile_path()
+    if not args.force:
+        print(f"checking cached profile at {target} ...")
+    profile, path, ran = calibrate_and_save(path=args.out, force=args.force)
+    set_active_profile(profile)
+    if ran:
+        print(f"calibrated this host; profile written to {path}")
+    else:
+        print(f"reusing cached profile at {path} (re-measure with --force)")
+    table = Table(
+        f"cost profile ({profile.source}, host {profile.host or 'n/a'})",
+        ["constant", "value"],
+    )
+    for name, value in profile.as_dict().items():
+        if name in ("version", "host", "source"):
+            continue
+        if name == "calibrated_at":
+            value = time.strftime(
+                "%Y-%m-%d %H:%M:%S", time.localtime(value)
+            ) if value else "never"
+        elif name == "tile_rows":
+            value = format_si(int(value))
+        elif name.endswith("_factor"):
+            value = f"{value:.2f}x"  # dimensionless multiplier
+        elif isinstance(value, float):
+            # The per-unit constants live in the nano/microsecond range;
+            # scientific notation keeps them distinguishable.
+            value = f"{value:.3e} s"
+        table.add_row(name, str(value))
+    table.print()
+    return 0
 
 
 def _run_search(args: argparse.Namespace) -> int:
@@ -1091,6 +1268,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return _run_serve(args)
     if args.command == "query":
         return _run_query(args)
+    if args.command == "calibrate":
+        return _run_calibrate(args)
     build_parser().print_help()
     return 2
 

@@ -66,7 +66,10 @@ VALID_KERNEL_BACKENDS = ("auto", "numpy", "numba")
 #: cache-friendly and the two preallocated int64 index buffers cost
 #: only ~1 MiB.  The tile size is a property of the queue, not of the
 #: backend: both backends see identical tiles, so the per-stage survivor
-#: counters match exactly across backends.
+#: counters match exactly across backends.  This constant is the
+#: fallback; ``repro calibrate`` sweeps tile sizes and stores the
+#: fastest in the host's :class:`~repro.planner.profile.CostProfile`,
+#: which queues constructed without an explicit ``tile_rows`` adopt.
 DEFAULT_TILE_ROWS = 65_536
 
 #: Environment override consulted when ``kernel_backend="auto"`` — the
@@ -531,8 +534,16 @@ class LeafBatchQueue:
         self,
         filter_rows: Callable[[np.ndarray, np.ndarray], np.ndarray],
         emit: Callable[[np.ndarray, np.ndarray], None],
-        tile_rows: int = DEFAULT_TILE_ROWS,
+        tile_rows: Optional[int] = None,
     ):
+        if tile_rows is None:
+            # The calibrated host profile carries the auto-tuned tile
+            # size (function-level import: planner.profile is stdlib-only
+            # and must never import core at module level, so the
+            # dependency points this way, lazily).
+            from repro.planner.profile import active_tile_rows
+
+            tile_rows = active_tile_rows()
         if tile_rows < 1:
             raise ConfigError(f"tile_rows must be >= 1, got {tile_rows!r}")
         self._filter_rows = filter_rows

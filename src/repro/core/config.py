@@ -139,6 +139,14 @@ class JoinSpec:
             emits byte-identical pairs, so it is excluded from the
             structural fingerprint and free to differ across re-opens of
             the same persisted session.
+        engine: which execution strategy runs the join: ``"auto"``
+            (default — the cost-based planner in :mod:`repro.planner`
+            scores every viable strategy against the calibrated host
+            profile and picks the cheapest), or a pinned ``"serial"``,
+            ``"pointer"``, ``"parallel"``, ``"external"``, or
+            ``"sort-merge"``.  Every strategy emits byte-identical
+            pairs, so — like ``kernel_backend`` — this is a pure runtime
+            knob excluded from the structural fingerprint.
     """
 
     epsilon: float
@@ -161,6 +169,7 @@ class JoinSpec:
     admission_threshold: Optional[float] = None
     keep_generations: int = 2
     kernel_backend: str = "auto"
+    engine: str = "auto"
 
     def __post_init__(self) -> None:
         if not np.isfinite(self.epsilon) or self.epsilon <= 0:
@@ -250,6 +259,13 @@ class JoinSpec:
             raise ConfigError(
                 f"unknown kernel backend {self.kernel_backend!r}: valid "
                 "values are 'auto', 'numpy', 'numba'"
+            )
+        if self.engine not in (
+            "auto", "serial", "pointer", "parallel", "external", "sort-merge"
+        ):
+            raise ConfigError(
+                f"unknown engine {self.engine!r}: valid values are 'auto', "
+                "'serial', 'pointer', 'parallel', 'external', 'sort-merge'"
             )
 
     def resolved_build(self) -> str:

@@ -106,6 +106,15 @@ class JoinStats:
         kernel_seconds: wall-clock spent inside the leaf filter kernel,
             summed over work-queue tiles — the denominator E21 uses to
             compare backends.
+        planned_strategy: execution strategy the cost-based planner
+            chose (:mod:`repro.planner`); empty when the caller pinned
+            an engine without planning or called an algorithm directly.
+        predicted_cost: the planner's predicted wall-clock seconds for
+            the chosen strategy — compare against the measured time for
+            the mispredict ratio E22 charts (a gauge; ``merge`` keeps
+            the maximum).
+        plan_seconds: wall-clock spent scoring strategies, the overhead
+            ``engine="auto"`` pays over a pinned engine.
     """
 
     distance_computations: int = 0
@@ -143,6 +152,9 @@ class JoinStats:
     kernel_blocks: int = 0
     kernel_tile_rows: int = 0
     kernel_seconds: float = 0.0
+    planned_strategy: str = ""
+    predicted_cost: float = 0.0
+    plan_seconds: float = 0.0
 
     def as_dict(self) -> Dict[str, Any]:
         """Every counter as JSON-ready data, in field order.
@@ -215,6 +227,10 @@ class JoinStats:
         self.kernel_blocks += other.kernel_blocks
         self.kernel_tile_rows = max(self.kernel_tile_rows, other.kernel_tile_rows)
         self.kernel_seconds += other.kernel_seconds
+        if not self.planned_strategy:
+            self.planned_strategy = other.planned_strategy
+        self.predicted_cost = max(self.predicted_cost, other.predicted_cost)
+        self.plan_seconds += other.plan_seconds
 
 
 _EMPTY_I64 = np.empty(0, dtype=np.int64)
@@ -317,6 +333,9 @@ class JoinResult:
     pairs: np.ndarray = field(default_factory=lambda: np.empty((0, 2), dtype=np.int64))
     build_seconds: float = 0.0
     join_seconds: float = 0.0
+    # An ExecutionPlan when the cost-based planner drove this execution
+    # (typed loosely: core must not import repro.planner at module level).
+    plan: Any = None
 
     @property
     def count(self) -> int:

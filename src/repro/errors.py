@@ -69,6 +69,19 @@ class CorruptSnapshotError(StorageError):
     """
 
 
+class StaleSnapshotError(StorageError):
+    """A snapshot exists but the write-ahead log is ahead of it.
+
+    The zero-materialization :class:`~repro.storage.view.SnapshotView`
+    answers queries straight off the memmapped snapshot arrays and
+    cannot replay WAL records; when the session directory holds journal
+    entries newer than the snapshot's watermark, serving from the view
+    would silently ignore committed updates.  Callers catch this and
+    fall back to a full :class:`~repro.core.incremental.IncrementalJoin`
+    recovery, which replays the log.
+    """
+
+
 class SessionCrashError(ReproError, RuntimeError):
     """The session process was (deliberately) crashed mid-operation.
 

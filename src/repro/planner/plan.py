@@ -1,0 +1,351 @@
+"""Score every viable execution strategy and pick the cheapest.
+
+:func:`plan_execution` combines the analytic work predictions of
+:mod:`repro.analysis.cost_model` (how many candidates, how many node
+visits) with the calibrated per-unit constants of a
+:class:`~repro.planner.profile.CostProfile` (how long each unit takes on
+this host) into a predicted wall-clock cost per strategy, returning an
+:class:`ExecutionPlan` whose ``chosen`` entry drives
+``similarity_join(engine="auto")``, the serve layer's per-request
+dispatch, and the snapshot-reuse-vs-rebuild decision for persisted
+tenants.
+
+The formulas deliberately stay first-order: the goal is to *rank*
+strategies, not to forecast seconds precisely.  E22 measures the gap —
+planner regret, chosen cost over oracle-best cost — across the
+(n, d, ε, persisted?) matrix.
+"""
+
+from __future__ import annotations
+
+import math
+import os
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence
+
+from repro.analysis.cost_model import (
+    predict_kdb_candidates,
+    predict_kdb_candidates_cross,
+    predict_sort_merge_candidates,
+    predict_sort_merge_candidates_cross,
+    split_depth,
+)
+from repro.errors import InvalidParameterError
+from repro.planner.profile import CostProfile, active_profile
+
+__all__ = [
+    "ExecutionPlan",
+    "StrategyCost",
+    "ALL_STRATEGIES",
+    "plan_execution",
+]
+
+#: Every strategy the planner knows how to score, in display order.
+ALL_STRATEGIES = (
+    "serial",
+    "pointer",
+    "parallel",
+    "external",
+    "sort-merge",
+    "delta-probe",
+    "snapshot-reuse",
+)
+
+#: Pages the external driver touches per input page: domain scan,
+#: histogram scan, partition write, partition read, output drain.
+_EXTERNAL_PASSES = 5.0
+
+#: Default page size (rows) of the external driver's simulated disk.
+_EXTERNAL_PAGE_ROWS = 256
+
+
+@dataclass
+class StrategyCost:
+    """One scored strategy.
+
+    ``feasible`` is False when the strategy cannot run for this request
+    (no snapshot to reuse, no delta session, or a memory budget the
+    in-memory engines would blow); infeasible strategies keep their
+    predicted cost for the explain table but are never chosen.
+    """
+
+    strategy: str
+    predicted_seconds: float
+    feasible: bool = True
+    chosen: bool = False
+    detail: str = ""
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "strategy": self.strategy,
+            "predicted_seconds": self.predicted_seconds,
+            "feasible": self.feasible,
+            "chosen": self.chosen,
+            "detail": self.detail,
+        }
+
+
+@dataclass
+class ExecutionPlan:
+    """The planner's verdict for one join or query request."""
+
+    chosen: str
+    costs: List[StrategyCost] = field(default_factory=list)
+    n: int = 0
+    dims: int = 0
+    epsilon: float = 0.0
+    plan_seconds: float = 0.0
+    profile_source: str = "default"
+    forced: Optional[str] = None
+
+    @property
+    def predicted_cost(self) -> float:
+        """Predicted seconds of the chosen strategy."""
+        for cost in self.costs:
+            if cost.chosen:
+                return cost.predicted_seconds
+        return 0.0
+
+    def cost_of(self, strategy: str) -> Optional[StrategyCost]:
+        for cost in self.costs:
+            if cost.strategy == strategy:
+                return cost
+        return None
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "chosen": self.chosen,
+            "n": self.n,
+            "dims": self.dims,
+            "epsilon": self.epsilon,
+            "plan_seconds": self.plan_seconds,
+            "profile_source": self.profile_source,
+            "forced": self.forced,
+            "costs": [cost.as_dict() for cost in self.costs],
+        }
+
+    def format_table(self):
+        """Render the explain table (lazy import keeps planner light)."""
+        from repro.analysis.report import Table, format_seconds
+
+        table = Table(
+            f"execution plan — n={self.n} d={self.dims} eps={self.epsilon:g}"
+            f" (profile: {self.profile_source})",
+            ["strategy", "predicted", "feasible", "chosen"],
+        )
+        for cost in self.costs:
+            table.add_row(
+                cost.strategy,
+                format_seconds(cost.predicted_seconds),
+                "yes" if cost.feasible else "no",
+                "<==" if cost.chosen else "",
+            )
+        return table
+
+
+def _traversal_visits(n: int, dims: int, eps: float, leaf_size: int) -> float:
+    """Rough node-pair visit count: leaves times bounded adjacency fan-out."""
+    leaves = max(1.0, n / max(1, leaf_size))
+    k = split_depth(n, eps, leaf_size, dims)
+    return leaves * (3.0 ** min(k, 3))
+
+
+def plan_execution(
+    spec,
+    n: int,
+    dims: int,
+    *,
+    n2: Optional[int] = None,
+    eps: Optional[float] = None,
+    sketch_estimate: Optional[float] = None,
+    snapshot_bytes: Optional[int] = None,
+    delta_size: Optional[int] = None,
+    n_workers: Optional[int] = None,
+    memory_budget_points: Optional[int] = None,
+    profile: Optional[CostProfile] = None,
+    strategies: Optional[Sequence[str]] = None,
+    forced: Optional[str] = None,
+) -> ExecutionPlan:
+    """Score the viable strategies for one request and choose the cheapest.
+
+    Args:
+        spec: the :class:`~repro.core.config.JoinSpec` of the request
+            (epsilon, leaf_size, and n_workers defaults come from it).
+        n: number of points (outer set for two-set joins).
+        dims: point dimensionality.
+        n2: inner-set size — switches the candidate model to the
+            cross-join (``n_a * n_b``) variant.
+        eps: query radius override (defaults to ``spec.epsilon``).
+        sketch_estimate: a live session's ``JoinSizeSketch`` estimate of
+            the output size; raises the candidate floor when the
+            analytic model under-predicts clustered data.
+        snapshot_bytes: size of a persisted snapshot generation, when
+            one exists — enables the ``snapshot-reuse`` strategy.
+        delta_size: live delta-buffer rows of an open incremental
+            session — enables the ``delta-probe`` strategy.
+        n_workers: process-pool size for the parallel strategy
+            (defaults to ``spec.n_workers`` or the CPU count).
+        memory_budget_points: points that fit in memory; when set and
+            smaller than the input, every in-memory strategy becomes
+            infeasible and the external driver is the only choice.
+        profile: cost constants; defaults to the process-wide active
+            profile (see :func:`repro.planner.profile.active_profile`).
+        strategies: restrict scoring to this subset (the serve layer
+            only dispatches serial vs parallel for mini-joins).
+        forced: record that the caller pinned this strategy
+            (``engine="parallel"`` etc.); it is chosen regardless of its
+            predicted cost, but every cost still lands in the plan so
+            ``--explain`` and the mispredict metrics stay meaningful.
+
+    Returns:
+        An :class:`ExecutionPlan`; ``plan.chosen`` names the winner.
+    """
+    started = time.perf_counter()
+    if n < 0:
+        raise InvalidParameterError(f"n must be >= 0, got {n}")
+    if dims < 1:
+        raise InvalidParameterError(f"dims must be >= 1, got {dims}")
+    profile = profile if profile is not None else active_profile()
+    eps = float(eps if eps is not None else spec.epsilon)
+    leaf_size = int(spec.leaf_size)
+    total = n + (n2 or 0)
+    workers = int(
+        n_workers
+        or (spec.n_workers or 0)
+        or max(1, (os.cpu_count() or 2) - 1)
+    )
+
+    # --- predicted work counts ------------------------------------------
+    if n2 is None:
+        kdb_candidates = predict_kdb_candidates(
+            max(n, 2), dims, eps, leaf_size=leaf_size
+        )
+        sm_candidates = predict_sort_merge_candidates(max(n, 2), eps)
+    else:
+        kdb_candidates = predict_kdb_candidates_cross(
+            max(n, 1), max(n2, 1), dims, eps, leaf_size=leaf_size
+        )
+        sm_candidates = predict_sort_merge_candidates_cross(
+            max(n, 1), max(n2, 1), eps
+        )
+    if sketch_estimate:
+        # The sketch estimates *output* pairs, a lower bound on
+        # candidates actually checked.
+        kdb_candidates = max(kdb_candidates, float(sketch_estimate))
+        sm_candidates = max(sm_candidates, float(sketch_estimate))
+
+    visits = _traversal_visits(total, dims, eps, leaf_size)
+    check = profile.candidate_check_seconds * dims
+    build_cost = total * profile.build_point_seconds
+    traverse_cost = visits * profile.node_visit_seconds
+    kernel_cost = kdb_candidates * check
+    fits_in_memory = (
+        memory_budget_points is None or total <= memory_budget_points
+    )
+
+    costs: List[StrategyCost] = []
+
+    def add(strategy, seconds, feasible=True, detail=""):
+        if strategies is not None and strategy not in strategies:
+            return
+        costs.append(
+            StrategyCost(
+                strategy=strategy,
+                predicted_seconds=float(seconds),
+                feasible=bool(feasible),
+                detail=detail,
+            )
+        )
+
+    add(
+        "serial",
+        build_cost + traverse_cost + kernel_cost,
+        feasible=fits_in_memory,
+        detail=f"candidates~{kdb_candidates:.0f}",
+    )
+    add(
+        "pointer",
+        profile.pointer_build_factor * build_cost + traverse_cost + kernel_cost,
+        feasible=fits_in_memory,
+        detail=f"build x{profile.pointer_build_factor:.0f}",
+    )
+    add(
+        "parallel",
+        build_cost
+        + traverse_cost
+        + kernel_cost / max(1, workers)
+        + profile.pool_startup_seconds
+        + 2.0 * workers * profile.worker_dispatch_seconds,
+        feasible=fits_in_memory and total >= 2,
+        detail=f"workers={workers}",
+    )
+    pages = math.ceil(max(1, total) / _EXTERNAL_PAGE_ROWS)
+    add(
+        "external",
+        build_cost
+        + traverse_cost
+        + kernel_cost
+        + _EXTERNAL_PASSES * pages * profile.page_io_seconds,
+        feasible=total >= 2,
+        detail=f"pages~{pages}",
+    )
+    add(
+        "sort-merge",
+        total * math.log2(max(2, total)) * profile.sort_point_seconds
+        + sm_candidates * check * profile.sort_merge_overhead_factor,
+        feasible=fits_in_memory,
+        detail=f"candidates~{sm_candidates:.0f}",
+    )
+    if delta_size is not None:
+        fraction = min(1.0, delta_size / max(1, total))
+        add(
+            "delta-probe",
+            traverse_cost * fraction + kernel_cost * 2.0 * fraction,
+            feasible=fits_in_memory,
+            detail=f"delta={delta_size}",
+        )
+    if snapshot_bytes is not None:
+        add(
+            "snapshot-reuse",
+            snapshot_bytes * profile.snapshot_byte_seconds
+            + traverse_cost
+            + kernel_cost,
+            detail=f"bytes={snapshot_bytes}",
+        )
+
+    if not costs:
+        raise InvalidParameterError(
+            f"no strategies to plan (restriction {strategies!r})"
+        )
+
+    if forced is not None:
+        chosen = forced
+        matched = [cost for cost in costs if cost.strategy == forced]
+        if not matched:
+            raise InvalidParameterError(
+                f"forced strategy {forced!r} is not plannable here "
+                f"(have {[cost.strategy for cost in costs]})"
+            )
+        matched[0].chosen = True
+    else:
+        viable = [cost for cost in costs if cost.feasible]
+        if not viable:
+            raise InvalidParameterError(
+                "no feasible strategy: input exceeds the memory budget "
+                "and the external driver was excluded"
+            )
+        winner = min(viable, key=lambda cost: cost.predicted_seconds)
+        winner.chosen = True
+        chosen = winner.strategy
+
+    return ExecutionPlan(
+        chosen=chosen,
+        costs=costs,
+        n=int(n),
+        dims=int(dims),
+        epsilon=eps,
+        plan_seconds=time.perf_counter() - started,
+        profile_source=profile.source,
+        forced=forced,
+    )

@@ -64,15 +64,17 @@ class AdmissionController:
     # ------------------------------------------------------------------
     def predict_pairs(self, session: TenantSession, n_probes: int) -> float:
         """Predicted output pairs for ``n_probes`` points probing ``session``."""
-        join = session.join
-        n_live = join.n_live
+        # Session-level accessors work in both view and materialized
+        # mode; a view keeps no sketch, so the analytic model covers it.
+        n_live = session.n_live
         if n_live == 0 or n_probes == 0:
             return 0.0
-        estimate = join.estimated_join_size
+        estimate = session.estimated_join_size
         if estimate <= 0:
-            dims = join.dims or 1
+            dims = session.dims or 1
+            spec = session.spec
             estimate = predict_expected_output(
-                n_live, dims, join.spec.epsilon, join.spec.metric.name
+                n_live, dims, spec.epsilon, spec.metric.name
             )
         per_probe = 2.0 * estimate / n_live
         return float(n_probes) * per_probe

@@ -94,7 +94,11 @@ class JoinServer:
             default_kernel_backend
         ).name
         self.metrics = metrics if metrics is not None else MetricsRegistry()
-        self.manager = manager if manager is not None else SessionManager()
+        self.manager = (
+            manager
+            if manager is not None
+            else SessionManager(metrics=self.metrics)
+        )
         self.admission = AdmissionController(
             max_predicted_pairs=max_predicted_pairs,
             max_inflight=max_inflight,
@@ -268,7 +272,7 @@ class JoinServer:
         backend = self.resolved_kernel_backend
         if isinstance(name, str) and name in self.manager:
             backend = resolve_kernel_backend(
-                self.manager.get(name).join.spec.kernel_backend
+                self.manager.get(name).spec.kernel_backend
             ).name
         self.metrics.gauge(f"serve.kernel_backend.{backend}").set(1.0)
         return backend
@@ -307,38 +311,42 @@ class JoinServer:
             keep_generations=request.get("keep_generations"),
             sync_mode=request.get("sync_mode"),
         )
-        join = session.join
         return {
             "tenant": name,
-            "n_live": join.n_live,
-            "dims": join.dims,
-            "epsilon": join.spec.epsilon,
-            "last_update_seq": join.last_update_seq,
-            "persisted": join.spec.persist_path is not None,
+            "n_live": session.n_live,
+            "dims": session.dims,
+            "epsilon": session.spec.epsilon,
+            "last_update_seq": session.last_update_seq,
+            "persisted": session.persisted,
+            # "view" while queries run off the memmapped snapshot; flips
+            # to "session" on the first mutating operation.
+            "mode": "view" if session.is_view else "session",
         }
 
     async def _op_insert(self, request: Dict[str, Any]) -> Dict[str, Any]:
         session = self._tenant(request)
         points = decode_points(request.get("points"))
+        await session.materialize()
         async with self.admission.slot():
             async with session.lock:
                 delta = session.insert(points)
         return {
             "ids": delta.ids.tolist(),
-            "n_live": session.join.n_live,
-            "seq": session.join.last_update_seq,
+            "n_live": session.n_live,
+            "seq": session.last_update_seq,
         }
 
     async def _op_delete(self, request: Dict[str, Any]) -> Dict[str, Any]:
         session = self._tenant(request)
         ids = decode_ids(request.get("ids"))
+        await session.materialize()
         async with self.admission.slot():
             async with session.lock:
                 delta = session.delete(ids)
         return {
             "removed": delta.ids.tolist(),
-            "n_live": session.join.n_live,
-            "seq": session.join.last_update_seq,
+            "n_live": session.n_live,
+            "seq": session.last_update_seq,
         }
 
     async def _op_range_query(self, request: Dict[str, Any]) -> Dict[str, Any]:
@@ -357,22 +365,29 @@ class JoinServer:
         eps = request.get("eps")
         eps = None if eps is None else float(eps)
         self.admission.check_size(session, len(points), "mini_join")
+        await session.materialize()
         async with self.admission.slot():
             pairs = session.mini_join(points, eps=eps)
+        if session.last_plan is not None:
+            self.metrics.counter(
+                f"serve.plan.{session.last_plan.chosen}"
+            ).inc()
         return {"pairs": pairs.tolist(), "count": len(pairs)}
 
     async def _op_pairs(self, request: Dict[str, Any]) -> Dict[str, Any]:
         session = self._tenant(request)
+        join = await session.materialize()
         async with self.admission.slot():
-            pairs = session.join.current_pairs()
+            pairs = join.current_pairs()
         return {"pairs": pairs.tolist(), "count": len(pairs)}
 
     async def _op_compact(self, request: Dict[str, Any]) -> Dict[str, Any]:
         session = self._tenant(request)
+        join = await session.materialize()
         async with self.admission.slot():
             async with session.lock:
-                session.join.compact()
-        return {"n_live": session.join.n_live}
+                join.compact()
+        return {"n_live": session.n_live}
 
     async def _op_stats(self, request: Dict[str, Any]) -> Dict[str, Any]:
         response: Dict[str, Any] = {"server": self.metrics.as_dict()}
@@ -383,15 +398,15 @@ class JoinServer:
         name = request.get("tenant")
         if name is not None:
             session = self.manager.get(name)
-            join = session.join
             response["tenant"] = {
                 "name": name,
-                "n_live": join.n_live,
-                "dims": join.dims,
-                "delta_size": join.delta_size,
-                "estimated_join_size": join.estimated_join_size,
-                "last_update_seq": join.last_update_seq,
-                "stats": join.stats.as_dict(),
+                "n_live": session.n_live,
+                "dims": session.dims,
+                "delta_size": session.delta_size,
+                "estimated_join_size": session.estimated_join_size,
+                "last_update_seq": session.last_update_seq,
+                "mode": "view" if session.is_view else "session",
+                "stats": session.stats.as_dict(),
             }
         return response
 

@@ -1,13 +1,23 @@
 """Per-tenant session state for the serving layer.
 
-A *tenant* is one named dataset with its own :class:`IncrementalJoin`
-session (in-memory or persisted), its own :class:`TreeCache` (so an
-epsilon sweep by one tenant never evicts another's structures), and an
-``asyncio.Lock`` that serializes mutations.  Reads (range queries,
-mini-joins, pair enumeration) go straight to the engine without the
-lock: the engine is synchronous numpy code, so a read that has started
-runs to completion before the event loop can schedule a mutation —
-tasks only interleave at ``await`` points.
+A *tenant* is one named dataset with its own engine state, its own
+:class:`TreeCache` (so an epsilon sweep by one tenant never evicts
+another's structures), and an ``asyncio.Lock`` that serializes
+mutations.  Reads (range queries, mini-joins, pair enumeration) go
+straight to the engine without the lock: the engine is synchronous
+numpy code, so a read that has started runs to completion before the
+event loop can schedule a mutation — tasks only interleave at ``await``
+points.
+
+A tenant attached from a persisted directory starts in one of two
+modes, chosen by the cost-based planner (:mod:`repro.planner`): a
+**zero-materialization** :class:`~repro.storage.view.SnapshotView`
+answering range queries straight off the memmapped snapshot arrays, or
+a fully recovered :class:`IncrementalJoin`.  The view is the common
+winner for read-only traffic (no array copies, no WAL machinery); the
+first mutating operation — insert, delete, compact, pairs, mini-join —
+*promotes* the tenant by materializing the real session underneath, so
+clients never see the difference beyond latency.
 
 :class:`SessionManager` owns the tenant table.  ``attach`` is
 idempotent: re-attaching an existing tenant returns the live session
@@ -19,7 +29,7 @@ from __future__ import annotations
 
 import asyncio
 from dataclasses import replace
-from typing import Dict, List, Optional
+from typing import Callable, Dict, List, Optional
 
 import numpy as np
 
@@ -27,28 +37,142 @@ from repro.core.config import JoinSpec
 from repro.core.flat_build import TreeCache
 from repro.core.incremental import IncrementalJoin, UpdateDelta
 from repro.core.join import epsilon_kdb_join
-from repro.errors import InvalidParameterError
+from repro.core.parallel import parallel_join
+from repro.core.result import JoinStats
+from repro.errors import InvalidParameterError, StorageError
+from repro.obs import trace
+from repro.planner import ExecutionPlan, plan_execution
+from repro.storage.snapshot import list_snapshots
+from repro.storage.view import SnapshotView
 
 __all__ = ["SessionManager", "TenantSession"]
 
 
 class TenantSession:
-    """One tenant's engine session plus its serving-side bookkeeping."""
+    """One tenant's engine session plus its serving-side bookkeeping.
 
-    def __init__(self, name: str, join: IncrementalJoin):
+    Exactly one of ``join`` / ``view`` is set at a time.  The
+    session-level accessors (``spec``, ``n_live``, ``dims``, ...) hide
+    which mode is active; mutating callers ``await materialize()``
+    first, which swaps the view for a recovered session under the lock.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        join: Optional[IncrementalJoin] = None,
+        *,
+        view: Optional[SnapshotView] = None,
+        opener: Optional[Callable[[], IncrementalJoin]] = None,
+        on_promote: Optional[Callable[["TenantSession"], None]] = None,
+    ):
+        if (join is None) == (view is None):
+            raise InvalidParameterError(
+                "a TenantSession takes exactly one of join/view"
+            )
+        if view is not None and opener is None:
+            raise InvalidParameterError(
+                "a view-backed TenantSession needs an opener to "
+                "materialize from"
+            )
         self.name = name
         self.join = join
+        self.view = view
+        self._opener = opener
+        self._on_promote = on_promote
         self.lock = asyncio.Lock()
+        self.last_plan: Optional[ExecutionPlan] = None
+        # Serving-side stats for view mode (a recovered join brings its
+        # own); records the plan decision so `stats` requests show it.
+        self._view_stats = JoinStats()
+        if view is not None:
+            self._view_stats.planned_strategy = "snapshot-reuse"
+            self._view_stats.snapshot_bytes = view.snapshot_bytes
 
-    # Thin delegates so the server and coalescer never reach through to
-    # ``join`` for the read paths they batch.
-    def range_query(self, point: np.ndarray, eps: Optional[float] = None) -> np.ndarray:
-        return self.join.range_query(point, eps=eps)
+    # ------------------------------------------------------------------
+    # mode-independent accessors
+    # ------------------------------------------------------------------
+    @property
+    def is_view(self) -> bool:
+        """True while queries are served off the memmapped snapshot."""
+        return self.join is None
+
+    def _engine(self):
+        # Not `join or view`: an empty IncrementalJoin is falsy
+        # (defines __len__), so truthiness would mis-dispatch.
+        return self.join if self.join is not None else self.view
+
+    @property
+    def spec(self) -> JoinSpec:
+        return self._engine().spec
+
+    @property
+    def n_live(self) -> int:
+        return self._engine().n_live
+
+    @property
+    def dims(self) -> Optional[int]:
+        return self._engine().dims
+
+    @property
+    def delta_size(self) -> int:
+        return self.join.delta_size if self.join is not None else 0
+
+    @property
+    def estimated_join_size(self) -> float:
+        # The view keeps no sketch; admission control falls back to the
+        # analytic output model when this is 0.
+        return self.join.estimated_join_size if self.join is not None else 0.0
+
+    @property
+    def last_update_seq(self) -> int:
+        return self._engine().last_update_seq
+
+    @property
+    def stats(self) -> JoinStats:
+        return self.join.stats if self.join is not None else self._view_stats
+
+    @property
+    def persisted(self) -> bool:
+        if self.join is not None:
+            return self.join.spec.persist_path is not None
+        return True  # a view only ever comes from a persisted directory
+
+    async def materialize(self) -> IncrementalJoin:
+        """Promote a view-backed tenant to a full recovered session.
+
+        Idempotent and cheap once promoted.  Taken under the session
+        lock so concurrent mutations promote exactly once; the planner's
+        stats carry over the ``snapshot-reuse`` decision that preceded
+        the promotion.
+        """
+        if self.join is not None:
+            return self.join
+        async with self.lock:
+            if self.join is None:
+                with trace.span("serve.promote", tenant=self.name):
+                    join = self._opener()
+                view, self.view = self.view, None
+                self.join = join
+                join.stats.merge(self._view_stats)
+                if view is not None:
+                    view.close()
+                if self._on_promote is not None:
+                    self._on_promote(self)
+        return self.join
+
+    # ------------------------------------------------------------------
+    # reads (work in both modes)
+    # ------------------------------------------------------------------
+    def range_query(
+        self, point: np.ndarray, eps: Optional[float] = None
+    ) -> np.ndarray:
+        return self._engine().range_query(point, eps=eps)
 
     def batch_range_query(
         self, queries: np.ndarray, eps: Optional[float] = None
     ) -> List[np.ndarray]:
-        return self.join.batch_range_query(queries, eps=eps)
+        return self._engine().batch_range_query(queries, eps=eps)
 
     def mini_join(
         self, batch: np.ndarray, eps: Optional[float] = None
@@ -57,8 +181,17 @@ class TenantSession:
 
         Returns ``(k, 2)`` int64 pairs ``(batch row, live point id)``,
         sorted by batch row then id — the two-set analogue of
-        :meth:`IncrementalJoin.batch_range_query`.
+        :meth:`IncrementalJoin.batch_range_query`.  The execution
+        strategy (serial vs parallel two-set join) is planned per
+        request from the batch size, the live-set size, and the
+        session's join-size sketch; both strategies emit byte-identical
+        pairs.  Requires a materialized session.
         """
+        if self.join is None:
+            raise InvalidParameterError(
+                f"tenant {self.name!r} is view-backed; materialize() "
+                "before mini_join"
+            )
         spec = self.join.spec
         if eps is None:
             eps = spec.epsilon
@@ -72,7 +205,19 @@ class TenantSession:
         if len(live) == 0 or len(batch) == 0:
             return np.empty((0, 2), dtype=np.int64)
         join_spec = replace(spec, epsilon=eps, persist_path=None)
-        result = epsilon_kdb_join(batch, live, join_spec)
+        plan = plan_execution(
+            join_spec,
+            len(batch),
+            live.shape[1],
+            n2=len(live),
+            sketch_estimate=self.join.estimated_join_size or None,
+            strategies=("serial", "parallel"),
+        )
+        self.last_plan = plan
+        if plan.chosen == "parallel":
+            result = parallel_join(batch, live, join_spec)
+        else:
+            result = epsilon_kdb_join(batch, live, join_spec)
         pairs = result.pairs
         if len(pairs) == 0:
             return np.empty((0, 2), dtype=np.int64)
@@ -82,18 +227,28 @@ class TenantSession:
         order = np.lexsort((mapped[:, 1], mapped[:, 0]))
         return np.ascontiguousarray(mapped[order])
 
+    # ------------------------------------------------------------------
+    # mutations (caller must materialize() first)
+    # ------------------------------------------------------------------
     def insert(self, points: np.ndarray) -> UpdateDelta:
         return self.join.insert(points)
 
     def delete(self, ids: np.ndarray) -> UpdateDelta:
         return self.join.delete(ids)
 
+    def close(self) -> None:
+        if self.join is not None:
+            self.join.close()
+        elif self.view is not None:
+            self.view.close()
+
 
 class SessionManager:
     """Tenant table: attach/get/detach plus orderly close of everything."""
 
-    def __init__(self) -> None:
+    def __init__(self, metrics=None) -> None:
         self._tenants: Dict[str, TenantSession] = {}
+        self.metrics = metrics
 
     def __contains__(self, name: str) -> bool:
         return name in self._tenants
@@ -103,6 +258,10 @@ class SessionManager:
 
     def names(self) -> List[str]:
         return sorted(self._tenants)
+
+    def _count(self, name: str) -> None:
+        if self.metrics is not None:
+            self.metrics.counter(name).inc()
 
     def attach(
         self,
@@ -115,12 +274,17 @@ class SessionManager:
     ) -> TenantSession:
         """Open (or return) the tenant ``name``.
 
-        A ``path`` opens/creates a persisted session via
-        :meth:`IncrementalJoin.open` (``spec`` required only when the
-        path holds nothing yet); without one the session is in-memory
-        and ``spec`` is required.  Re-attaching an existing tenant
-        returns the live session; a spec passed alongside must match
-        its structural fingerprint.
+        A ``path`` opens/creates a persisted session: when the directory
+        already holds snapshot generations, the cost-based planner
+        weighs mapping the newest snapshot read-only (``snapshot-reuse``
+        — a :class:`SnapshotView`, zero materialization) against a full
+        recovery, and the view wins for the common read-only attach; a
+        stale view (WAL ahead of the snapshot), a corrupt newest
+        generation, or a losing plan falls back to
+        :meth:`IncrementalJoin.open`.  Without a path the session is
+        in-memory and ``spec`` is required.  Re-attaching an existing
+        tenant returns the live session; a spec passed alongside must
+        match its structural fingerprint.
         """
         if not name or not isinstance(name, str):
             raise InvalidParameterError(
@@ -130,7 +294,7 @@ class SessionManager:
         if existing is not None:
             if (
                 spec is not None
-                and spec.fingerprint() != existing.join.spec.fingerprint()
+                and spec.fingerprint() != existing.spec.fingerprint()
             ):
                 raise InvalidParameterError(
                     f"tenant {name!r} is already attached with a different "
@@ -138,14 +302,20 @@ class SessionManager:
                 )
             return existing
         cache = TreeCache()
+        session: Optional[TenantSession] = None
         if path is not None:
-            join = IncrementalJoin.open(
-                path,
-                spec=spec,
-                sync_mode=sync_mode,
-                structure_cache=cache,
-                keep_generations=keep_generations,
-            )
+            def opener() -> IncrementalJoin:
+                return IncrementalJoin.open(
+                    path,
+                    spec=spec,
+                    sync_mode=sync_mode,
+                    structure_cache=cache,
+                    keep_generations=keep_generations,
+                )
+
+            session = self._try_view_attach(name, spec, path, opener)
+            if session is None:
+                session = TenantSession(name, opener())
         else:
             if spec is None:
                 raise InvalidParameterError(
@@ -153,9 +323,63 @@ class SessionManager:
                 )
             if keep_generations is not None:
                 spec = replace(spec, keep_generations=keep_generations)
-            join = IncrementalJoin(spec, structure_cache=cache)
-        session = TenantSession(name, join)
+            session = TenantSession(
+                name, IncrementalJoin(spec, structure_cache=cache)
+            )
         self._tenants[name] = session
+        return session
+
+    def _try_view_attach(
+        self,
+        name: str,
+        spec: Optional[JoinSpec],
+        path: str,
+        opener: Callable[[], IncrementalJoin],
+    ) -> Optional[TenantSession]:
+        """Attach ``name`` as a SnapshotView when the planner prefers it.
+
+        Returns ``None`` (→ materialize instead) when the directory
+        holds no snapshot yet, the view would be stale or corrupt, or
+        the plan favors recovery.  A structural-spec mismatch raises,
+        mirroring :meth:`IncrementalJoin.open`.
+        """
+        if not list_snapshots(path):
+            return None
+        try:
+            view = SnapshotView.open(path)
+        except StorageError:
+            # Stale (WAL ahead) or damaged newest generation: recovery
+            # handles both (replay / generation fallback).
+            self._count("serve.view_fallback")
+            return None
+        if spec is not None and spec.fingerprint() != view.spec.fingerprint():
+            view.close()
+            raise InvalidParameterError(
+                "the given spec does not match the persisted session "
+                f"(fingerprint {spec.fingerprint()} != "
+                f"{view.spec.fingerprint()}); attach without a spec to "
+                "use the stored one"
+            )
+        plan = plan_execution(
+            view.spec,
+            view.n_live,
+            view.dims or 1,
+            snapshot_bytes=view.snapshot_bytes,
+            strategies=("serial", "snapshot-reuse"),
+        )
+        self._count(f"serve.plan.{plan.chosen}")
+        if plan.chosen != "snapshot-reuse":
+            view.close()
+            return None
+        session = TenantSession(
+            name,
+            view=view,
+            opener=opener,
+            on_promote=lambda s: self._count("serve.tenant_promoted"),
+        )
+        session.last_plan = plan
+        session._view_stats.predicted_cost = plan.predicted_cost
+        session._view_stats.plan_seconds = plan.plan_seconds
         return session
 
     def get(self, name: str) -> TenantSession:
@@ -168,9 +392,9 @@ class SessionManager:
         session = self._tenants.pop(name, None)
         if session is None:
             raise InvalidParameterError(f"unknown tenant {name!r}")
-        session.join.close()
+        session.close()
 
     def close_all(self) -> None:
         """Close every session (flushing journals); used at shutdown."""
         for name in list(self._tenants):
-            self._tenants.pop(name).join.close()
+            self._tenants.pop(name).close()

@@ -37,7 +37,12 @@ from repro.storage.wal import (
     scan_wal,
 )
 
+# view imports core.config/epsilon_kdb/flat_build, so it must come after
+# the dependency-free storage modules above.
+from repro.storage.view import SnapshotView
+
 __all__ = [
+    "SnapshotView",
     "PageStore",
     "PointFile",
     "BufferManager",

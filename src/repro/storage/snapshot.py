@@ -201,7 +201,9 @@ def write_snapshot(
     return final_path, len(blob)
 
 
-def load_snapshot(path: str) -> Tuple[Dict[str, Any], Dict[str, np.ndarray]]:
+def load_snapshot(
+    path: str, validate_arrays: bool = True
+) -> Tuple[Dict[str, Any], Dict[str, np.ndarray]]:
     """Validate and open one snapshot; returns ``(meta, arrays)``.
 
     The returned arrays are read-only views into an ``np.memmap`` of the
@@ -209,6 +211,14 @@ def load_snapshot(path: str) -> Tuple[Dict[str, Any], Dict[str, np.ndarray]]:
     :class:`~repro.errors.StorageError` on any validation failure
     (missing file, bad magic/version, short file, header or array CRC
     mismatch); the caller decides whether an older generation can serve.
+
+    ``validate_arrays=False`` skips the per-array CRC pass.  Checksumming
+    pages the entire file into memory — O(file size) — which defeats a
+    zero-materialization open; the structural checks (magic, version,
+    header CRC, exact file size, array bounds) still run, so torn and
+    truncated files are caught either way, but a flipped bit inside an
+    array section is only caught by a fully validating open (recovery
+    always validates).
     """
     try:
         mm = np.memmap(path, dtype=np.uint8, mode="r")
@@ -247,7 +257,7 @@ def load_snapshot(path: str) -> Tuple[Dict[str, Any], Dict[str, np.ndarray]]:
                 f"snapshot {path} array {entry['name']!r} overruns the file"
             )
         raw = mm[offset : offset + nbytes]
-        if zlib.crc32(raw) != int(entry["crc32"]):
+        if validate_arrays and zlib.crc32(raw) != int(entry["crc32"]):
             raise StorageError(
                 f"snapshot {path} array {entry['name']!r} fails its checksum"
             )

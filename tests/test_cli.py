@@ -229,11 +229,13 @@ def test_stats_json_dumps_every_counter(tmp_path, capsys):
     assert f"wrote stats to {target}" in capsys.readouterr().out
     stats = json.loads(target.read_text())
     # cascade_survivors renders as one cascade_survivors_stage{N} key per
-    # stage (none here: d=3 keeps the cascade off) instead of raw.
+    # stage (none here: d=3 keeps the cascade off) instead of raw; "plan"
+    # carries the planner's ExecutionPlan, not a JoinStats counter.
     expected = set(JoinStats.__dataclass_fields__) - {"cascade_survivors"}
     stage_keys = {k for k in stats if k.startswith("cascade_survivors_stage")}
-    assert set(stats) - stage_keys == expected
+    assert set(stats) - stage_keys - {"plan"} == expected
     assert stats["pairs_emitted"] > 0
+    assert stats["plan"]["chosen"] == stats["planned_strategy"]
 
 
 def test_trace_jsonl_artifact(tmp_path, capsys):

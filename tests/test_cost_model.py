@@ -5,12 +5,15 @@ import pytest
 from repro import JoinSpec, PairCounter
 from repro.analysis.cost_model import (
     predict_brute_force_candidates,
+    predict_brute_force_candidates_cross,
     predict_kdb_candidates,
+    predict_kdb_candidates_cross,
     predict_sort_merge_candidates,
+    predict_sort_merge_candidates_cross,
     split_depth,
 )
 from repro.baselines import brute_force_self_join, sort_merge_self_join
-from repro.core import epsilon_kdb_self_join
+from repro.core import epsilon_kdb_join, epsilon_kdb_self_join
 from repro.datasets import uniform_points
 from repro.errors import InvalidParameterError
 
@@ -80,6 +83,66 @@ class TestPredictionsTrackMeasurements:
         measured_kdb = self.measured(epsilon_kdb_self_join, spec)
         measured_sm = self.measured(sort_merge_self_join, spec)
         assert measured_kdb < measured_sm
+
+
+class TestCrossJoinPredictions:
+    """Two-set variants score ``n_a * n_b`` pairs, not ``C(n, 2)``.
+
+    The self-join model halves the pair count (each unordered pair is
+    checked once); an R-against-S join checks every ordered (r, s)
+    combination, so reusing the self-join formula on ``n_a + n_b``
+    over- or under-predicts depending on the set-size skew — the
+    asymmetry the cross variants fix.
+    """
+
+    N_A = 4000
+    N_B = 1000
+    DIMS = 10
+
+    def measured(self, eps):
+        a = uniform_points(self.N_A, self.DIMS, seed=77)
+        b = uniform_points(self.N_B, self.DIMS, seed=78)
+        spec = JoinSpec(epsilon=eps, leaf_size=128)
+        sink = PairCounter()
+        result = epsilon_kdb_join(a, b, spec, sink=sink)
+        return result.stats.distance_computations
+
+    @pytest.mark.parametrize("eps", [0.05, 0.1, 0.2])
+    def test_cross_kdb_model_tracks_measurement(self, eps):
+        measured = self.measured(eps)
+        predicted = predict_kdb_candidates_cross(
+            self.N_A, self.N_B, self.DIMS, eps, leaf_size=128
+        )
+        assert predicted / 5 < measured < predicted * 5
+
+    def test_cross_pair_count_is_product_not_choose_two(self):
+        # At eps large enough that every pair collides, the cross model
+        # must approach n_a * n_b while the self model on the union
+        # approaches C(n_a + n_b, 2) — over 3x larger here.
+        cross = predict_brute_force_candidates_cross(self.N_A, self.N_B)
+        union = predict_brute_force_candidates(self.N_A + self.N_B)
+        assert cross == self.N_A * self.N_B
+        assert union > 3 * cross
+
+    def test_cross_models_are_symmetric(self):
+        assert predict_kdb_candidates_cross(
+            2000, 500, 8, 0.1
+        ) == predict_kdb_candidates_cross(500, 2000, 8, 0.1)
+        assert predict_sort_merge_candidates_cross(
+            2000, 500, 0.1
+        ) == predict_sort_merge_candidates_cross(500, 2000, 0.1)
+
+    def test_cross_sort_merge_dominates_cross_kdb(self):
+        eps = 0.1
+        kdb = predict_kdb_candidates_cross(self.N_A, self.N_B, self.DIMS, eps)
+        sm = predict_sort_merge_candidates_cross(self.N_A, self.N_B, eps)
+        assert kdb < sm
+
+    def test_cross_validation(self):
+        with pytest.raises(InvalidParameterError):
+            predict_kdb_candidates_cross(0, 100, 8, 0.1)
+        with pytest.raises(InvalidParameterError):
+            predict_sort_merge_candidates_cross(100, 100, -0.1)
 
 
 class TestModelShape:

@@ -334,10 +334,12 @@ class TestMetrics:
         }
         # every JoinStats field landed under the prefix
         # (cascade_survivors expands to per-stage keys; empty here)
-        for name in JoinStats.__dataclass_fields__:
+        for name, spec in JoinStats.__dataclass_fields__.items():
             if name == "cascade_survivors":
                 continue
-            if name == "kernel_backend":
+            # empty string fields (kernel_backend, planned_strategy)
+            # surface only as non-empty <field>.<value> marker gauges
+            if spec.type in ("str", str):
                 continue
             assert f"join.{name}" in snapshot
 
